@@ -1,0 +1,147 @@
+// Ablation 1: why order-preserving naming matters (Armada §4.1).
+//
+// Replacing Single_hash with a uniform hash (FISSIONE's Kautz_hash)
+// scatters value-adjacent objects across the namespace: a range query then
+// needs nearly every peer that stores any matching object, instead of one
+// contiguous strip of peers.
+//
+// Ablation 2: why DCF-CAN maps values through a *Hilbert* curve.
+// A Morton (Z-order) segment is spatially disconnected, so directed
+// flooding restricted to intersecting zones cannot reach every destination
+// from the median zone; Hilbert segments are connected by construction.
+#include <set>
+
+#include "common.h"
+#include "sfc/morton.h"
+#include "sfc/sfc_region.h"
+
+namespace {
+
+using namespace armada;
+using namespace armada::bench;
+
+// Fraction of Morton-vs-Hilbert zones reachable by in-segment flooding.
+void curve_connectivity(Table& table, std::uint64_t seed) {
+  can::CanNetwork net(2000, seed);
+  const std::uint32_t order = 20;
+
+  for (const auto curve : {sfc::Curve::kHilbert, sfc::Curve::kMorton}) {
+    // Zone -> index ranges under the chosen curve.
+    std::vector<std::vector<sfc::IndexRange>> ranges;
+    ranges.reserve(net.num_nodes());
+    for (can::NodeId id = 0; id < net.num_nodes(); ++id) {
+      const can::Zone& z = net.zone(id);
+      ranges.push_back(sfc::rect_ranges(
+          curve, order,
+          {z.x_num << (order - z.x_bits), z.y_num << (order - z.y_bits)},
+          order - z.x_bits, order - z.y_bits));
+    }
+    auto intersects = [&](can::NodeId id, const sfc::IndexRange& q) {
+      for (const auto& r : ranges[id]) {
+        if (r.intersects(q)) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    Rng rng(seed + 1);
+    const std::uint64_t total = 1ull << (2 * order);
+    OnlineStats reach;
+    OnlineStats zones;
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::uint64_t len = total / 20;  // 5% of the value axis
+      const std::uint64_t start = rng.next_u64(total - len);
+      const sfc::IndexRange q{start, start + len};
+      // All intersecting zones...
+      std::vector<can::NodeId> members;
+      for (can::NodeId id = 0; id < net.num_nodes(); ++id) {
+        if (intersects(id, q)) {
+          members.push_back(id);
+        }
+      }
+      // ...vs the ones reachable by flooding inside the segment from the
+      // median zone.
+      const std::uint64_t mid = start + len / 2;
+      const sfc::Cell c = curve == sfc::Curve::kHilbert
+                              ? sfc::hilbert_cell(order, mid)
+                              : sfc::morton_cell(order, mid);
+      const double side = static_cast<double>(1ull << order);
+      const can::NodeId start_zone =
+          net.node_at((static_cast<double>(c.x) + 0.5) / side,
+                      (static_cast<double>(c.y) + 0.5) / side);
+      std::set<can::NodeId> visited{start_zone};
+      std::vector<can::NodeId> queue{start_zone};
+      while (!queue.empty()) {
+        const can::NodeId z = queue.back();
+        queue.pop_back();
+        for (can::NodeId n : net.neighbors(z)) {
+          if (!visited.contains(n) && intersects(n, q)) {
+            visited.insert(n);
+            queue.push_back(n);
+          }
+        }
+      }
+      zones.add(static_cast<double>(members.size()));
+      reach.add(static_cast<double>(visited.size()) /
+                static_cast<double>(members.size()));
+    }
+    table.add_row({curve == sfc::Curve::kHilbert ? "Hilbert" : "Morton",
+                   Table::cell(zones.mean()),
+                   Table::cell(100.0 * reach.mean(), 1),
+                   Table::cell(100.0 * reach.min(), 1)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kN = 2000;
+  constexpr std::uint64_t kSeed = 91;
+
+  // --- Ablation 1: order-preserving vs uniform naming --------------------
+  auto net = fissione::FissioneNetwork::build(kN, kSeed);
+  auto index = core::ArmadaIndex::single(net, {kDomainLo, kDomainHi});
+  Rng rng(kSeed + 1);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < 2 * kN; ++i) {
+    values.push_back(rng.next_double(kDomainLo, kDomainHi));
+    index.publish(values[i]);
+  }
+  // The uniform-naming strawman: owner of Kautz_hash(object id).
+  std::vector<fissione::PeerId> hashed_owner(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    hashed_owner[i] =
+        net.owner_of(net.kautz_hash("obj/" + std::to_string(i)));
+  }
+
+  Table naming({"RangeSize", "OrderPreservingPeers", "UniformHashPeers"});
+  for (double size : {10.0, 50.0, 100.0, 300.0}) {
+    sim::RangeWorkload workload({kDomainLo, kDomainHi}, size, Rng(kSeed + 2));
+    OnlineStats ordered;
+    OnlineStats hashed;
+    for (int q = 0; q < 300; ++q) {
+      const auto rqy = workload.next();
+      const auto r = index.range_query(net.random_peer(), rqy.lo, rqy.hi);
+      ordered.add(static_cast<double>(r.stats.dest_peers));
+      std::set<fissione::PeerId> owners;
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (values[i] >= rqy.lo && values[i] <= rqy.hi) {
+          owners.insert(hashed_owner[i]);
+        }
+      }
+      hashed.add(static_cast<double>(owners.size()));
+    }
+    naming.add_row({Table::cell(size, 0), Table::cell(ordered.mean()),
+                    Table::cell(hashed.mean())});
+  }
+  print_tables("Ablation: peers contacted, Single_hash vs uniform hashing",
+               naming);
+
+  // --- Ablation 2: Hilbert vs Morton for DCF-CAN -------------------------
+  Table curves({"Curve", "ZonesInSegment", "ReachedPct", "WorstPct"});
+  curve_connectivity(curves, kSeed + 3);
+  print_tables("Ablation: DCF flood coverage, Hilbert vs Morton mapping",
+               curves);
+  return 0;
+}

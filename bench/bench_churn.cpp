@@ -1,0 +1,84 @@
+// Extension: Armada behaviour under churn.
+//
+// The paper evaluates static networks; FISSIONE's join/leave machinery
+// (fission/fusion with the neighborhood invariant) is what keeps Armada's
+// guarantees alive under membership change. This bench alternates churn
+// batches with query batches and tracks correctness and delay.
+#include "common.h"
+
+int main() {
+  using namespace armada;
+  using namespace armada::bench;
+
+  constexpr std::size_t kN = 2000;
+  constexpr std::uint64_t kSeed = 90;
+  constexpr double kRange = 100.0;
+
+  auto net = fissione::FissioneNetwork::build(kN, kSeed);
+  auto index = core::ArmadaIndex::single(net, {kDomainLo, kDomainHi});
+  Rng rng(kSeed + 1);
+  for (std::size_t i = 0; i < 2 * kN; ++i) {
+    index.publish(rng.next_double(kDomainLo, kDomainHi));
+  }
+
+  Table table({"ChurnedPeers", "N", "AvgDelay", "MaxDelay", "AvgMsgs",
+               "WrongAnswers", "MaxIDLen", "NbrGap"});
+  std::size_t churned_total = 0;
+  for (int round = 0; round < 6; ++round) {
+    if (round > 0) {
+      // Churn batch: 10% joins and 10% departures (plus a few crashes).
+      const std::size_t batch = kN / 10;
+      for (std::size_t i = 0; i < batch; ++i) {
+        net.join();
+        const auto& alive = net.alive_peers();
+        if (i % 10 == 9) {
+          net.crash(alive[rng.next_index(alive.size())]);
+        } else {
+          net.leave(alive[rng.next_index(alive.size())]);
+        }
+      }
+      churned_total += 2 * batch;
+    }
+
+    sim::MetricSet metrics(std::log2(static_cast<double>(net.num_peers())));
+    sim::RangeWorkload workload({kDomainLo, kDomainHi}, kRange,
+                                Rng(kSeed + 2 + round));
+    std::size_t wrong = 0;
+    for (int q = 0; q < 200; ++q) {
+      const auto rqy = workload.next();
+      const auto r = index.range_query(net.random_peer(), rqy.lo, rqy.hi);
+      metrics.add(r.stats);
+      auto got = r.matches;
+      std::sort(got.begin(), got.end());
+      // Crashes lose objects: ground truth is what the surviving peers
+      // still store, scanned directly.
+      std::vector<std::uint64_t> expected;
+      for (auto p : net.alive_peers()) {
+        for (const auto& obj : net.peer(p).store) {
+          const double v = index.attributes(obj.payload)[0];
+          if (v >= rqy.lo && v <= rqy.hi) {
+            expected.push_back(obj.payload);
+          }
+        }
+      }
+      std::sort(expected.begin(), expected.end());
+      if (got != expected) {
+        ++wrong;
+      }
+    }
+    table.add_row(
+        {Table::cell(static_cast<std::uint64_t>(churned_total)),
+         Table::cell(static_cast<std::uint64_t>(net.num_peers())),
+         Table::cell(metrics.delay().mean()),
+         Table::cell(metrics.delay().max(), 0),
+         Table::cell(metrics.messages().mean()),
+         Table::cell(static_cast<std::uint64_t>(wrong)),
+         Table::cell(static_cast<std::int64_t>(
+             net.peer_id_length_histogram().max())),
+         Table::cell(static_cast<std::uint64_t>(
+             net.max_neighbor_length_gap()))});
+  }
+  print_tables("Armada under churn (10% join + 10% leave/crash per round)",
+               table);
+  return 0;
+}

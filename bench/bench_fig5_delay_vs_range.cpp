@@ -1,0 +1,30 @@
+// Figure 5: query delay at different range sizes (N = 2000).
+//
+// Paper claims: DCF-CAN delay is much larger than PIRA's and increases
+// remarkably with range size; PIRA is delay-bounded — its average delay is
+// almost unchanged and always below log2 N.
+#include "common.h"
+
+int main() {
+  using namespace armada;
+  using namespace armada::bench;
+
+  constexpr std::size_t kN = 2000;
+  constexpr std::uint64_t kSeed = 42;
+  const double log_n = std::log2(static_cast<double>(kN));
+
+  ArmadaSetup armada_setup(kN, 2 * kN, kSeed);
+  DcfSetup dcf_setup(kN, 2 * kN, kSeed);
+
+  Table table({"RangeSize", "PIRA", "PIRA_max", "DCF-CAN", "logN"});
+  for (double size : {2.0, 10.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0}) {
+    const auto pira = armada_setup.run(size, kSeed + 1);
+    const auto dcf = dcf_setup.run(size, kSeed + 1);
+    table.add_row({Table::cell(size, 0), Table::cell(pira.delay().mean()),
+                   Table::cell(pira.delay().max(), 0),
+                   Table::cell(dcf.delay().mean()), Table::cell(log_n)});
+  }
+  print_tables("Figure 5: query delay at different range size (N=2000)",
+               table);
+  return 0;
+}

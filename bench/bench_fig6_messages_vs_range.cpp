@@ -1,0 +1,34 @@
+// Figure 6: message cost at different range sizes (N = 2000).
+//
+// (a) total messages: PIRA and DCF-CAN are close, PIRA slightly better;
+//     PIRA's Destpeers is about half its message count.
+// (b) MesgRatio = Messages/Destpeers and
+//     IncreRatio = (Messages-logN)/(Destpeers-1) are close to 2,
+//     validating the analysis Messages ~ logN + 2n - 2 (§4.3.2).
+#include "common.h"
+
+int main() {
+  using namespace armada;
+  using namespace armada::bench;
+
+  constexpr std::size_t kN = 2000;
+  constexpr std::uint64_t kSeed = 43;
+
+  ArmadaSetup armada_setup(kN, 2 * kN, kSeed);
+  DcfSetup dcf_setup(kN, 2 * kN, kSeed);
+
+  Table a({"RangeSize", "PIRA", "DCF-CAN", "Destpeers"});
+  Table b({"RangeSize", "MesgRatio", "IncreRatio"});
+  for (double size : {2.0, 10.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0}) {
+    const auto pira = armada_setup.run(size, kSeed + 1);
+    const auto dcf = dcf_setup.run(size, kSeed + 1);
+    a.add_row({Table::cell(size, 0), Table::cell(pira.messages().mean()),
+               Table::cell(dcf.messages().mean()),
+               Table::cell(pira.dest_peers().mean())});
+    b.add_row({Table::cell(size, 0), Table::cell(pira.mesg_ratio().mean()),
+               Table::cell(pira.incre_ratio().mean())});
+  }
+  print_tables("Figure 6(a): messages at different range size (N=2000)", a);
+  print_tables("Figure 6(b): PIRA message ratios", b);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 7: query delay at different network sizes (range size = 20).
+//
+// Paper claims: PIRA's delay stays below log2 N at every N; DCF-CAN's delay
+// grows ~ sqrt(N), so PIRA's advantage becomes more remarkable as the
+// network grows.
+#include "common.h"
+
+int main() {
+  using namespace armada;
+  using namespace armada::bench;
+
+  constexpr double kRange = 20.0;
+  constexpr std::uint64_t kSeed = 44;
+
+  Table table({"NetworkSize", "PIRA", "PIRA_max", "DCF-CAN", "logN"});
+  for (std::size_t n :
+       {1000u, 2000u, 3000u, 4000u, 5000u, 6000u, 7000u, 8000u}) {
+    ArmadaSetup armada_setup(n, 2 * n, kSeed);
+    DcfSetup dcf_setup(n, 2 * n, kSeed);
+    const auto pira = armada_setup.run(kRange, kSeed + 1);
+    const auto dcf = dcf_setup.run(kRange, kSeed + 1);
+    table.add_row({Table::cell(static_cast<std::uint64_t>(n)),
+                   Table::cell(pira.delay().mean()),
+                   Table::cell(pira.delay().max(), 0),
+                   Table::cell(dcf.delay().mean()),
+                   Table::cell(std::log2(static_cast<double>(n)))});
+  }
+  print_tables("Figure 7: query delay at different network size (range=20)",
+               table);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 8: message cost at different network sizes (range size = 20).
+//
+// (a) total messages: PIRA and DCF-CAN are close, PIRA slightly better.
+// (b) PIRA's MesgRatio and IncreRatio stay close to 2 at every N,
+//     re-validating Messages ~ logN + 2n - 2 (§4.3.2).
+#include "common.h"
+
+int main() {
+  using namespace armada;
+  using namespace armada::bench;
+
+  constexpr double kRange = 20.0;
+  constexpr std::uint64_t kSeed = 45;
+
+  Table a({"NetworkSize", "PIRA", "DCF-CAN", "Destpeers"});
+  Table b({"NetworkSize", "MesgRatio", "IncreRatio"});
+  for (std::size_t n :
+       {1000u, 2000u, 3000u, 4000u, 5000u, 6000u, 7000u, 8000u}) {
+    ArmadaSetup armada_setup(n, 2 * n, kSeed);
+    DcfSetup dcf_setup(n, 2 * n, kSeed);
+    const auto pira = armada_setup.run(kRange, kSeed + 1);
+    const auto dcf = dcf_setup.run(kRange, kSeed + 1);
+    a.add_row({Table::cell(static_cast<std::uint64_t>(n)),
+               Table::cell(pira.messages().mean()),
+               Table::cell(dcf.messages().mean()),
+               Table::cell(pira.dest_peers().mean())});
+    b.add_row({Table::cell(static_cast<std::uint64_t>(n)),
+               Table::cell(pira.mesg_ratio().mean()),
+               Table::cell(pira.incre_ratio().mean())});
+  }
+  print_tables("Figure 8(a): messages at different network size (range=20)",
+               a);
+  print_tables("Figure 8(b): PIRA message ratios", b);
+  return 0;
+}

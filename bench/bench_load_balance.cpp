@@ -1,0 +1,96 @@
+// Extension: storage load balance under skewed data.
+//
+// Order-preserving naming is what makes Armada's queries delay-bounded, but
+// it inherits the data distribution: skewed values concentrate objects on
+// few peers, where a uniform hash would spread them evenly. The paper
+// defers load balancing to related work ([15], [20]); this bench quantifies
+// the trade-off that motivates those techniques.
+#include <set>
+
+#include "common.h"
+
+namespace {
+
+using namespace armada;
+using namespace armada::bench;
+
+struct LoadRow {
+  double mean;
+  double max;
+  double p99;
+  double gini_coeff;
+};
+
+LoadRow measure(const std::vector<double>& per_peer) {
+  OnlineStats s;
+  Histogram h;
+  for (double v : per_peer) {
+    s.add(v);
+    h.add(static_cast<std::int64_t>(v));
+  }
+  return LoadRow{s.mean(), s.max(), static_cast<double>(h.quantile(0.99)),
+                 gini(per_peer)};
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kN = 2000;
+  constexpr std::size_t kObjects = 40000;
+  constexpr std::uint64_t kSeed = 93;
+
+  Table table({"Workload", "Naming", "MeanLoad", "MaxLoad", "p99", "Gini"});
+
+  for (const char* workload : {"uniform", "zipf(1.0)", "clustered"}) {
+    // Fresh network per workload so stores start empty.
+    auto net = fissione::FissioneNetwork::build(kN, kSeed);
+    auto index = core::ArmadaIndex::single(net, {kDomainLo, kDomainHi});
+
+    sim::ZipfValues zipf({kDomainLo, kDomainHi}, 200, 1.0, Rng(kSeed + 1));
+    sim::ClusteredValues clustered(
+        {kDomainLo, kDomainHi},
+        {{100.0, 15.0, 3.0}, {500.0, 40.0, 2.0}, {900.0, 10.0, 1.0}},
+        Rng(kSeed + 2));
+    Rng uniform(kSeed + 3);
+
+    std::vector<double> ordered_load(kN, 0.0);
+    std::vector<double> hashed_load(kN, 0.0);
+    std::vector<fissione::PeerId> peer_of_index(net.alive_peers());
+    // Map PeerId -> dense slot for the load vectors.
+    std::vector<std::size_t> slot(*std::max_element(peer_of_index.begin(),
+                                                    peer_of_index.end()) +
+                                  1);
+    for (std::size_t i = 0; i < peer_of_index.size(); ++i) {
+      slot[peer_of_index[i]] = i;
+    }
+
+    for (std::size_t i = 0; i < kObjects; ++i) {
+      double v = 0.0;
+      if (workload == std::string("uniform")) {
+        v = uniform.next_double(kDomainLo, kDomainHi);
+      } else if (workload == std::string("zipf(1.0)")) {
+        v = zipf.next();
+      } else {
+        v = clustered.next();
+      }
+      // Order-preserving placement (Armada).
+      ordered_load[slot[net.owner_of(index.naming_tree().single_hash(v))]] +=
+          1.0;
+      // Uniform-hash placement (plain DHT put).
+      hashed_load[slot[net.owner_of(
+          net.kautz_hash("obj/" + std::to_string(i)))]] += 1.0;
+    }
+
+    const LoadRow ordered = measure(ordered_load);
+    const LoadRow hashed = measure(hashed_load);
+    table.add_row({workload, "Single_hash", Table::cell(ordered.mean),
+                   Table::cell(ordered.max, 0), Table::cell(ordered.p99, 0),
+                   Table::cell(ordered.gini_coeff)});
+    table.add_row({workload, "Kautz_hash", Table::cell(hashed.mean),
+                   Table::cell(hashed.max, 0), Table::cell(hashed.p99, 0),
+                   Table::cell(hashed.gini_coeff)});
+  }
+  print_tables("Storage load per peer: order-preserving vs uniform naming",
+               table);
+  return 0;
+}

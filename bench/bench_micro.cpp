@@ -1,0 +1,106 @@
+// Microbenchmarks of the primitives (google-benchmark): naming, region
+// algebra, overlay routing, curve transforms, and a full PIRA query.
+#include <benchmark/benchmark.h>
+
+#include "armada/armada.h"
+#include "fissione/network.h"
+#include "kautz/kautz_space.h"
+#include "kautz/partition_tree.h"
+#include "sfc/hilbert.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace armada;
+
+void BM_SingleHash(benchmark::State& state) {
+  const auto tree = kautz::PartitionTree::single(2, 48, {0.0, 1000.0});
+  Rng rng(1);
+  double v = rng.next_double(0.0, 1000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.single_hash(v));
+    v = v < 999.0 ? v + 0.7 : 0.3;
+  }
+}
+BENCHMARK(BM_SingleHash);
+
+void BM_MultipleHash3Attr(benchmark::State& state) {
+  const kautz::PartitionTree tree(
+      2, 48, kautz::Box{{0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0}});
+  const std::vector<double> p{0.3, 0.7, 0.1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.multiple_hash(p));
+  }
+}
+BENCHMARK(BM_MultipleHash3Attr);
+
+void BM_RankUnrank(benchmark::State& state) {
+  std::uint64_t r = 12345;
+  const std::uint64_t n = kautz::space_size(2, 24);
+  for (auto _ : state) {
+    const auto s = kautz::unrank(2, 24, r % n);
+    benchmark::DoNotOptimize(kautz::rank(s));
+    r = r * 2862933555777941757ull + 3037000493ull;
+  }
+}
+BENCHMARK(BM_RankUnrank);
+
+void BM_RegionIntersectsPrefix(benchmark::State& state) {
+  const auto tree = kautz::PartitionTree::single(2, 48, {0.0, 1000.0});
+  const auto region = tree.region_for(123.0, 456.0);
+  const auto prefix = kautz::KautzString::parse("0120102");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(region.intersects_prefix(prefix));
+  }
+}
+BENCHMARK(BM_RegionIntersectsPrefix);
+
+void BM_HilbertIndex(benchmark::State& state) {
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sfc::hilbert_index(20, {x & 0xfffff, (x >> 20) & 0xfffff}));
+    x += 0x9e3779b9;
+  }
+}
+BENCHMARK(BM_HilbertIndex);
+
+void BM_FissioneRoute(benchmark::State& state) {
+  auto net = fissione::FissioneNetwork::build(
+      static_cast<std::size_t>(state.range(0)), 7);
+  Rng rng(9);
+  for (auto _ : state) {
+    const auto target = kautz::random_string(rng, 2, 48);
+    benchmark::DoNotOptimize(net.route(net.random_peer(), target));
+  }
+}
+BENCHMARK(BM_FissioneRoute)->Arg(1000)->Arg(8000);
+
+void BM_PiraQuery(benchmark::State& state) {
+  auto net = fissione::FissioneNetwork::build(2000, 11);
+  auto index = core::ArmadaIndex::single(net, {0.0, 1000.0});
+  Rng rng(13);
+  for (int i = 0; i < 4000; ++i) {
+    index.publish(rng.next_double(0.0, 1000.0));
+  }
+  const double size = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const double lo = rng.next_double(0.0, 1000.0 - size);
+    benchmark::DoNotOptimize(
+        index.range_query(net.random_peer(), lo, lo + size));
+  }
+}
+BENCHMARK(BM_PiraQuery)->Arg(20)->Arg(300);
+
+void BM_FissioneJoin(benchmark::State& state) {
+  auto net = fissione::FissioneNetwork::build(1000, 15);
+  for (auto _ : state) {
+    net.join();
+  }
+}
+// Pinned iteration count: every iteration grows the overlay.
+BENCHMARK(BM_FissioneJoin)->Iterations(4000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// MIRA: multiple-attribute range queries (paper §5).
+//
+// Claims: MIRA is delay-bounded exactly like PIRA — average delay < log2 N
+// and maximum delay < 2 log2 N regardless of the size of the query space or
+// the specific query. The bench sweeps box selectivity for m = 2 and m = 3.
+#include "common.h"
+
+int main() {
+  using namespace armada;
+  using namespace armada::bench;
+
+  constexpr std::size_t kN = 2000;
+  constexpr std::uint64_t kSeed = 48;
+  const double log_n = std::log2(static_cast<double>(kN));
+
+  for (std::size_t m : {2u, 3u}) {
+    auto net = fissione::FissioneNetwork::build(kN, kSeed + m);
+    kautz::Box domain(m, kautz::Interval{kDomainLo, kDomainHi});
+    auto index = core::ArmadaIndex::multi(net, domain);
+    Rng obj_rng(kSeed ^ 0x5bd1e995u);
+    sim::UniformPoints points(domain, obj_rng.split());
+    for (std::size_t i = 0; i < 2 * kN; ++i) {
+      index.publish(points.next());
+    }
+
+    Table table({"BoxSide", "Delay", "MaxDelay", "Messages", "Destpeers",
+                 "logN", "2logN"});
+    for (double side : {10.0, 50.0, 100.0, 250.0, 500.0, 1000.0}) {
+      sim::BoxWorkload workload(domain, std::vector<double>(m, side),
+                                Rng(kSeed + static_cast<std::uint64_t>(side)));
+      sim::MetricSet metrics(log_n);
+      for (int q = 0; q < kQueries / 2; ++q) {
+        const auto box = workload.next();
+        const auto r = index.box_query(net.random_peer(), box);
+        metrics.add(r.stats);
+      }
+      table.add_row({Table::cell(side, 0), Table::cell(metrics.delay().mean()),
+                     Table::cell(metrics.delay().max(), 0),
+                     Table::cell(metrics.messages().mean()),
+                     Table::cell(metrics.dest_peers().mean()),
+                     Table::cell(log_n), Table::cell(2 * log_n)});
+    }
+    print_tables("MIRA delay bounds, m = " + std::to_string(m) +
+                     " attributes (N=2000)",
+                 table);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// PIRA analysis validation (paper §4.3.2).
+//
+// Claims: query delay <= FRT height (= issuer PeerID length) < 2 log2 N,
+// average < log2 N; average message cost ~ logN + 2n - 2, close to the
+// lower bound O(logN) + n - 1.
+#include "common.h"
+
+int main() {
+  using namespace armada;
+  using namespace armada::bench;
+
+  constexpr std::size_t kN = 2000;
+  constexpr std::uint64_t kSeed = 47;
+  const double log_n = std::log2(static_cast<double>(kN));
+
+  ArmadaSetup setup(kN, 2 * kN, kSeed);
+
+  Table table({"RangeSize", "Delay", "MaxDelay", "Messages", "Predicted",
+               "LowerBound", "Destpeers"});
+  for (double size : {2.0, 20.0, 100.0, 300.0, 600.0, 1000.0}) {
+    const auto m = setup.run(size, kSeed + 1);
+    const double n_dest = m.dest_peers().mean();
+    table.add_row({Table::cell(size, 0), Table::cell(m.delay().mean()),
+                   Table::cell(m.delay().max(), 0),
+                   Table::cell(m.messages().mean()),
+                   Table::cell(log_n + 2 * n_dest - 2),
+                   Table::cell(log_n + n_dest - 1),
+                   Table::cell(n_dest)});
+  }
+  print_tables(
+      "PIRA analysis: measured vs predicted logN+2n-2 and bound logN+n-1",
+      table);
+
+  // Delay-bound audit: every query delay vs the issuer's PeerID length.
+  Rng rng(kSeed + 2);
+  sim::RangeWorkload workload({kDomainLo, kDomainHi}, 100.0, Rng(kSeed + 3));
+  std::size_t violations = 0;
+  double worst = 0.0;
+  for (int q = 0; q < kQueries; ++q) {
+    const auto rq = workload.next();
+    const auto issuer = setup.net().random_peer();
+    const auto r = setup.index().range_query(issuer, rq.lo, rq.hi);
+    const double bound =
+        static_cast<double>(setup.net().peer(issuer).peer_id.length());
+    if (r.stats.delay > bound) {
+      ++violations;
+    }
+    worst = std::max(worst, r.stats.delay);
+  }
+  std::printf("delay-bound audit: %zu violations in %d queries; worst delay "
+              "%.0f vs 2logN = %.2f\n",
+              violations, kQueries, worst, 2 * log_n);
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,244 @@
+// Table 1: comparison of general range query schemes (N = 2000).
+//
+// The paper's table lists, per scheme: underlying DHT, DHT degree,
+// single/multi-attribute support, average delay, and whether the delay is
+// bounded. We reproduce it empirically on a shared workload: attribute
+// interval [0,1000], 1000 random queries from random peers.
+//
+// Expected shape (paper): Armada/PIRA's average delay < log2 N ~ 11 and is
+// the only delay-bounded scheme; Skip Graph and SCRAP pay O(logN + n);
+// DCF-CAN pays > O(sqrt N); PHT on a constant-degree DHT pays O(b * logN);
+// Squid pays O(h * logN).
+#include <cmath>
+
+#include "common.h"
+#include "kautz/kautz_space.h"
+#include "rq/pht.h"
+#include "rq/scrap.h"
+#include "rq/skipgraph_rq.h"
+#include "rq/squid.h"
+#include "skipgraph/skipgraph.h"
+#include "chord/chord.h"
+
+namespace {
+
+using namespace armada;
+using namespace armada::bench;
+
+constexpr std::size_t kN = 2000;
+constexpr std::uint64_t kSeed = 77;
+
+std::vector<double> random_keys(std::size_t n, double lo, double hi,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> keys(n);
+  for (auto& k : keys) {
+    k = rng.next_double(lo, hi);
+  }
+  return keys;
+}
+
+struct Row {
+  std::string scheme;
+  std::string dht;
+  std::string degree;
+  std::string multi;
+  sim::MetricSet metrics;
+  std::string bounded;
+};
+
+void add_row(Table& t, const Row& r) {
+  t.add_row({r.scheme, r.dht, r.degree, r.multi,
+             Table::cell(r.metrics.delay().mean()),
+             Table::cell(r.metrics.delay().max(), 0),
+             Table::cell(r.metrics.messages().mean()),
+             Table::cell(r.metrics.dest_peers().mean()), r.bounded});
+}
+
+}  // namespace
+
+int main() {
+  const double log_n = std::log2(static_cast<double>(kN));
+  const double range_size = 100.0;  // 10% selectivity, same for all schemes
+  std::printf("N = %zu peers, logN = %.2f, range size = %.0f of [0,1000], "
+              "%d queries\n\n",
+              kN, log_n, range_size, kQueries);
+
+  Table table({"Scheme", "DHT", "Degree", "Attrs", "AvgDelay", "MaxDelay",
+               "AvgMsgs", "Destpeers", "DelayBounded"});
+
+  // --- Armada / PIRA over FISSIONE --------------------------------------
+  {
+    ArmadaSetup setup(kN, 2 * kN, kSeed);
+    Row row{"Armada(PIRA)", "FissionE",
+            Table::cell(setup.net().average_degree()), "single+multi",
+            setup.run(range_size, kSeed + 1), "yes"};
+    add_row(table, row);
+  }
+
+  // --- DCF-CAN -----------------------------------------------------------
+  {
+    DcfSetup setup(kN, 2 * kN, kSeed);
+    Row row{"DCF-CAN", "CAN(d=2)", Table::cell(setup.net().average_degree()),
+            "single", setup.run(range_size, kSeed + 1), "no"};
+    add_row(table, row);
+  }
+
+  // --- Native Skip Graph ranges ------------------------------------------
+  {
+    skipgraph::SkipGraph graph(random_keys(kN, kDomainLo, kDomainHi, kSeed),
+                               kSeed + 2);
+    rq::SkipGraphRangeIndex index(graph, {kDomainLo, kDomainHi});
+    Rng obj(kSeed ^ 0x9e3779b97f4a7c15ull);
+    for (std::size_t i = 0; i < 2 * kN; ++i) {
+      index.publish(obj.next_double(kDomainLo, kDomainHi));
+    }
+    sim::MetricSet metrics(log_n);
+    sim::RangeWorkload workload({kDomainLo, kDomainHi}, range_size,
+                                Rng(kSeed + 1));
+    Rng pick(kSeed + 3);
+    for (int q = 0; q < kQueries; ++q) {
+      const auto rqy = workload.next();
+      metrics.add(index
+                      .query(static_cast<skipgraph::NodeId>(
+                                 pick.next_index(graph.num_nodes())),
+                             rqy.lo, rqy.hi)
+                      .stats);
+    }
+    Row row{"SkipGraph", "(native)", Table::cell(graph.average_degree()),
+            "single", metrics, "no (logN+n)"};
+    add_row(table, row);
+  }
+
+  // --- PHT over FISSIONE (the constant-degree configuration of Table 1) --
+  {
+    auto net = fissione::FissioneNetwork::build(kN, kSeed);
+    fissione::PeerId client = 0;
+    rq::Pht pht(rq::Pht::Config{.key_bits = 16, .leaf_capacity = 8,
+                                .domain = {kDomainLo, kDomainHi}},
+                [&net, &client](const std::string& label) {
+                  return net.route(client, net.kautz_hash("pht/" + label)).hops;
+                });
+    Rng obj(kSeed ^ 0x9e3779b97f4a7c15ull);
+    for (std::size_t i = 0; i < 2 * kN; ++i) {
+      pht.publish(obj.next_double(kDomainLo, kDomainHi));
+    }
+    sim::MetricSet metrics(log_n);
+    sim::RangeWorkload workload({kDomainLo, kDomainHi}, range_size,
+                                Rng(kSeed + 1));
+    for (int q = 0; q < kQueries; ++q) {
+      const auto rqy = workload.next();
+      client = net.random_peer();
+      metrics.add(pht.query(rqy.lo, rqy.hi).stats);
+    }
+    Row row{"PHT", "FissionE", Table::cell(net.average_degree()),
+            "single+multi", metrics, "no (b*logN)"};
+    add_row(table, row);
+  }
+
+  // --- PHT over Chord (for contrast: O(logN)-degree DHT underneath) ------
+  {
+    chord::ChordNetwork net(kN, kSeed);
+    chord::NodeId client = 0;
+    rq::Pht pht(rq::Pht::Config{.key_bits = 16, .leaf_capacity = 8,
+                                .domain = {kDomainLo, kDomainHi}},
+                [&net, &client](const std::string& label) {
+                  std::uint64_t h = 1469598103934665603ull;
+                  for (char c : label) {
+                    h ^= static_cast<unsigned char>(c);
+                    h *= 1099511628211ull;
+                  }
+                  return net.route(client, h).hops;
+                });
+    Rng obj(kSeed ^ 0x9e3779b97f4a7c15ull);
+    for (std::size_t i = 0; i < 2 * kN; ++i) {
+      pht.publish(obj.next_double(kDomainLo, kDomainHi));
+    }
+    sim::MetricSet metrics(log_n);
+    sim::RangeWorkload workload({kDomainLo, kDomainHi}, range_size,
+                                Rng(kSeed + 1));
+    for (int q = 0; q < kQueries; ++q) {
+      const auto rqy = workload.next();
+      client = net.random_node();
+      metrics.add(pht.query(rqy.lo, rqy.hi).stats);
+    }
+    Row row{"PHT", "Chord", Table::cell(net.average_degree()),
+            "single+multi", metrics, "no (b*logN)"};
+    add_row(table, row);
+  }
+
+  print_tables("Table 1 (single-attribute schemes, range=100)", table);
+
+  // --- Multi-attribute schemes -------------------------------------------
+  Table multi({"Scheme", "DHT", "Degree", "Attrs", "AvgDelay", "MaxDelay",
+               "AvgMsgs", "Destpeers", "DelayBounded"});
+  const std::vector<double> box_side{316.0, 316.0};  // ~10% selectivity
+
+  {
+    auto net = fissione::FissioneNetwork::build(kN, kSeed);
+    kautz::Box domain{{kDomainLo, kDomainHi}, {kDomainLo, kDomainHi}};
+    auto index = core::ArmadaIndex::multi(net, domain);
+    Rng obj(kSeed ^ 0x5bd1e995u);
+    sim::UniformPoints points(domain, obj.split());
+    for (std::size_t i = 0; i < 2 * kN; ++i) {
+      index.publish(points.next());
+    }
+    sim::MetricSet metrics(log_n);
+    sim::BoxWorkload workload(domain, box_side, Rng(kSeed + 1));
+    for (int q = 0; q < kQueries; ++q) {
+      metrics.add(index.box_query(net.random_peer(), workload.next()).stats);
+    }
+    Row row{"Armada(MIRA)", "FissionE", Table::cell(net.average_degree()),
+            "multi(2)", metrics, "yes"};
+    add_row(multi, row);
+  }
+
+  {
+    chord::ChordNetwork net(kN, kSeed);
+    rq::Squid squid(net, rq::Squid::Config{});
+    Rng obj(kSeed ^ 0x5bd1e995u);
+    kautz::Box domain{{kDomainLo, kDomainHi}, {kDomainLo, kDomainHi}};
+    sim::UniformPoints points(domain, obj.split());
+    for (std::size_t i = 0; i < 2 * kN; ++i) {
+      squid.publish(points.next());
+    }
+    sim::MetricSet metrics(log_n);
+    sim::BoxWorkload workload(domain, box_side, Rng(kSeed + 1));
+    for (int q = 0; q < kQueries; ++q) {
+      metrics.add(squid.query(net.random_node(), workload.next()).stats);
+    }
+    Row row{"Squid", "Chord", Table::cell(net.average_degree()), "multi(2)",
+            metrics, "no (h*logN)"};
+    add_row(multi, row);
+  }
+
+  {
+    const std::uint32_t order = 16;
+    skipgraph::SkipGraph graph(
+        random_keys(kN, 0.0, std::exp2(2.0 * order) - 1.0, kSeed), kSeed + 2);
+    rq::Scrap scrap(graph, rq::Scrap::Config{.order = order});
+    Rng obj(kSeed ^ 0x5bd1e995u);
+    kautz::Box domain{{kDomainLo, kDomainHi}, {kDomainLo, kDomainHi}};
+    sim::UniformPoints points(domain, obj.split());
+    for (std::size_t i = 0; i < 2 * kN; ++i) {
+      scrap.publish(points.next());
+    }
+    sim::MetricSet metrics(log_n);
+    sim::BoxWorkload workload(domain, box_side, Rng(kSeed + 1));
+    Rng pick(kSeed + 3);
+    for (int q = 0; q < kQueries; ++q) {
+      metrics.add(scrap
+                      .query(static_cast<skipgraph::NodeId>(
+                                 pick.next_index(graph.num_nodes())),
+                             workload.next())
+                      .stats);
+    }
+    Row row{"SCRAP", "SkipGraph", Table::cell(graph.average_degree()),
+            "multi(2)", metrics, "no (logN+n)"};
+    add_row(multi, row);
+  }
+
+  print_tables("Table 1 (multi-attribute schemes, box ~10% selectivity)",
+               multi);
+  return 0;
+}

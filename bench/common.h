@@ -1,0 +1,103 @@
+// Shared harness for the paper-reproduction benches.
+//
+// Every experiment follows §4.3.3: attribute interval [0, 1000], metrics
+// averaged over `kQueries` range queries whose position is uniform and
+// whose issuer is a random peer.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "armada/armada.h"
+#include "can/can_network.h"
+#include "fissione/network.h"
+#include "rq/dcf_can.h"
+#include "sim/metrics.h"
+#include "sim/workload.h"
+#include "util/table.h"
+
+namespace armada::bench {
+
+inline constexpr double kDomainLo = 0.0;
+inline constexpr double kDomainHi = 1000.0;
+inline constexpr int kQueries = 1000;
+
+/// One PIRA-vs-DCF-CAN measurement point (fixed N, fixed range size).
+struct ComparisonPoint {
+  std::size_t network_size = 0;
+  double range_size = 0.0;
+  sim::MetricSet pira;
+  sim::MetricSet dcf;
+};
+
+/// Armada-over-FISSIONE side of a comparison.
+class ArmadaSetup {
+ public:
+  ArmadaSetup(std::size_t n, std::size_t objects, std::uint64_t seed)
+      : net_(fissione::FissioneNetwork::build(n, seed)),
+        index_(core::ArmadaIndex::single(net_, {kDomainLo, kDomainHi})) {
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+    for (std::size_t i = 0; i < objects; ++i) {
+      index_.publish(rng.next_double(kDomainLo, kDomainHi));
+    }
+  }
+
+  fissione::FissioneNetwork& net() { return net_; }
+  core::ArmadaIndex& index() { return index_; }
+
+  sim::MetricSet run(double range_size, std::uint64_t seed,
+                     int queries = kQueries) {
+    sim::MetricSet metrics(std::log2(static_cast<double>(net_.num_peers())));
+    sim::RangeWorkload workload({kDomainLo, kDomainHi}, range_size, Rng(seed));
+    for (int q = 0; q < queries; ++q) {
+      const auto rq = workload.next();
+      const auto r = index_.range_query(net_.random_peer(), rq.lo, rq.hi);
+      metrics.add(r.stats);
+    }
+    return metrics;
+  }
+
+ private:
+  fissione::FissioneNetwork net_;
+  core::ArmadaIndex index_;
+};
+
+/// DCF-CAN side of a comparison.
+class DcfSetup {
+ public:
+  DcfSetup(std::size_t n, std::size_t objects, std::uint64_t seed)
+      : net_(n, seed), dcf_(net_, rq::DcfCan::Config{}), rng_(seed ^ 0xabcdu) {
+    Rng obj_rng(seed ^ 0x9e3779b97f4a7c15ull);
+    for (std::size_t i = 0; i < objects; ++i) {
+      dcf_.publish(obj_rng.next_double(kDomainLo, kDomainHi));
+    }
+  }
+
+  can::CanNetwork& net() { return net_; }
+  rq::DcfCan& dcf() { return dcf_; }
+
+  sim::MetricSet run(double range_size, std::uint64_t seed,
+                     int queries = kQueries) {
+    sim::MetricSet metrics(std::log2(static_cast<double>(net_.num_nodes())));
+    sim::RangeWorkload workload({kDomainLo, kDomainHi}, range_size, Rng(seed));
+    for (int q = 0; q < queries; ++q) {
+      const auto rq = workload.next();
+      const auto r = dcf_.query(net_.random_node(), rq.lo, rq.hi);
+      metrics.add(r.stats);
+    }
+    return metrics;
+  }
+
+ private:
+  can::CanNetwork net_;
+  rq::DcfCan dcf_;
+  Rng rng_;
+};
+
+inline void print_tables(const std::string& title, const Table& table) {
+  std::printf("== %s ==\n%s\nCSV:\n%s\n", title.c_str(),
+              table.to_text().c_str(), table.to_csv().c_str());
+}
+
+}  // namespace armada::bench

@@ -1,0 +1,104 @@
+// armada_cli: a configurable experiment driver over the public API.
+//
+//   ./armada_cli --peers 2000 --objects 4000 --queries 500 --range 50
+//                --seed 42 [--attrs 2] [--churn 200] [--zipf 1.0]
+//
+// Builds a FISSIONE overlay, publishes a workload, optionally churns the
+// membership, runs range queries, and prints the paper's metrics.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "armada/armada.h"
+#include "fissione/network.h"
+#include "sim/metrics.h"
+#include "sim/workload.h"
+#include "util/table.h"
+
+namespace {
+
+std::map<std::string, double> parse_args(int argc, char** argv) {
+  // Defaults.
+  std::map<std::string, double> opts{
+      {"peers", 2000},  {"objects", 4000}, {"queries", 500}, {"range", 50},
+      {"seed", 42},     {"attrs", 1},      {"churn", 0},     {"zipf", 0},
+  };
+  for (int i = 1; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0 || !opts.contains(key.substr(2))) {
+      std::fprintf(stderr, "unknown option %s\n", key.c_str());
+      std::exit(2);
+    }
+    opts[key.substr(2)] = std::atof(argv[i + 1]);
+  }
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace armada;
+  const auto opts = parse_args(argc, argv);
+  const auto n = static_cast<std::size_t>(opts.at("peers"));
+  const auto objects = static_cast<std::size_t>(opts.at("objects"));
+  const auto queries = static_cast<int>(opts.at("queries"));
+  const double range = opts.at("range");
+  const auto seed = static_cast<std::uint64_t>(opts.at("seed"));
+  const auto attrs = static_cast<std::size_t>(opts.at("attrs"));
+  const auto churn = static_cast<std::size_t>(opts.at("churn"));
+  const double zipf = opts.at("zipf");
+
+  auto net = fissione::FissioneNetwork::build(n, seed);
+  const kautz::Box domain(attrs, kautz::Interval{0.0, 1000.0});
+  auto index = attrs == 1 ? core::ArmadaIndex::single(net, domain[0])
+                          : core::ArmadaIndex::multi(net, domain);
+
+  Rng rng(seed + 1);
+  sim::ZipfValues zipf_gen({0.0, 1000.0}, 200, zipf > 0 ? zipf : 1.0,
+                           Rng(seed + 2));
+  for (std::size_t i = 0; i < objects; ++i) {
+    std::vector<double> p(attrs);
+    for (auto& v : p) {
+      v = zipf > 0 ? zipf_gen.next() : rng.next_double(0.0, 1000.0);
+    }
+    index.publish(p);
+  }
+
+  for (std::size_t i = 0; i < churn; ++i) {
+    net.join();
+    const auto& alive = net.alive_peers();
+    net.leave(alive[rng.next_index(alive.size())]);
+  }
+
+  const double log_n = std::log2(static_cast<double>(net.num_peers()));
+  sim::MetricSet metrics(log_n);
+  sim::BoxWorkload workload(domain, std::vector<double>(attrs, range),
+                            Rng(seed + 3));
+  for (int q = 0; q < queries; ++q) {
+    const auto box = workload.next();
+    const auto r = attrs == 1
+                       ? index.range_query(net.random_peer(), box[0].lo,
+                                           box[0].hi)
+                       : index.box_query(net.random_peer(), box);
+    metrics.add(r.stats);
+  }
+
+  Table table({"Metric", "Mean", "Max"});
+  table.add_row({"Delay (hops)", Table::cell(metrics.delay().mean()),
+                 Table::cell(metrics.delay().max(), 0)});
+  table.add_row({"Messages", Table::cell(metrics.messages().mean()),
+                 Table::cell(metrics.messages().max(), 0)});
+  table.add_row({"Destpeers", Table::cell(metrics.dest_peers().mean()),
+                 Table::cell(metrics.dest_peers().max(), 0)});
+  table.add_row({"Results", Table::cell(metrics.results().mean()),
+                 Table::cell(metrics.results().max(), 0)});
+  std::printf("N=%zu peers (log2 N = %.2f), %zu objects, %d queries, "
+              "range %.0f, attrs %zu, churn %zu, %s values\n\n%s",
+              net.num_peers(), log_n, objects, queries, range, attrs, churn,
+              zipf > 0 ? "zipf" : "uniform", table.to_text().c_str());
+  std::printf("\ndelay bound: max %.0f vs 2*log2 N = %.1f\n",
+              metrics.delay().max(), 2 * log_n);
+  return 0;
+}

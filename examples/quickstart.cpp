@@ -1,0 +1,53 @@
+// Quickstart: build a FISSIONE overlay, layer an Armada index on it,
+// publish values, and run a delay-bounded range query.
+//
+//   $ ./quickstart
+#include <cmath>
+#include <cstdio>
+
+#include "armada/armada.h"
+#include "fissione/network.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace armada;
+
+  // 1. A 256-peer FISSIONE overlay (the constant-degree DHT of the paper).
+  auto net = fissione::FissioneNetwork::build(256, /*seed=*/1);
+  std::printf("overlay: %zu peers, average degree %.2f, "
+              "max PeerID length %lld (2*log2 N = %.1f)\n",
+              net.num_peers(), net.average_degree(),
+              static_cast<long long>(net.peer_id_length_histogram().max()),
+              2 * std::log2(256.0));
+
+  // 2. An Armada index for one attribute over [0, 1000]. Armada is layered:
+  //    it changes nothing about the DHT underneath.
+  auto index = core::ArmadaIndex::single(net, {0.0, 1000.0});
+
+  // 3. Publish objects; Single_hash places value-adjacent objects on
+  //    related peers.
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    index.publish(rng.next_double(0.0, 1000.0));
+  }
+
+  // 4. A range query from a random peer. PIRA reaches every peer holding
+  //    answers within |PeerID| < 2*log2 N hops.
+  const auto issuer = net.random_peer();
+  const auto result = index.range_query(issuer, 420.0, 480.0);
+
+  std::printf("query [420, 480]: %zu matches from %llu peers\n",
+              result.matches.size(),
+              static_cast<unsigned long long>(result.stats.dest_peers));
+  std::printf("delay %.0f hops (issuer PeerID length %zu, log2 N = %.1f), "
+              "%llu messages\n",
+              result.stats.delay, net.peer(issuer).peer_id.length(),
+              std::log2(256.0),
+              static_cast<unsigned long long>(result.stats.messages));
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, result.matches.size());
+       ++i) {
+    std::printf("  match: value %.2f\n",
+                index.attributes(result.matches[i])[0]);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "armada/aggregate.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace armada::core {
+
+double AggregateResult::mean() const {
+  ARMADA_CHECK(count > 0);
+  return sum / static_cast<double>(count);
+}
+
+Aggregate::Aggregate(const fissione::FissioneNetwork& net,
+                     const kautz::PartitionTree& tree)
+    : net_(net), pira_(net, tree) {}
+
+AggregateResult Aggregate::range_aggregate(fissione::PeerId issuer, double lo,
+                                           double hi,
+                                           const ValueFn& value_of) const {
+  AggregateResult agg;
+  const RangeQueryResult r = pira_.query(
+      issuer, lo, hi, [&agg, &value_of, lo, hi](const fissione::StoredObject& obj) {
+        const double v = value_of(obj);
+        if (v < lo || v > hi) {
+          return false;
+        }
+        if (agg.count == 0) {
+          agg.min = v;
+          agg.max = v;
+        } else {
+          agg.min = std::min(agg.min, v);
+          agg.max = std::max(agg.max, v);
+        }
+        ++agg.count;
+        agg.sum += v;
+        return false;  // fold locally; never ship the record
+      });
+  agg.stats = r.stats;
+  // One folded reply flows back over every forward edge; a record-shipping
+  // scheme would instead return `count` records end-to-end.
+  agg.reply_messages = r.stats.messages;
+  agg.records_avoided = agg.count;
+  return agg;
+}
+
+}  // namespace armada::core

@@ -1,0 +1,47 @@
+// In-network range aggregation over the PIRA forwarding tree (extension;
+// the paper's §6 names "other complex queries" as future work).
+//
+// A range aggregate (COUNT/SUM/MIN/MAX/AVG) needs only a scalar from each
+// destination. Replies can fold up the reverse forwarding tree, so the
+// querying peer receives one combined value per child branch instead of one
+// record stream per destination: reply traffic equals the forward tree's
+// edge count, and no record leaves its peer.
+#pragma once
+
+#include <functional>
+
+#include "armada/pira.h"
+#include "fissione/network.h"
+#include "kautz/partition_tree.h"
+
+namespace armada::core {
+
+struct AggregateResult {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;   ///< meaningful iff count > 0
+  double max = 0.0;   ///< meaningful iff count > 0
+  double mean() const;
+
+  sim::QueryStats stats;          ///< forward-phase metrics (PIRA)
+  std::uint64_t reply_messages = 0;  ///< folded replies (= forward edges)
+  /// What a non-aggregating scheme would ship: one record per match.
+  std::uint64_t records_avoided = 0;
+};
+
+class Aggregate {
+ public:
+  Aggregate(const fissione::FissioneNetwork& net,
+            const kautz::PartitionTree& tree);
+
+  using ValueFn = std::function<double(const fissione::StoredObject&)>;
+
+  AggregateResult range_aggregate(fissione::PeerId issuer, double lo,
+                                  double hi, const ValueFn& value_of) const;
+
+ private:
+  const fissione::FissioneNetwork& net_;
+  Pira pira_;
+};
+
+}  // namespace armada::core

@@ -1,0 +1,82 @@
+#include "armada/frt_search.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace armada::core {
+
+using fissione::PeerId;
+using kautz::KautzString;
+
+std::size_t FrtSearch::start_alignment(const KautzString& peer_id,
+                                       const KautzString& com_t) {
+  const std::size_t max_len = std::min(peer_id.length(), com_t.length());
+  for (std::size_t t = max_len; t > 0; --t) {
+    if (peer_id.suffix(t).is_prefix_of(com_t)) {
+      return t;
+    }
+  }
+  return 0;
+}
+
+RangeQueryResult FrtSearch::run(
+    PeerId issuer, const std::vector<FrtSearchClass>& classes,
+    const std::function<void(PeerId, RangeQueryResult&)>& on_destination)
+    const {
+  RangeQueryResult result;
+  sim::Simulator sim;
+
+  // Recursive forwarding step; `search` keeps it alive during sim.run().
+  struct Step {
+    const FrtSearch* self;
+    sim::Simulator* sim;
+    RangeQueryResult* result;
+    const FrtSearchClass* cls;
+    const std::function<void(PeerId, RangeQueryResult&)>* on_destination;
+
+    void operator()(PeerId b, std::size_t aligned_len) const {
+      const fissione::Peer& peer = self->net_.peer(b);
+      const std::size_t len = peer.peer_id.length();
+      if (aligned_len == len) {
+        // The whole PeerID prefixes a viable target leaf: destination.
+        result->destinations.push_back(b);
+        ++result->stats.dest_peers;
+        result->stats.delay = std::max(result->stats.delay, sim->now());
+        (*on_destination)(b, *result);
+        return;
+      }
+      ARMADA_CHECK(aligned_len < len);
+      for (PeerId c : peer.out_neighbors) {
+        const KautzString& cid = self->net_.peer(c).peer_id;
+        // C = u2...ub ++ Y with |Y| = m in {0,1,2} (neighborhood invariant).
+        ARMADA_CHECK(cid.length() + 1 >= len);
+        const std::size_t m = cid.length() + 1 - len;
+        const KautzString aligned = cid.suffix(aligned_len + m);
+        if (cls->viable(aligned)) {
+          ++result->stats.messages;
+          const Step step = *this;
+          sim->schedule_after(
+              1.0, [step, c, aligned_len, m] { step(c, aligned_len + m); });
+        }
+      }
+    }
+  };
+
+  std::vector<Step> steps;
+  steps.reserve(classes.size());
+  for (const FrtSearchClass& cls : classes) {
+    ARMADA_CHECK_MSG(!cls.com_t.empty(), "search class without common prefix");
+    steps.push_back(Step{this, &sim, &result, &cls, &on_destination});
+  }
+  const KautzString& issuer_id = net_.peer(issuer).peer_id;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const std::size_t j0 = start_alignment(issuer_id, classes[i].com_t);
+    const Step& step = steps[i];
+    sim.schedule_at(0.0, [&step, issuer, j0] { step(issuer, j0); });
+  }
+  sim.run();
+  return result;
+}
+
+}  // namespace armada::core

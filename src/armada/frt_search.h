@@ -1,0 +1,58 @@
+// The pruning search over the forward routing tree (FRT) that underlies
+// both PIRA (paper §4.2) and MIRA (paper §5).
+//
+// A search instance carries an *alignment*: the number j of trailing PeerID
+// symbols of the current peer that form a prefix of the target leaf labels.
+// A peer whose whole PeerID is aligned is a destination. Otherwise it
+// forwards to each out-neighbor C = u2...ub ++ Y whose aligned part
+// (aligned digits ++ Y) can still prefix a target leaf — the `viable`
+// predicate. Sibling branches partition the continuation space, so every
+// destination receives exactly one message, and the remaining distance
+// |PeerID| - j shrinks by one per hop, giving the paper's delay bound:
+// delay <= |PeerID(issuer)| < 2 log2 N.
+#pragma once
+
+#include <functional>
+
+#include "fissione/network.h"
+#include "kautz/kautz_region.h"
+#include "kautz/kautz_string.h"
+#include "range_query.h"
+#include "sim/event_queue.h"
+
+namespace armada::core {
+
+/// One class of an FRT search: all target leaves share the common prefix
+/// `com_t` ("ComT"). Queries whose bounds share no prefix are split into at
+/// most base+1 classes by the callers.
+struct FrtSearchClass {
+  /// Common prefix of every target leaf label in this class (nonempty).
+  kautz::KautzString com_t;
+  /// Hereditary viability: viable(x) iff some target leaf label in this
+  /// class has prefix x. Must be monotone (viable on a label implies viable
+  /// on all its prefixes within the class).
+  std::function<bool(const kautz::KautzString&)> viable;
+};
+
+/// Executes FRT search classes for one query on a discrete-event simulator
+/// and accumulates the paper's per-query metrics. `on_destination` runs the
+/// local scan at each destination peer.
+class FrtSearch {
+ public:
+  explicit FrtSearch(const fissione::FissioneNetwork& net) : net_(net) {}
+
+  RangeQueryResult run(
+      fissione::PeerId issuer, const std::vector<FrtSearchClass>& classes,
+      const std::function<void(fissione::PeerId, RangeQueryResult&)>&
+          on_destination) const;
+
+  /// The paper's ComS: length of the longest suffix of `peer_id` that is a
+  /// prefix of `com_t` (the canonical start alignment).
+  static std::size_t start_alignment(const kautz::KautzString& peer_id,
+                                     const kautz::KautzString& com_t);
+
+ private:
+  const fissione::FissioneNetwork& net_;
+};
+
+}  // namespace armada::core

@@ -1,0 +1,122 @@
+#include "armada/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "kautz/kautz_space.h"
+#include "util/check.h"
+
+namespace armada::core {
+
+using fissione::PeerId;
+using kautz::Interval;
+using kautz::KautzString;
+
+namespace {
+enum class Side { kSeed, kBelow, kAbove };
+}  // namespace
+
+Knn::Knn(const fissione::FissioneNetwork& net,
+         const kautz::PartitionTree& tree)
+    : net_(net), tree_(tree) {
+  ARMADA_CHECK(tree_.num_attributes() == 1);
+  ARMADA_CHECK(tree_.k() == net_.config().object_id_length);
+}
+
+KnnResult Knn::query(PeerId issuer, double q, std::size_t k,
+                     const ValueFn& value_of) const {
+  ARMADA_CHECK(k >= 1);
+  const Interval domain = tree_.attribute_ranges()[0];
+  ARMADA_CHECK(q >= domain.lo && q <= domain.hi);
+
+  KnnResult result;
+  std::vector<std::pair<double, std::uint64_t>> candidates;  // (dist, handle)
+
+  // Explored value interval (grows zone by zone) and its frontier strings.
+  double explored_lo = q;
+  double explored_hi = q;
+  KautzString below{net_.config().base};
+  KautzString above{net_.config().base};
+  bool below_done = false;
+  bool above_done = false;
+
+  PeerId cur = issuer;
+  auto annex = [&](const KautzString& to, Side side) {
+    const fissione::RouteResult route = net_.route(cur, to);
+    result.stats.messages += route.hops;
+    result.stats.delay += route.hops;
+    cur = route.owner;
+    ++result.stats.dest_peers;
+    for (const fissione::StoredObject& obj : net_.peer(cur).store) {
+      const double v = value_of(obj);
+      candidates.emplace_back(std::abs(v - q), obj.payload);
+    }
+    const Interval zone = tree_.interval_for(net_.peer(cur).peer_id);
+    explored_lo = std::min(explored_lo, zone.lo);
+    explored_hi = std::max(explored_hi, zone.hi);
+    const KautzString zone_lo =
+        kautz::min_extension(net_.peer(cur).peer_id, tree_.k());
+    const KautzString zone_hi =
+        kautz::max_extension(net_.peer(cur).peer_id, tree_.k());
+    if (side != Side::kAbove) {
+      below_done = kautz::is_space_min(zone_lo);
+      if (!below_done) {
+        below = kautz::predecessor(zone_lo);
+      }
+    }
+    if (side != Side::kBelow) {
+      above_done = kautz::is_space_max(zone_hi);
+      if (!above_done) {
+        above = kautz::successor(zone_hi);
+      }
+    }
+  };
+
+  annex(tree_.single_hash(q), Side::kSeed);
+  while (true) {
+    double kth = std::numeric_limits<double>::infinity();
+    if (candidates.size() >= k) {
+      std::nth_element(candidates.begin(),
+                       candidates.begin() + static_cast<long>(k - 1),
+                       candidates.end());
+      kth = candidates[k - 1].first;
+    }
+    const double below_gap = below_done
+                                 ? std::numeric_limits<double>::infinity()
+                                 : q - explored_lo;
+    const double above_gap = above_done
+                                 ? std::numeric_limits<double>::infinity()
+                                 : explored_hi - q;
+    // Nothing outside the explored interval can beat the k-th candidate.
+    if (kth <= std::min(below_gap, above_gap)) {
+      break;
+    }
+    if (below_done && above_done) {
+      break;  // whole domain explored
+    }
+    if (below_gap <= above_gap) {
+      annex(below, Side::kBelow);
+    } else {
+      annex(above, Side::kAbove);
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end(), [](auto a, auto b) {
+    if (a.first != b.first) {
+      return a.first < b.first;
+    }
+    return a.second < b.second;
+  });
+  if (candidates.size() > k) {
+    candidates.resize(k);
+  }
+  result.handles.reserve(candidates.size());
+  for (const auto& [dist, handle] : candidates) {
+    result.handles.push_back(handle);
+  }
+  result.stats.results = result.handles.size();
+  return result;
+}
+
+}  // namespace armada::core

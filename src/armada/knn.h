@@ -1,0 +1,38 @@
+// k-nearest-neighbor queries over Armada (extension; the paper's related
+// work cites NR-tree's kNN support as a capability Armada could host).
+//
+// Interval preservation makes kNN an expanding-zone walk: route to the zone
+// containing the query value, then alternately annex the nearest unexplored
+// zone above or below until the k-th best candidate is provably closer than
+// anything outside the explored interval.
+#pragma once
+
+#include <functional>
+
+#include "armada/range_query.h"
+#include "fissione/network.h"
+#include "kautz/partition_tree.h"
+
+namespace armada::core {
+
+struct KnnResult {
+  sim::QueryStats stats;
+  /// Handles of the k nearest objects, ascending by distance to the query.
+  std::vector<std::uint64_t> handles;
+};
+
+class Knn {
+ public:
+  Knn(const fissione::FissioneNetwork& net, const kautz::PartitionTree& tree);
+
+  using ValueFn = std::function<double(const fissione::StoredObject&)>;
+
+  KnnResult query(fissione::PeerId issuer, double q, std::size_t k,
+                  const ValueFn& value_of) const;
+
+ private:
+  const fissione::FissioneNetwork& net_;
+  kautz::PartitionTree tree_;
+};
+
+}  // namespace armada::core

@@ -1,0 +1,63 @@
+#include "armada/mira.h"
+
+#include "util/check.h"
+
+namespace armada::core {
+
+using fissione::PeerId;
+using kautz::Box;
+using kautz::KautzRegion;
+using kautz::KautzString;
+
+Mira::Mira(const fissione::FissioneNetwork& net,
+           const kautz::PartitionTree& tree)
+    : net_(net), tree_(tree) {
+  ARMADA_CHECK(tree_.base() == net_.config().base);
+  ARMADA_CHECK_MSG(tree_.k() == net_.config().object_id_length,
+                   "naming tree depth must equal ObjectID length");
+}
+
+RangeQueryResult Mira::query(PeerId issuer, const Box& box,
+                             const ObjectFilter& matches) const {
+  // Bounding region per the paper; the search classes inherit its
+  // common-prefix split so each class has a well-defined alignment.
+  const KautzRegion region = tree_.bounding_region(box);
+  std::vector<FrtSearchClass> classes;
+  for (const KautzRegion& sub : region.split_common_prefix()) {
+    // Skip first-symbol blocks whose subspace misses the box entirely.
+    if (!tree_.box_intersects(sub.common_prefix().prefix(1), box)) {
+      continue;
+    }
+    FrtSearchClass cls;
+    cls.com_t = sub.common_prefix();
+    cls.viable = [this, sub, &box](const KautzString& aligned) {
+      return sub.intersects_prefix(aligned) &&
+             tree_.box_intersects(aligned, box);
+    };
+    classes.push_back(std::move(cls));
+  }
+
+  const FrtSearch search(net_);
+  return search.run(
+      issuer, classes,
+      [this, &box, &matches](PeerId dest, RangeQueryResult& out) {
+        for (const fissione::StoredObject& obj : net_.peer(dest).store) {
+          if (tree_.box_intersects(obj.object_id, box) && matches(obj)) {
+            out.matches.push_back(obj.payload);
+            ++out.stats.results;
+          }
+        }
+      });
+}
+
+std::vector<PeerId> Mira::expected_destinations(const Box& box) const {
+  std::vector<PeerId> out;
+  for (PeerId p : net_.alive_peers()) {
+    if (tree_.box_intersects(net_.peer(p).peer_id, box)) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace armada::core

@@ -1,0 +1,41 @@
+// MIRA — multiple-attribute range queries over the FRT (paper §5).
+//
+// Multiple_hash is partial-order preserving, so every leaf whose subspace
+// meets the query box lies inside the bounding region
+// <Multiple_hash(lower corner), Multiple_hash(upper corner)>, but that
+// region may also contain non-matching leaves. MIRA therefore prunes the
+// FRT search geometrically: a branch stays alive iff the partition-tree
+// subspace of its aligned label still intersects the real query box. Delay
+// is bounded by |PeerID(issuer)| exactly as in PIRA.
+#pragma once
+
+#include <functional>
+
+#include "armada/frt_search.h"
+#include "armada/range_query.h"
+#include "fissione/network.h"
+#include "kautz/partition_tree.h"
+
+namespace armada::core {
+
+class Mira {
+ public:
+  /// `tree` is the multi-attribute naming tree (k == net ObjectID length).
+  Mira(const fissione::FissioneNetwork& net, const kautz::PartitionTree& tree);
+
+  using ObjectFilter = std::function<bool(const fissione::StoredObject&)>;
+
+  /// Query box: one closed interval per attribute.
+  RangeQueryResult query(fissione::PeerId issuer, const kautz::Box& box,
+                         const ObjectFilter& matches) const;
+
+  /// Ground truth for tests: peers whose zone subspace intersects the box.
+  std::vector<fissione::PeerId> expected_destinations(
+      const kautz::Box& box) const;
+
+ private:
+  const fissione::FissioneNetwork& net_;
+  kautz::PartitionTree tree_;  // by value: small and immutable
+};
+
+}  // namespace armada::core

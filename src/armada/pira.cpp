@@ -1,0 +1,67 @@
+#include "armada/pira.h"
+
+#include "util/check.h"
+
+namespace armada::core {
+
+using fissione::PeerId;
+using kautz::KautzRegion;
+using kautz::KautzString;
+
+Pira::Pira(const fissione::FissioneNetwork& net,
+           const kautz::PartitionTree& tree)
+    : net_(net), tree_(tree) {
+  ARMADA_CHECK(tree_.num_attributes() == 1);
+  ARMADA_CHECK(tree_.base() == net_.config().base);
+  ARMADA_CHECK_MSG(tree_.k() == net_.config().object_id_length,
+                   "naming tree depth must equal ObjectID length");
+}
+
+RangeQueryResult Pira::query(PeerId issuer, double lo, double hi,
+                             const ObjectFilter& matches) const {
+  return query_region(issuer, tree_.region_for(lo, hi), matches);
+}
+
+RangeQueryResult Pira::query_region(PeerId issuer, const KautzRegion& region,
+                                    const ObjectFilter& matches) const {
+  ARMADA_CHECK(region.length() == net_.config().object_id_length);
+
+  // Paper §4.2: divide <LowT, HighT> into subregions with common prefixes.
+  const std::vector<KautzRegion> subregions = region.split_common_prefix();
+  std::vector<FrtSearchClass> classes;
+  classes.reserve(subregions.size());
+  for (const KautzRegion& sub : subregions) {
+    FrtSearchClass cls;
+    cls.com_t = sub.common_prefix();
+    cls.viable = [&sub](const KautzString& aligned) {
+      return sub.intersects_prefix(aligned);
+    };
+    classes.push_back(std::move(cls));
+  }
+
+  const FrtSearch search(net_);
+  return search.run(issuer, classes,
+                    [this, &region, &matches](PeerId dest,
+                                              RangeQueryResult& out) {
+                      for (const fissione::StoredObject& obj :
+                           net_.peer(dest).store) {
+                        if (region.contains(obj.object_id) && matches(obj)) {
+                          out.matches.push_back(obj.payload);
+                          ++out.stats.results;
+                        }
+                      }
+                    });
+}
+
+std::vector<PeerId> Pira::expected_destinations(
+    const KautzRegion& region) const {
+  std::vector<PeerId> out;
+  for (PeerId p : net_.alive_peers()) {
+    if (region.intersects_prefix(net_.peer(p).peer_id)) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace armada::core

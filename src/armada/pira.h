@@ -1,0 +1,48 @@
+// PIRA — the PrunIng Routing Algorithm for single-attribute range queries
+// (paper §4.2).
+//
+// A query [lo, hi] maps through Single_hash to the Kautz region
+// <LowT, HighT>; interval preservation guarantees the matching objects live
+// exactly on the peers in charge of that region. PIRA splits the region into
+// at most three common-prefix subregions and runs the FRT pruning search on
+// each, reaching every destination exactly once within |PeerID(issuer)| hops.
+#pragma once
+
+#include <functional>
+
+#include "armada/frt_search.h"
+#include "armada/range_query.h"
+#include "fissione/network.h"
+#include "kautz/partition_tree.h"
+
+namespace armada::core {
+
+class Pira {
+ public:
+  /// `tree` must be single-attribute with k == net ObjectID length.
+  Pira(const fissione::FissioneNetwork& net, const kautz::PartitionTree& tree);
+
+  /// Predicate applied to stored objects at destination peers (the local
+  /// scan); typically an exact attribute check by the application layer.
+  using ObjectFilter = std::function<bool(const fissione::StoredObject&)>;
+
+  /// Value-level query [lo, hi] (inclusive).
+  RangeQueryResult query(fissione::PeerId issuer, double lo, double hi,
+                         const ObjectFilter& matches) const;
+
+  /// Region-level query (the paper's <LowT, HighT> interface).
+  RangeQueryResult query_region(fissione::PeerId issuer,
+                                const kautz::KautzRegion& region,
+                                const ObjectFilter& matches) const;
+
+  /// Ground truth for tests: peers in charge of the region, i.e. peers whose
+  /// PeerID prefixes some string of the region.
+  std::vector<fissione::PeerId> expected_destinations(
+      const kautz::KautzRegion& region) const;
+
+ private:
+  const fissione::FissioneNetwork& net_;
+  kautz::PartitionTree tree_;  // by value: small and immutable
+};
+
+}  // namespace armada::core

@@ -1,0 +1,22 @@
+// Result types shared by Armada's range-query algorithms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fissione/types.h"
+#include "sim/metrics.h"
+
+namespace armada::core {
+
+/// Outcome of a PIRA/MIRA query.
+struct RangeQueryResult {
+  sim::QueryStats stats;
+  /// Peers that received the query and scanned local storage, in arrival
+  /// order. Each destination receives the query exactly once.
+  std::vector<fissione::PeerId> destinations;
+  /// Payload handles of matching objects.
+  std::vector<std::uint64_t> matches;
+};
+
+}  // namespace armada::core

@@ -1,0 +1,75 @@
+#include "armada/topk.h"
+
+#include <algorithm>
+
+#include "kautz/kautz_space.h"
+#include "util/check.h"
+
+namespace armada::core {
+
+using fissione::PeerId;
+using kautz::KautzRegion;
+using kautz::KautzString;
+
+TopK::TopK(const fissione::FissioneNetwork& net,
+           const kautz::PartitionTree& tree)
+    : net_(net), tree_(tree) {
+  ARMADA_CHECK(tree_.num_attributes() == 1);
+  ARMADA_CHECK(tree_.k() == net_.config().object_id_length);
+}
+
+TopKResult TopK::query(PeerId issuer, double lo, double hi, std::size_t k,
+                       const ValueFn& value_of) const {
+  ARMADA_CHECK(k >= 1);
+  const KautzRegion region = tree_.region_for(lo, hi);
+  TopKResult result;
+  std::vector<std::pair<double, std::uint64_t>> found;  // (value, handle)
+
+  PeerId cur = issuer;
+  KautzString target = region.hi();
+  while (true) {
+    // One overlay routing to the peer owning `target`.
+    const fissione::RouteResult route = net_.route(cur, target);
+    result.stats.messages += route.hops;
+    result.stats.delay += route.hops;
+    cur = route.owner;
+    ++result.stats.dest_peers;
+
+    for (const fissione::StoredObject& obj : net_.peer(cur).store) {
+      if (!region.contains(obj.object_id)) {
+        continue;
+      }
+      const double v = value_of(obj);
+      if (v >= lo && v <= hi) {
+        found.emplace_back(v, obj.payload);
+      }
+    }
+
+    // Every unvisited zone holds only smaller values than this zone's
+    // bottom; stop once k objects are in hand or the range is exhausted.
+    const KautzString zone_lo =
+        kautz::min_extension(net_.peer(cur).peer_id, tree_.k());
+    if (found.size() >= k || zone_lo <= region.lo()) {
+      break;
+    }
+    target = kautz::predecessor(zone_lo);
+  }
+
+  std::sort(found.begin(), found.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) {
+      return a.first > b.first;
+    }
+    return a.second < b.second;
+  });
+  if (found.size() > k) {
+    found.resize(k);
+  }
+  result.handles.reserve(found.size());
+  for (const auto& [value, handle] : found) {
+    result.handles.push_back(handle);
+  }
+  result.stats.results = result.handles.size();
+  return result;
+}
+
+}  // namespace armada::core

@@ -1,0 +1,43 @@
+// Top-k queries over Armada — the extension the paper names as future work
+// (§6: "we plan to extend Armada to support other complex queries, such as
+// top-k query").
+//
+// Because Single_hash is interval-preserving, the peers' zones partition the
+// value axis in lexicographic PeerID order. A top-k query therefore routes
+// to the peer owning the top of the range and walks zones downward; it can
+// stop as soon as k objects are collected, because everything in an
+// unvisited zone is smaller than everything already seen.
+#pragma once
+
+#include <functional>
+
+#include "armada/range_query.h"
+#include "fissione/network.h"
+#include "kautz/partition_tree.h"
+
+namespace armada::core {
+
+struct TopKResult {
+  sim::QueryStats stats;
+  /// Matching handles, sorted by descending attribute value, at most k.
+  std::vector<std::uint64_t> handles;
+};
+
+class TopK {
+ public:
+  /// Single-attribute naming tree (k == net ObjectID length).
+  TopK(const fissione::FissioneNetwork& net, const kautz::PartitionTree& tree);
+
+  /// Attribute value of a stored object (provided by the application).
+  using ValueFn = std::function<double(const fissione::StoredObject&)>;
+
+  /// The k largest values within [lo, hi], walking zones from the top.
+  TopKResult query(fissione::PeerId issuer, double lo, double hi,
+                   std::size_t k, const ValueFn& value_of) const;
+
+ private:
+  const fissione::FissioneNetwork& net_;
+  kautz::PartitionTree tree_;
+};
+
+}  // namespace armada::core

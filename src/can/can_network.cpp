@@ -1,0 +1,245 @@
+#include "can/can_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace armada::can {
+
+namespace {
+
+// 1-D torus distance from interval [lo, hi) to coordinate p.
+double interval_distance(double lo, double hi, double p) {
+  double best = 1.0;
+  for (double shift : {-1.0, 0.0, 1.0}) {
+    const double l = lo + shift;
+    const double h = hi + shift;
+    if (p >= l && p < h) {
+      return 0.0;
+    }
+    best = std::min(best, p < l ? l - p : p - h);
+  }
+  return best;
+}
+
+// Positive-length overlap of [a0, a1) and [b0, b1).
+bool overlaps(double a0, double a1, double b0, double b1) {
+  return a0 < b1 && b0 < a1;
+}
+
+// Shared vertical/horizontal boundary on the torus.
+bool touch(double a_hi, double b_lo) {
+  return a_hi == b_lo || (a_hi == 1.0 && b_lo == 0.0);
+}
+
+}  // namespace
+
+double Zone::x_lo() const {
+  return static_cast<double>(x_num) / std::exp2(x_bits);
+}
+double Zone::x_hi() const {
+  return static_cast<double>(x_num + 1) / std::exp2(x_bits);
+}
+double Zone::y_lo() const {
+  return static_cast<double>(y_num) / std::exp2(y_bits);
+}
+double Zone::y_hi() const {
+  return static_cast<double>(y_num + 1) / std::exp2(y_bits);
+}
+
+bool Zone::contains(double x, double y) const {
+  return x >= x_lo() && x < x_hi() && y >= y_lo() && y < y_hi();
+}
+
+bool Zone::adjacent(const Zone& other) const {
+  const bool x_touch = touch(x_hi(), other.x_lo()) || touch(other.x_hi(), x_lo());
+  const bool y_touch = touch(y_hi(), other.y_lo()) || touch(other.y_hi(), y_lo());
+  if (x_touch && overlaps(y_lo(), y_hi(), other.y_lo(), other.y_hi())) {
+    return true;
+  }
+  return y_touch && overlaps(x_lo(), x_hi(), other.x_lo(), other.x_hi());
+}
+
+double Zone::distance2(double x, double y) const {
+  const double dx = interval_distance(x_lo(), x_hi(), x);
+  const double dy = interval_distance(y_lo(), y_hi(), y);
+  return dx * dx + dy * dy;
+}
+
+CanNetwork::CanNetwork(std::size_t n, std::uint64_t seed) : rng_(seed) {
+  ARMADA_CHECK(n >= 1);
+  root_ = std::make_unique<KdNode>();
+  root_->node = 0;
+  zones_.push_back(Zone{});
+  neighbors_.emplace_back();
+  leaves_.push_back(root_.get());
+  while (zones_.size() < n) {
+    join();
+  }
+}
+
+const Zone& CanNetwork::zone(NodeId id) const {
+  ARMADA_CHECK(id < zones_.size());
+  return zones_[id];
+}
+
+const std::vector<NodeId>& CanNetwork::neighbors(NodeId id) const {
+  ARMADA_CHECK(id < neighbors_.size());
+  return neighbors_[id];
+}
+
+CanNetwork::KdNode* CanNetwork::leaf_for(double x, double y) const {
+  KdNode* cur = root_.get();
+  while (cur->node == kNoNode) {
+    const double v = cur->split_dim == 0 ? x : y;
+    cur = v < cur->split_at ? cur->lower.get() : cur->upper.get();
+  }
+  return cur;
+}
+
+NodeId CanNetwork::node_at(double x, double y) const {
+  ARMADA_CHECK(x >= 0.0 && x < 1.0 && y >= 0.0 && y < 1.0);
+  return leaf_for(x, y)->node;
+}
+
+void CanNetwork::join() {
+  const double x = rng_.next_double();
+  const double y = rng_.next_double();
+  split_zone(node_at(x, y));
+}
+
+void CanNetwork::split_zone(NodeId victim) {
+  Zone& old_zone = zones_[victim];
+  // Split the longer side (the dimension with fewer bits); ties split x.
+  const bool split_x = old_zone.x_bits <= old_zone.y_bits;
+
+  Zone lower = old_zone;
+  Zone upper = old_zone;
+  if (split_x) {
+    lower.x_bits = upper.x_bits = old_zone.x_bits + 1;
+    lower.x_num = 2 * old_zone.x_num;
+    upper.x_num = 2 * old_zone.x_num + 1;
+  } else {
+    lower.y_bits = upper.y_bits = old_zone.y_bits + 1;
+    lower.y_num = 2 * old_zone.y_num;
+    upper.y_num = 2 * old_zone.y_num + 1;
+  }
+
+  const NodeId joiner = static_cast<NodeId>(zones_.size());
+  zones_.push_back(upper);
+  neighbors_.emplace_back();
+  zones_[victim] = lower;
+
+  // Rewire the kd-tree leaf into an internal node with two leaves.
+  KdNode* node = leaves_[victim];
+  node->split_dim = split_x ? 0 : 1;
+  node->split_at = split_x ? lower.x_hi() : lower.y_hi();
+  node->node = kNoNode;
+  node->lower = std::make_unique<KdNode>();
+  node->upper = std::make_unique<KdNode>();
+  node->lower->node = victim;
+  node->upper->node = joiner;
+  leaves_[victim] = node->lower.get();
+  leaves_.push_back(node->upper.get());
+
+  // New adjacencies are confined to the old zone's neighborhood.
+  const std::vector<NodeId> old_neighbors = neighbors_[victim];
+  neighbors_[victim].clear();
+  auto link = [this](NodeId a, NodeId b) {
+    neighbors_[a].push_back(b);
+    neighbors_[b].push_back(a);
+  };
+  if (zones_[victim].adjacent(zones_[joiner])) {
+    link(victim, joiner);
+  }
+  for (NodeId w : old_neighbors) {
+    auto& wn = neighbors_[w];
+    wn.erase(std::remove(wn.begin(), wn.end(), victim), wn.end());
+    if (zones_[w].adjacent(zones_[victim])) {
+      link(w, victim);
+    }
+    if (zones_[w].adjacent(zones_[joiner])) {
+      link(w, joiner);
+    }
+  }
+}
+
+CanRoute CanNetwork::route(NodeId from, double x, double y) const {
+  ARMADA_CHECK(from < zones_.size());
+  CanRoute r;
+  NodeId cur = from;
+  double cur_dist = zones_[cur].distance2(x, y);
+  while (!zones_[cur].contains(x, y)) {
+    NodeId best = kNoNode;
+    double best_dist = cur_dist;
+    for (NodeId n : neighbors_[cur]) {
+      const double d = zones_[n].distance2(x, y);
+      if (d < best_dist) {
+        best = n;
+        best_dist = d;
+      }
+    }
+    ARMADA_CHECK_MSG(best != kNoNode, "greedy routing stuck");
+    cur = best;
+    cur_dist = best_dist;
+    ++r.hops;
+    ARMADA_CHECK_MSG(r.hops <= zones_.size(), "routing loop suspected");
+  }
+  r.final_node = cur;
+  return r;
+}
+
+NodeId CanNetwork::random_node() {
+  return static_cast<NodeId>(rng_.next_index(zones_.size()));
+}
+
+void CanNetwork::check_invariants() const {
+  double total_area = 0.0;
+  for (NodeId id = 0; id < zones_.size(); ++id) {
+    const Zone& z = zones_[id];
+    const std::uint32_t gap =
+        z.x_bits > z.y_bits ? z.x_bits - z.y_bits : z.y_bits - z.x_bits;
+    ARMADA_CHECK_MSG(gap <= 1, "zone side ratio exceeds 2");
+    ARMADA_CHECK(z.x_num < (1ull << z.x_bits));
+    ARMADA_CHECK(z.y_num < (1ull << z.y_bits));
+    total_area += (z.x_hi() - z.x_lo()) * (z.y_hi() - z.y_lo());
+    ARMADA_CHECK(leaves_[id]->node == id);
+    // Symmetry and correctness of recorded adjacency.
+    for (NodeId n : neighbors_[id]) {
+      ARMADA_CHECK(zones_[id].adjacent(zones_[n]));
+      const auto& back = neighbors_[n];
+      ARMADA_CHECK(std::find(back.begin(), back.end(), id) != back.end());
+    }
+    // No duplicate neighbor entries.
+    auto copy = neighbors_[id];
+    std::sort(copy.begin(), copy.end());
+    ARMADA_CHECK(std::adjacent_find(copy.begin(), copy.end()) == copy.end());
+  }
+  ARMADA_CHECK_MSG(std::abs(total_area - 1.0) < 1e-9, "zones do not tile");
+}
+
+void CanNetwork::check_neighbors_brute_force() const {
+  for (NodeId a = 0; a < zones_.size(); ++a) {
+    for (NodeId b = 0; b < zones_.size(); ++b) {
+      if (a == b) {
+        continue;
+      }
+      const bool adj = zones_[a].adjacent(zones_[b]);
+      const auto& na = neighbors_[a];
+      const bool listed = std::find(na.begin(), na.end(), b) != na.end();
+      ARMADA_CHECK_MSG(adj == listed, "adjacency mismatch between zones "
+                                          << a << " and " << b);
+    }
+  }
+}
+
+double CanNetwork::average_degree() const {
+  std::size_t total = 0;
+  for (const auto& n : neighbors_) {
+    total += n.size();
+  }
+  return static_cast<double>(total) / static_cast<double>(neighbors_.size());
+}
+
+}  // namespace armada::can

@@ -1,0 +1,91 @@
+// CAN: a d=2 content-addressable network (Ratnasamy et al., SIGCOMM'01),
+// the substrate of the DCF-CAN baseline (Andrzejak & Xu, P2P'02) that the
+// paper compares PIRA against. With d=2 each node has ~4 neighbors —
+// matching FISSIONE's average degree, which is the paper's comparison setup
+// ("the average degree of the underlying DHT is 4", §4.3.3).
+//
+// Zones are dyadic rectangles of the unit torus: joins split the longer
+// side in half, so side ratios stay <= 2 and every zone is 1-2 aligned
+// dyadic squares (the property the Hilbert mapping exploits).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace armada::can {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// Dyadic rectangle: x in [x_num/2^x_bits, (x_num+1)/2^x_bits), same for y.
+/// Boundaries are dyadic rationals, hence exact doubles.
+struct Zone {
+  std::uint64_t x_num = 0;
+  std::uint64_t y_num = 0;
+  std::uint32_t x_bits = 0;
+  std::uint32_t y_bits = 0;
+
+  double x_lo() const;
+  double x_hi() const;
+  double y_lo() const;
+  double y_hi() const;
+  bool contains(double x, double y) const;
+  /// Edge adjacency on the unit torus (positive-length shared boundary).
+  bool adjacent(const Zone& other) const;
+  /// Squared Euclidean torus distance from the zone to a point.
+  double distance2(double x, double y) const;
+};
+
+struct CanRoute {
+  NodeId final_node = kNoNode;
+  std::uint32_t hops = 0;
+};
+
+class CanNetwork {
+ public:
+  /// Build an n-node network by joining at uniformly random points.
+  CanNetwork(std::size_t n, std::uint64_t seed);
+
+  std::size_t num_nodes() const { return zones_.size(); }
+  const Zone& zone(NodeId id) const;
+  const std::vector<NodeId>& neighbors(NodeId id) const;
+
+  /// The node whose zone contains (x, y); x,y in [0,1).
+  NodeId node_at(double x, double y) const;
+
+  /// Greedy CAN routing to the zone containing (x, y); hops counted.
+  CanRoute route(NodeId from, double x, double y) const;
+
+  NodeId random_node();
+
+  /// Structure checks: dyadic tiling, ratio <= 2, neighbor symmetry.
+  void check_invariants() const;
+  /// O(N^2) adjacency cross-check (tests at small N).
+  void check_neighbors_brute_force() const;
+  double average_degree() const;
+
+ private:
+  struct KdNode {
+    // Leaf iff node != kNoNode.
+    NodeId node = kNoNode;
+    std::uint32_t split_dim = 0;  ///< 0 = x, 1 = y
+    double split_at = 0.0;
+    std::unique_ptr<KdNode> lower;
+    std::unique_ptr<KdNode> upper;
+  };
+
+  void join();
+  void split_zone(NodeId victim);
+  KdNode* leaf_for(double x, double y) const;
+
+  Rng rng_;
+  std::unique_ptr<KdNode> root_;
+  std::vector<Zone> zones_;                      // by NodeId
+  std::vector<std::vector<NodeId>> neighbors_;   // by NodeId
+  std::vector<KdNode*> leaves_;                  // by NodeId
+};
+
+}  // namespace armada::can

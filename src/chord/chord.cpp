@@ -1,0 +1,133 @@
+#include "chord/chord.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace armada::chord {
+
+bool in_ring_range(Key a, Key b, Key x) {
+  if (a == b) {
+    return true;  // the interval covers the whole ring
+  }
+  if (a < b) {
+    return x > a && x <= b;
+  }
+  return x > a || x <= b;  // wraps
+}
+
+ChordNetwork::ChordNetwork(std::size_t n, std::uint64_t seed) : rng_(seed) {
+  ARMADA_CHECK(n >= 1);
+  std::set<Key> unique;
+  while (unique.size() < n) {
+    unique.insert(rng_.engine()());
+  }
+  keys_.assign(unique.begin(), unique.end());
+
+  fingers_.resize(n);
+  for (NodeId id = 0; id < n; ++id) {
+    fingers_[id].resize(64);
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      fingers_[id][i] = owner_of(keys_[id] + (1ull << i));
+    }
+  }
+}
+
+Key ChordNetwork::node_key(NodeId id) const {
+  ARMADA_CHECK(id < keys_.size());
+  return keys_[id];
+}
+
+NodeId ChordNetwork::successor_node(NodeId id) const {
+  ARMADA_CHECK(id < keys_.size());
+  return static_cast<NodeId>((id + 1) % keys_.size());
+}
+
+NodeId ChordNetwork::predecessor_node(NodeId id) const {
+  ARMADA_CHECK(id < keys_.size());
+  return static_cast<NodeId>((id + keys_.size() - 1) % keys_.size());
+}
+
+NodeId ChordNetwork::owner_of(Key key) const {
+  // First node position >= key, wrapping to the smallest.
+  const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end()) {
+    return 0;
+  }
+  return static_cast<NodeId>(it - keys_.begin());
+}
+
+NodeId ChordNetwork::closest_preceding_finger(NodeId node, Key key) const {
+  const Key from = keys_[node];
+  for (std::uint32_t i = 64; i > 0; --i) {
+    const NodeId f = fingers_[node][i - 1];
+    const Key fk = keys_[f];
+    if (f != node && in_ring_range(from, key, fk) && fk != key) {
+      return f;
+    }
+  }
+  return node;
+}
+
+ChordRoute ChordNetwork::route(NodeId from, Key key) const {
+  ARMADA_CHECK(from < keys_.size());
+  ChordRoute r;
+  NodeId cur = from;
+  while (true) {
+    if (keys_[cur] == key) {
+      break;  // landed exactly on the owner
+    }
+    const NodeId succ = successor_node(cur);
+    if (in_ring_range(keys_[cur], keys_[succ], key)) {
+      cur = succ;  // final hop to the owner
+      ++r.hops;
+      break;
+    }
+    const NodeId next = closest_preceding_finger(cur, key);
+    ARMADA_CHECK_MSG(next != cur, "finger routing stuck");
+    cur = next;
+    ++r.hops;
+    ARMADA_CHECK_MSG(r.hops <= keys_.size(), "routing loop suspected");
+  }
+  r.owner = cur;
+  ARMADA_CHECK(cur == owner_of(key));
+  return r;
+}
+
+NodeId ChordNetwork::random_node() {
+  return static_cast<NodeId>(rng_.next_index(keys_.size()));
+}
+
+void ChordNetwork::check_invariants() const {
+  ARMADA_CHECK(std::is_sorted(keys_.begin(), keys_.end()));
+  ARMADA_CHECK(std::adjacent_find(keys_.begin(), keys_.end()) == keys_.end());
+  for (NodeId id = 0; id < keys_.size(); ++id) {
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      ARMADA_CHECK_MSG(fingers_[id][i] == owner_of(keys_[id] + (1ull << i)),
+                       "stale finger " << i << " at node " << id);
+    }
+  }
+}
+
+double ChordNetwork::average_degree() const {
+  std::size_t total = 0;
+  for (const auto& fingers : fingers_) {
+    std::set<NodeId> distinct(fingers.begin(), fingers.end());
+    total += distinct.size();
+  }
+  return static_cast<double>(total) / static_cast<double>(keys_.size());
+}
+
+double ChordNetwork::average_route_hops(int samples,
+                                        std::uint64_t seed) const {
+  Rng rng(seed);
+  double total = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const NodeId from = static_cast<NodeId>(rng.next_index(keys_.size()));
+    total += route(from, rng.engine()()).hops;
+  }
+  return total / samples;
+}
+
+}  // namespace armada::chord

@@ -1,0 +1,62 @@
+// Chord (Stoica et al.): the O(log N)-degree DHT ring used by the Squid
+// baseline and by PHT-over-Chord comparisons (paper Table 1 rows).
+//
+// The ring is the full 64-bit space with wrap-around; every key is owned by
+// its successor node. Fingers follow the classic rule
+// finger[i] = successor(key + 2^i); greedy routing forwards to the closest
+// preceding finger and reaches any key in O(log N) hops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace armada::chord {
+
+using NodeId = std::uint32_t;
+using Key = std::uint64_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// True iff x lies in the half-open ring interval (a, b] (wrap-aware);
+/// the whole ring when a == b.
+bool in_ring_range(Key a, Key b, Key x);
+
+struct ChordRoute {
+  NodeId owner = kNoNode;
+  std::uint32_t hops = 0;
+};
+
+class ChordNetwork {
+ public:
+  /// n nodes at distinct uniform random ring positions.
+  ChordNetwork(std::size_t n, std::uint64_t seed);
+
+  std::size_t num_nodes() const { return keys_.size(); }
+  Key node_key(NodeId id) const;
+  NodeId successor_node(NodeId id) const;
+  NodeId predecessor_node(NodeId id) const;
+
+  /// Ground-truth owner of `key` (binary search over sorted positions).
+  NodeId owner_of(Key key) const;
+
+  /// Iterative finger routing from `from` to the owner of `key`.
+  ChordRoute route(NodeId from, Key key) const;
+
+  NodeId random_node();
+
+  /// Finger-table correctness, ring ordering, successor consistency.
+  void check_invariants() const;
+  double average_route_hops(int samples, std::uint64_t seed) const;
+  /// Average number of distinct finger targets per node (~log2 N).
+  double average_degree() const;
+
+ private:
+  NodeId closest_preceding_finger(NodeId node, Key key) const;
+
+  Rng rng_;
+  std::vector<Key> keys_;                        // by NodeId, sorted
+  std::vector<std::vector<NodeId>> fingers_;     // by NodeId, 64 entries
+};
+
+}  // namespace armada::chord

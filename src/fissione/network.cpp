@@ -1,0 +1,438 @@
+#include "fissione/network.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "kautz/kautz_space.h"
+#include "util/check.h"
+
+namespace armada::fissione {
+
+using kautz::KautzString;
+
+namespace {
+
+std::vector<PeerId> bootstrap_ids(std::uint8_t base) {
+  std::vector<PeerId> ids(base + 1u);
+  for (std::uint8_t c = 0; c <= base; ++c) {
+    ids[c] = c;
+  }
+  return ids;
+}
+
+void erase_value(std::vector<PeerId>& v, PeerId x) {
+  v.erase(std::remove(v.begin(), v.end(), x), v.end());
+}
+
+}  // namespace
+
+FissioneNetwork::FissioneNetwork(Config config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      tree_(config.base, bootstrap_ids(config.base)) {
+  ARMADA_CHECK(config_.base >= 1);
+  ARMADA_CHECK_MSG(config_.object_id_length >= 8,
+                   "ObjectIDs must be much longer than PeerIDs");
+  peers_.resize(config_.base + 1u);
+  alive_pos_.resize(config_.base + 1u);
+  for (std::uint8_t c = 0; c <= config_.base; ++c) {
+    peers_[c].peer_id = tree_.label_of(c);
+    peers_[c].alive = true;
+    alive_pos_[c] = alive_.size();
+    alive_.push_back(c);
+  }
+  std::vector<PeerId> all = alive_;
+  refresh_neighbors(std::move(all));
+}
+
+FissioneNetwork FissioneNetwork::build(std::size_t n, std::uint64_t seed,
+                                       Config config) {
+  ARMADA_CHECK(n >= config.base + 1u);
+  FissioneNetwork net(config, seed);
+  while (net.num_peers() < n) {
+    net.join();
+  }
+  return net;
+}
+
+FissioneNetwork FissioneNetwork::build(std::size_t n, std::uint64_t seed) {
+  return build(n, seed, Config{});
+}
+
+const Peer& FissioneNetwork::peer(PeerId id) const {
+  ARMADA_CHECK(id < peers_.size() && peers_[id].alive);
+  return peers_[id];
+}
+
+PeerId FissioneNetwork::random_peer() {
+  return alive_[rng_.next_index(alive_.size())];
+}
+
+PeerId FissioneNetwork::allocate_peer() {
+  if (!free_ids_.empty()) {
+    const PeerId id = free_ids_.back();
+    free_ids_.pop_back();
+    return id;
+  }
+  peers_.emplace_back();
+  alive_pos_.push_back(0);
+  return static_cast<PeerId>(peers_.size() - 1);
+}
+
+void FissioneNetwork::release_peer(PeerId id) {
+  peers_[id] = Peer{};
+  free_ids_.push_back(id);
+}
+
+std::vector<PeerId> FissioneNetwork::compute_out_neighbors(PeerId id) const {
+  const KautzString& u = peers_[id].peer_id;
+  std::vector<PeerId> out;
+  if (u.length() == 1) {
+    // K(d,1) edges: U = u1 -> beta for every beta != u1.
+    for (std::uint8_t beta = 0; beta <= config_.base; ++beta) {
+      if (beta == u.digit(0)) {
+        continue;
+      }
+      KautzString prefix{config_.base};
+      prefix.push_back(beta);
+      for (PeerId p : tree_.cover_of_prefix(prefix)) {
+        out.push_back(p);
+      }
+    }
+  } else {
+    out = tree_.cover_of_prefix(u.drop_front());
+  }
+  std::sort(out.begin(), out.end(), [this](PeerId a, PeerId b) {
+    return peers_[a].peer_id < peers_[b].peer_id;
+  });
+  return out;
+}
+
+void FissioneNetwork::refresh_neighbors(std::vector<PeerId> affected) {
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  for (PeerId p : affected) {
+    if (p >= peers_.size() || !peers_[p].alive) {
+      continue;
+    }
+    for (PeerId t : peers_[p].out_neighbors) {
+      if (t < peers_.size() && peers_[t].alive) {
+        erase_value(peers_[t].in_neighbors, p);
+      }
+    }
+    peers_[p].out_neighbors = compute_out_neighbors(p);
+    for (PeerId t : peers_[p].out_neighbors) {
+      peers_[t].in_neighbors.push_back(p);
+    }
+  }
+}
+
+PeerId FissioneNetwork::walk_to_local_min(PeerId start) const {
+  PeerId cur = start;
+  for (;;) {
+    PeerId best = cur;
+    std::size_t best_len = peers_[cur].peer_id.length();
+    auto consider = [&](PeerId cand) {
+      if (peers_[cand].peer_id.length() < best_len) {
+        best = cand;
+        best_len = peers_[cand].peer_id.length();
+      }
+    };
+    for (PeerId n : peers_[cur].out_neighbors) {
+      consider(n);
+    }
+    for (PeerId n : peers_[cur].in_neighbors) {
+      consider(n);
+    }
+    if (best == cur) {
+      return cur;
+    }
+    cur = best;
+  }
+}
+
+PeerId FissioneNetwork::split_peer(PeerId victim) {
+  // Collect whose out-lists can change: the victim's in-neighbors plus the
+  // two peers at the split site.
+  std::vector<PeerId> affected = peers_[victim].in_neighbors;
+  affected.push_back(victim);
+
+  const PeerId joiner = allocate_peer();
+  tree_.split(victim, joiner);
+  peers_[victim].peer_id = tree_.label_of(victim);
+  peers_[joiner].peer_id = tree_.label_of(joiner);
+  peers_[joiner].alive = true;
+  alive_pos_[joiner] = alive_.size();
+  alive_.push_back(joiner);
+
+  // Redistribute the victim's objects between the two halves.
+  std::vector<StoredObject> keep;
+  for (StoredObject& obj : peers_[victim].store) {
+    if (peers_[victim].peer_id.is_prefix_of(obj.object_id)) {
+      keep.push_back(std::move(obj));
+    } else {
+      peers_[joiner].store.push_back(std::move(obj));
+    }
+  }
+  peers_[victim].store = std::move(keep);
+
+  affected.push_back(joiner);
+  refresh_neighbors(std::move(affected));
+  return joiner;
+}
+
+FissioneNetwork::JoinStats FissioneNetwork::join() {
+  const KautzString target = random_object_id();
+  const RouteResult route_result = route(random_peer(), target);
+  const PeerId site = walk_to_local_min(route_result.owner);
+  const PeerId joiner = split_peer(site);
+  return JoinStats{joiner, route_result.hops};
+}
+
+std::size_t FissioneNetwork::remove_peer(PeerId leaving, bool transfer) {
+  ARMADA_CHECK(leaving < peers_.size() && peers_[leaving].alive);
+  ARMADA_CHECK_MSG(num_peers() > config_.base + 1u,
+                   "cannot drop below the bootstrap size");
+
+  std::size_t dropped = 0;
+  if (!transfer) {
+    dropped = peers_[leaving].store.size();
+    peers_[leaving].store.clear();
+  }
+
+  auto drop_from_alive = [this](PeerId p) {
+    const std::size_t pos = alive_pos_[p];
+    alive_[pos] = alive_.back();
+    alive_pos_[alive_[pos]] = pos;
+    alive_.pop_back();
+  };
+
+  // A local sibling merge is only safe at maximum depth: merging a pair at
+  // depth d produces a peer at d-1, and a neighbor at d+1 would then violate
+  // the neighborhood invariant. A max-depth leaf is always in a leaf pair
+  // and has no deeper neighbors, so the invariant survives.
+  const std::size_t max_depth = tree_.depth_of(tree_.deepest_leaf());
+  if (tree_.in_leaf_pair(leaving) && tree_.depth_of(leaving) == max_depth) {
+    // Fusion: the sibling absorbs the parent zone.
+    const PeerId sibling = tree_.pair_sibling(leaving);
+    std::vector<PeerId> affected = peers_[leaving].in_neighbors;
+    affected.insert(affected.end(), peers_[sibling].in_neighbors.begin(),
+                    peers_[sibling].in_neighbors.end());
+    affected.push_back(sibling);
+
+    for (StoredObject& obj : peers_[leaving].store) {
+      peers_[sibling].store.push_back(std::move(obj));
+    }
+    for (PeerId t : peers_[leaving].out_neighbors) {
+      erase_value(peers_[t].in_neighbors, leaving);
+    }
+    tree_.merge_pair(leaving, sibling);
+    peers_[sibling].peer_id = tree_.label_of(sibling);
+    drop_from_alive(leaving);
+    release_peer(leaving);
+    refresh_neighbors(std::move(affected));
+    return dropped;
+  }
+
+  // Takeover: merge the deepest leaf pair (A, B); B absorbs their parent
+  // zone and A relocates into the leaving peer's zone.
+  const PeerId a = tree_.deepest_leaf();
+  ARMADA_CHECK(tree_.in_leaf_pair(a));  // a max-depth leaf's siblings are leaves
+  const PeerId b = tree_.pair_sibling(a);
+  ARMADA_CHECK(a != leaving && b != leaving);
+
+  std::vector<PeerId> affected = peers_[leaving].in_neighbors;
+  affected.insert(affected.end(), peers_[a].in_neighbors.begin(),
+                  peers_[a].in_neighbors.end());
+  affected.insert(affected.end(), peers_[b].in_neighbors.begin(),
+                  peers_[b].in_neighbors.end());
+  affected.push_back(a);
+  affected.push_back(b);
+
+  for (StoredObject& obj : peers_[a].store) {
+    peers_[b].store.push_back(std::move(obj));
+  }
+  peers_[a].store.clear();
+  tree_.merge_pair(a, b);
+  peers_[b].peer_id = tree_.label_of(b);
+
+  // Relocate A into the departed zone.
+  tree_.replace_leaf_peer(leaving, a);
+  peers_[a].peer_id = tree_.label_of(a);
+  peers_[a].store = std::move(peers_[leaving].store);
+  for (PeerId t : peers_[leaving].out_neighbors) {
+    erase_value(peers_[t].in_neighbors, leaving);
+  }
+  drop_from_alive(leaving);
+  release_peer(leaving);
+  refresh_neighbors(std::move(affected));
+  return dropped;
+}
+
+void FissioneNetwork::leave(PeerId peer) { remove_peer(peer, true); }
+
+std::size_t FissioneNetwork::crash(PeerId peer) {
+  return remove_peer(peer, false);
+}
+
+PeerId FissioneNetwork::owner_of(const KautzString& object_id) const {
+  return tree_.owner_of(object_id);
+}
+
+void FissioneNetwork::publish(const KautzString& object_id,
+                              std::uint64_t payload) {
+  ARMADA_CHECK(object_id.length() == config_.object_id_length);
+  peers_[owner_of(object_id)].store.push_back(StoredObject{object_id, payload});
+}
+
+RouteResult FissioneNetwork::route(PeerId from,
+                                   const KautzString& object_id) const {
+  ARMADA_CHECK(from < peers_.size() && peers_[from].alive);
+  ARMADA_CHECK(object_id.length() == config_.object_id_length);
+
+  RouteResult result;
+  result.path.push_back(from);
+  PeerId cur = from;
+  const std::size_t hop_limit = 4 * config_.object_id_length;
+  while (!peers_[cur].peer_id.is_prefix_of(object_id)) {
+    const KautzString& id = peers_[cur].peer_id;
+    const std::size_t j = id.longest_suffix_prefix(object_id);
+    // Shift routing: advance to the owner of id[1..] ++ object_id[j..].
+    const KautzString target =
+        id.drop_front().concat(object_id.suffix(object_id.length() - j));
+    PeerId next = kNoPeer;
+    for (PeerId n : peers_[cur].out_neighbors) {
+      if (peers_[n].peer_id.is_prefix_of(target)) {
+        next = n;
+        break;
+      }
+    }
+    ARMADA_CHECK_MSG(next != kNoPeer, "routing stuck at "
+                                          << id.to_string() << " toward "
+                                          << object_id.to_string());
+    cur = next;
+    ++result.hops;
+    result.path.push_back(cur);
+    ARMADA_CHECK_MSG(result.hops <= hop_limit, "routing loop suspected");
+  }
+  result.owner = cur;
+  return result;
+}
+
+std::vector<std::uint64_t> FissioneNetwork::lookup(
+    PeerId from, const KautzString& object_id, RouteResult* route_out) const {
+  const RouteResult r = route(from, object_id);
+  std::vector<std::uint64_t> payloads;
+  for (const StoredObject& obj : peers_[r.owner].store) {
+    if (obj.object_id == object_id) {
+      payloads.push_back(obj.payload);
+    }
+  }
+  if (route_out != nullptr) {
+    *route_out = r;
+  }
+  return payloads;
+}
+
+KautzString FissioneNetwork::kautz_hash(std::string_view key) const {
+  // FNV-1a to seed, then an LCG stream picks one allowed symbol per step.
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  KautzString out{config_.base};
+  for (std::size_t i = 0; i < config_.object_id_length; ++i) {
+    h = h * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t draw = h >> 33;
+    if (i == 0) {
+      out.push_back(static_cast<std::uint8_t>(draw % (config_.base + 1u)));
+    } else {
+      out.push_back(
+          kautz::index_symbol(draw % config_.base, out.back()));
+    }
+  }
+  return out;
+}
+
+KautzString FissioneNetwork::random_object_id() {
+  return kautz::random_string(rng_, config_.base, config_.object_id_length);
+}
+
+void FissioneNetwork::check_invariants() const {
+  tree_.check_structure();
+  ARMADA_CHECK(tree_.num_leaves() == alive_.size());
+  for (PeerId id : alive_) {
+    const Peer& p = peers_[id];
+    ARMADA_CHECK(p.alive);
+    ARMADA_CHECK(tree_.hosts(id));
+    ARMADA_CHECK_MSG(tree_.label_of(id) == p.peer_id,
+                     "peer " << id << " label mismatch");
+    // Out-neighbors match a fresh recomputation.
+    ARMADA_CHECK_MSG(p.out_neighbors == compute_out_neighbors(id),
+                     "stale out-neighbors at peer " << id);
+    // Out-neighbor IDs have the form u2...ub q1...qm.
+    for (PeerId n : p.out_neighbors) {
+      const KautzString& v = peers_[n].peer_id;
+      if (p.peer_id.length() >= 2) {
+        const KautzString shifted = p.peer_id.drop_front();
+        ARMADA_CHECK_MSG(
+            shifted.is_prefix_of(v) || v.is_prefix_of(shifted),
+            "edge " << p.peer_id.to_string() << " -> " << v.to_string());
+      }
+    }
+    // Transpose consistency.
+    for (PeerId n : p.out_neighbors) {
+      const auto& in = peers_[n].in_neighbors;
+      ARMADA_CHECK(std::find(in.begin(), in.end(), id) != in.end());
+    }
+    for (PeerId n : p.in_neighbors) {
+      const auto& out = peers_[n].out_neighbors;
+      ARMADA_CHECK(std::find(out.begin(), out.end(), id) != out.end());
+    }
+    // Objects are owned by their holder.
+    for (const StoredObject& obj : p.store) {
+      ARMADA_CHECK_MSG(p.peer_id.is_prefix_of(obj.object_id),
+                       "misplaced object at peer " << id);
+    }
+  }
+}
+
+std::size_t FissioneNetwork::max_neighbor_length_gap() const {
+  std::size_t gap = 0;
+  for (PeerId id : alive_) {
+    const std::size_t lu = peers_[id].peer_id.length();
+    for (PeerId n : peers_[id].out_neighbors) {
+      const std::size_t lv = peers_[n].peer_id.length();
+      gap = std::max(gap, lu > lv ? lu - lv : lv - lu);
+    }
+  }
+  return gap;
+}
+
+double FissioneNetwork::average_degree() const {
+  std::uint64_t total = 0;
+  for (PeerId id : alive_) {
+    total += peers_[id].out_neighbors.size() + peers_[id].in_neighbors.size();
+  }
+  return static_cast<double>(total) / static_cast<double>(alive_.size());
+}
+
+Histogram FissioneNetwork::peer_id_length_histogram() const {
+  Histogram h;
+  for (PeerId id : alive_) {
+    h.add(static_cast<std::int64_t>(peers_[id].peer_id.length()));
+  }
+  return h;
+}
+
+std::size_t FissioneNetwork::total_objects() const {
+  std::size_t n = 0;
+  for (PeerId id : alive_) {
+    n += peers_[id].store.size();
+  }
+  return n;
+}
+
+}  // namespace armada::fissione

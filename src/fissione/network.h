@@ -1,0 +1,118 @@
+// FISSIONE: a constant-degree DHT on an approximate Kautz graph (paper §3).
+//
+// Peers carry variable-length base-2 Kautz PeerIDs forming a prefix
+// partition of the namespace; the out-neighbors of U = u1...ub are the peers
+// whose PeerIDs have the form u2...ub q1...qm (0 <= m <= 2). The overlay
+// maintains the *neighborhood invariant*: PeerID lengths of neighboring
+// peers differ by at most one. Consequences (validated by tests and
+// bench_fissione_props): average degree 4, maximum PeerID length < 2 log2 N,
+// average < log2 N, routing delay bounded by the source PeerID length.
+#pragma once
+
+#include <string_view>
+
+#include "fissione/kautz_tree.h"
+#include "fissione/peer.h"
+#include "fissione/types.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace armada::fissione {
+
+/// Simulated FISSIONE overlay. Structural changes (join/leave/crash) keep
+/// the per-peer neighbor tables exactly consistent with the zone partition,
+/// mirroring the paper's self-stabilization at quiescence.
+class FissioneNetwork {
+ public:
+  struct Config {
+    std::uint8_t base = 2;
+    /// Length of ObjectIDs (the paper uses k = 100; any k comfortably above
+    /// the deepest PeerID behaves identically).
+    std::size_t object_id_length = 48;
+  };
+
+  struct JoinStats {
+    PeerId peer = kNoPeer;
+    std::uint32_t placement_hops = 0;  ///< routing cost to find the split site
+  };
+
+  FissioneNetwork(Config config, std::uint64_t seed);
+
+  /// Convenience: build a network of `n` peers (n >= base+1).
+  static FissioneNetwork build(std::size_t n, std::uint64_t seed,
+                               Config config);
+  static FissioneNetwork build(std::size_t n, std::uint64_t seed);
+
+  // --- membership -------------------------------------------------------
+  JoinStats join();
+  /// Graceful departure: the peer's zone and objects are taken over.
+  void leave(PeerId peer);
+  /// Ungraceful failure: zone is healed but the peer's objects are lost.
+  /// Returns the number of lost objects.
+  std::size_t crash(PeerId peer);
+
+  // --- accessors ---------------------------------------------------------
+  std::size_t num_peers() const { return alive_.size(); }
+  const Peer& peer(PeerId id) const;
+  const std::vector<PeerId>& alive_peers() const { return alive_; }
+  PeerId random_peer();
+  const KautzTree& tree() const { return tree_; }
+  const Config& config() const { return config_; }
+
+  // --- data plane --------------------------------------------------------
+  /// Ground-truth owner (tree descent, no messages).
+  PeerId owner_of(const kautz::KautzString& object_id) const;
+  /// Place an object directly at its owner (no routing cost), as when
+  /// seeding a workload.
+  void publish(const kautz::KautzString& object_id, std::uint64_t payload);
+  /// Overlay exact-match routing from `from` to the owner of `object_id`
+  /// (paper §3: shift routing; hops <= |PeerID(from)|).
+  RouteResult route(PeerId from, const kautz::KautzString& object_id) const;
+  /// Route and collect payloads stored under `object_id`.
+  std::vector<std::uint64_t> lookup(PeerId from,
+                                    const kautz::KautzString& object_id,
+                                    RouteResult* route_out = nullptr) const;
+
+  /// Deterministic naming of arbitrary keys (the paper's Kautz_hash).
+  kautz::KautzString kautz_hash(std::string_view key) const;
+  /// Uniform random ObjectID.
+  kautz::KautzString random_object_id();
+
+  // --- introspection / validation ----------------------------------------
+  /// Full structural validation: tree structure, neighbor tables equal to a
+  /// fresh recomputation, in/out transpose consistency, object placement.
+  void check_invariants() const;
+  /// Max PeerID-length difference across neighbor links (the neighborhood
+  /// invariant holds iff this is <= 1).
+  std::size_t max_neighbor_length_gap() const;
+  /// Average total degree (|out| + |in|) across peers; ~4 in FISSIONE.
+  double average_degree() const;
+  Histogram peer_id_length_histogram() const;
+  std::size_t total_objects() const;
+
+ private:
+  PeerId allocate_peer();
+  void release_peer(PeerId id);
+  std::vector<PeerId> compute_out_neighbors(PeerId id) const;
+  /// Recompute out-lists of `affected` (dedup, skips dead peers) and patch
+  /// in-list transposes.
+  void refresh_neighbors(std::vector<PeerId> affected);
+  /// Split the zone of `victim`, assigning the new half to a fresh peer.
+  PeerId split_peer(PeerId victim);
+  /// Remove `leaving` from the overlay; `transfer_objects` selects graceful
+  /// departure vs crash. Returns number of dropped objects.
+  std::size_t remove_peer(PeerId leaving, bool transfer_objects);
+  /// Walk from `start` to a peer none of whose neighbors has a shorter
+  /// PeerID (the join balancing rule).
+  PeerId walk_to_local_min(PeerId start) const;
+
+  Config config_;
+  Rng rng_;
+  std::vector<Peer> peers_;
+  std::vector<PeerId> free_ids_;
+  std::vector<PeerId> alive_;
+  std::vector<std::size_t> alive_pos_;  ///< index of peer in alive_
+  KautzTree tree_;
+};
+
+}  // namespace armada::fissione

@@ -1,0 +1,24 @@
+// Per-peer state: exactly what a real FISSIONE node would hold locally.
+#pragma once
+
+#include <vector>
+
+#include "fissione/types.h"
+#include "kautz/kautz_string.h"
+
+namespace armada::fissione {
+
+/// A FISSIONE peer. PeerIDs are variable-length base-2 Kautz strings; the
+/// peer owns every ObjectID it prefixes. Out-neighbors have PeerIDs of the
+/// form u2...ub q1...qm (0 <= m <= 2) for U = u1...ub (paper §3) and are
+/// kept sorted by PeerID — the order the forward routing tree relies on
+/// (paper §4.2, FRT rule 3).
+struct Peer {
+  kautz::KautzString peer_id{2};
+  std::vector<PeerId> out_neighbors;
+  std::vector<PeerId> in_neighbors;
+  std::vector<StoredObject> store;
+  bool alive = false;
+};
+
+}  // namespace armada::fissione

@@ -1,0 +1,31 @@
+// Shared FISSIONE types.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kautz/kautz_string.h"
+
+namespace armada::fissione {
+
+/// Dense peer handle; stable for the lifetime of a peer, reused only after
+/// the peer has left the overlay.
+using PeerId = std::uint32_t;
+
+inline constexpr PeerId kNoPeer = static_cast<PeerId>(-1);
+
+/// An application object published into the DHT. `payload` is an opaque
+/// application handle (Armada uses it to index its object table).
+struct StoredObject {
+  kautz::KautzString object_id;
+  std::uint64_t payload = 0;
+};
+
+/// Result of routing an exact-match request.
+struct RouteResult {
+  PeerId owner = kNoPeer;
+  std::uint32_t hops = 0;
+  std::vector<PeerId> path;  ///< includes source and owner
+};
+
+}  // namespace armada::fissione

@@ -1,0 +1,43 @@
+// Static Kautz graph K(d,k) (paper §3, Figure 1).
+//
+// Used to validate FISSIONE's approximate-Kautz topology and the FRT model
+// against the exact graph on small instances: optimal diameter (= k),
+// uniform out-degree d, and shift-edge structure U = u1..uk -> u2..uk b.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kautz/kautz_string.h"
+
+namespace armada::kautz {
+
+class KautzGraph {
+ public:
+  /// Requires space_size(base, k) to be 64-bit countable and small enough to
+  /// materialize (validation-scale graphs).
+  KautzGraph(std::uint8_t base, std::size_t k);
+
+  std::uint8_t base() const { return base_; }
+  std::size_t k() const { return k_; }
+  std::uint64_t num_nodes() const { return num_nodes_; }
+
+  KautzString label(std::uint64_t node) const;
+  std::uint64_t node(const KautzString& label) const;
+
+  std::vector<std::uint64_t> out_neighbors(std::uint64_t node) const;
+  std::vector<std::uint64_t> in_neighbors(std::uint64_t node) const;
+
+  /// Hop distances from `from` to every node (BFS over out-edges).
+  std::vector<std::uint32_t> bfs_distances(std::uint64_t from) const;
+
+  /// max over all ordered pairs; O(V * E), for validation-scale graphs.
+  std::uint32_t diameter() const;
+
+ private:
+  std::uint8_t base_;
+  std::size_t k_;
+  std::uint64_t num_nodes_;
+};
+
+}  // namespace armada::kautz

@@ -1,0 +1,74 @@
+#include "kautz/kautz_region.h"
+
+#include "kautz/kautz_space.h"
+#include "util/check.h"
+
+namespace armada::kautz {
+
+KautzRegion::KautzRegion(KautzString lo, KautzString hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)) {
+  ARMADA_CHECK(lo_.base() == hi_.base());
+  ARMADA_CHECK(lo_.length() == hi_.length());
+  ARMADA_CHECK(!lo_.empty());
+  ARMADA_CHECK_MSG(lo_ <= hi_, "inverted region <" << lo_.to_string() << ", "
+                                                   << hi_.to_string() << ">");
+}
+
+bool KautzRegion::contains(const KautzString& s) const {
+  ARMADA_CHECK(s.length() == length());
+  return lo_ <= s && s <= hi_;
+}
+
+std::uint64_t KautzRegion::size() const { return rank(hi_) - rank(lo_) + 1; }
+
+KautzString KautzRegion::common_prefix() const {
+  std::size_t n = 0;
+  while (n < length() && lo_.digit(n) == hi_.digit(n)) {
+    ++n;
+  }
+  return lo_.prefix(n);
+}
+
+bool KautzRegion::intersects_prefix(const KautzString& prefix) const {
+  ARMADA_CHECK(prefix.base() == base());
+  ARMADA_CHECK(prefix.length() <= length());
+  if (prefix.empty()) {
+    return true;
+  }
+  return min_extension(prefix, length()) <= hi_ &&
+         max_extension(prefix, length()) >= lo_;
+}
+
+std::vector<KautzRegion> KautzRegion::split_common_prefix() const {
+  if (lo_.digit(0) == hi_.digit(0)) {
+    return {*this};
+  }
+  std::vector<KautzRegion> parts;
+  // Head: strings sharing lo's first symbol.
+  parts.emplace_back(lo_, max_extension(lo_.prefix(1), length()));
+  // Middle: whole first-symbol blocks strictly between lo's and hi's.
+  for (std::uint8_t c = lo_.digit(0) + 1; c < hi_.digit(0); ++c) {
+    KautzString head{base()};
+    head.push_back(c);
+    parts.emplace_back(min_extension(head, length()),
+                       max_extension(head, length()));
+  }
+  // Tail: strings sharing hi's first symbol.
+  parts.emplace_back(min_extension(hi_.prefix(1), length()), hi_);
+  return parts;
+}
+
+KautzRegion KautzRegion::clamp_to_prefix(const KautzString& prefix) const {
+  ARMADA_CHECK_MSG(intersects_prefix(prefix),
+                   "prefix " << prefix.to_string() << " misses region "
+                             << to_string());
+  const KautzString lo_ext = min_extension(prefix, length());
+  const KautzString hi_ext = max_extension(prefix, length());
+  return KautzRegion(lo_ext > lo_ ? lo_ext : lo_, hi_ext < hi_ ? hi_ext : hi_);
+}
+
+std::string KautzRegion::to_string() const {
+  return "<" + lo_.to_string() + ", " + hi_.to_string() + ">";
+}
+
+}  // namespace armada::kautz

@@ -1,0 +1,59 @@
+// Combinatorics of KautzSpace(d, k): counting, ranking, extensions.
+//
+// Rank/unrank use a mixed-radix encoding: the first symbol has d+1 choices,
+// every later symbol has d choices (any symbol except its predecessor),
+// indexed in increasing symbol order. This makes lexicographic rank a plain
+// positional number, which the tests and region-size computations rely on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kautz/kautz_string.h"
+#include "util/rng.h"
+
+namespace armada::kautz {
+
+/// |KautzSpace(base, len)| = (base+1) * base^(len-1); 1 for len == 0.
+/// Requires the result to fit in 64 bits (len <= 63 for base 2).
+std::uint64_t space_size(std::uint8_t base, std::size_t len);
+
+/// Index of `symbol` among the allowed successors of `prev` (all symbols
+/// except prev, in increasing order), and its inverse. These define the
+/// child ordering of the partition tree and the mixed-radix rank encoding.
+std::uint64_t symbol_index(std::uint8_t symbol, std::uint8_t prev);
+std::uint8_t index_symbol(std::uint64_t index, std::uint8_t prev);
+
+/// Number of length-k Kautz strings having `prefix` as a prefix.
+std::uint64_t extension_count(const KautzString& prefix, std::size_t k);
+
+/// Lexicographic rank of `s` within KautzSpace(base, s.length()).
+std::uint64_t rank(const KautzString& s);
+
+/// Inverse of rank(). Requires r < space_size(base, len).
+KautzString unrank(std::uint8_t base, std::size_t len, std::uint64_t r);
+
+/// Lexicographically smallest / largest length-k string with given prefix.
+/// The smallest appends the least allowed symbol at each step, the largest
+/// the greatest. Requires prefix.length() <= k.
+KautzString min_extension(const KautzString& prefix, std::size_t k);
+KautzString max_extension(const KautzString& prefix, std::size_t k);
+
+/// Next / previous string of the same length in lexicographic order.
+/// Throws CheckError at the ends of the space.
+KautzString successor(const KautzString& s);
+KautzString predecessor(const KautzString& s);
+
+/// True iff `s` is the first / last string of its length.
+bool is_space_min(const KautzString& s);
+bool is_space_max(const KautzString& s);
+
+/// Uniform sample from KautzSpace(base, len); works for any len (digit-wise,
+/// no 64-bit restriction).
+KautzString random_string(Rng& rng, std::uint8_t base, std::size_t len);
+
+/// All strings of KautzSpace(base, len) in lexicographic order (tests only;
+/// intended for small len).
+std::vector<KautzString> enumerate(std::uint8_t base, std::size_t len);
+
+}  // namespace armada::kautz

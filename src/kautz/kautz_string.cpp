@@ -1,0 +1,162 @@
+#include "kautz/kautz_string.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace armada::kautz {
+
+KautzString::KautzString(std::uint8_t base) : base_(base) {
+  ARMADA_CHECK(base_ >= 1);
+}
+
+KautzString::KautzString(std::uint8_t base, std::vector<std::uint8_t> digits)
+    : base_(base), digits_(std::move(digits)) {
+  ARMADA_CHECK(base_ >= 1);
+  check_valid();
+}
+
+KautzString KautzString::parse(std::string_view text, std::uint8_t base) {
+  std::vector<std::uint8_t> digits;
+  digits.reserve(text.size());
+  for (char c : text) {
+    ARMADA_CHECK_MSG(c >= '0' && c <= '9', "bad digit '" << c << "'");
+    digits.push_back(static_cast<std::uint8_t>(c - '0'));
+  }
+  return KautzString(base, std::move(digits));
+}
+
+std::uint8_t KautzString::digit(std::size_t i) const {
+  ARMADA_CHECK_MSG(i < digits_.size(), "index " << i << " out of range");
+  return digits_[i];
+}
+
+std::uint8_t KautzString::front() const {
+  ARMADA_CHECK(!digits_.empty());
+  return digits_.front();
+}
+
+std::uint8_t KautzString::back() const {
+  ARMADA_CHECK(!digits_.empty());
+  return digits_.back();
+}
+
+void KautzString::push_back(std::uint8_t symbol) {
+  ARMADA_CHECK_MSG(can_append(symbol),
+                   "cannot append " << int(symbol) << " to " << to_string());
+  digits_.push_back(symbol);
+}
+
+void KautzString::pop_back() {
+  ARMADA_CHECK(!digits_.empty());
+  digits_.pop_back();
+}
+
+KautzString KautzString::prefix(std::size_t len) const {
+  ARMADA_CHECK(len <= digits_.size());
+  return KautzString(
+      base_, std::vector<std::uint8_t>(digits_.begin(),
+                                       digits_.begin() + static_cast<long>(len)));
+}
+
+KautzString KautzString::suffix(std::size_t len) const {
+  ARMADA_CHECK(len <= digits_.size());
+  return KautzString(
+      base_,
+      std::vector<std::uint8_t>(digits_.end() - static_cast<long>(len),
+                                digits_.end()));
+}
+
+KautzString KautzString::drop_front() const {
+  ARMADA_CHECK(!digits_.empty());
+  return suffix(digits_.size() - 1);
+}
+
+KautzString KautzString::concat(const KautzString& tail) const {
+  ARMADA_CHECK(base_ == tail.base_);
+  std::vector<std::uint8_t> digits = digits_;
+  digits.insert(digits.end(), tail.digits_.begin(), tail.digits_.end());
+  return KautzString(base_, std::move(digits));
+}
+
+bool KautzString::can_append(std::uint8_t symbol) const {
+  if (symbol > base_) {
+    return false;
+  }
+  return digits_.empty() || digits_.back() != symbol;
+}
+
+bool KautzString::is_prefix_of(const KautzString& other) const {
+  ARMADA_CHECK(base_ == other.base_);
+  if (digits_.size() > other.digits_.size()) {
+    return false;
+  }
+  return std::equal(digits_.begin(), digits_.end(), other.digits_.begin());
+}
+
+bool KautzString::is_suffix_of(const KautzString& other) const {
+  ARMADA_CHECK(base_ == other.base_);
+  if (digits_.size() > other.digits_.size()) {
+    return false;
+  }
+  return std::equal(digits_.rbegin(), digits_.rend(), other.digits_.rbegin());
+}
+
+std::size_t KautzString::longest_suffix_prefix(const KautzString& other) const {
+  ARMADA_CHECK(base_ == other.base_);
+  const std::size_t max_len = std::min(digits_.size(), other.digits_.size());
+  for (std::size_t len = max_len; len > 0; --len) {
+    if (std::equal(digits_.end() - static_cast<long>(len), digits_.end(),
+                   other.digits_.begin())) {
+      return len;
+    }
+  }
+  return 0;
+}
+
+std::strong_ordering KautzString::operator<=>(const KautzString& other) const {
+  ARMADA_CHECK(base_ == other.base_);
+  return std::lexicographical_compare_three_way(
+      digits_.begin(), digits_.end(), other.digits_.begin(),
+      other.digits_.end());
+}
+
+std::string KautzString::to_string() const {
+  if (digits_.empty()) {
+    return "<empty>";
+  }
+  std::string out;
+  out.reserve(digits_.size());
+  for (std::uint8_t d : digits_) {
+    out.push_back(static_cast<char>('0' + d));
+  }
+  return out;
+}
+
+void KautzString::check_valid() const {
+  for (std::size_t i = 0; i < digits_.size(); ++i) {
+    ARMADA_CHECK_MSG(digits_[i] <= base_,
+                     "digit " << int(digits_[i]) << " exceeds base "
+                              << int(base_));
+    if (i > 0) {
+      ARMADA_CHECK_MSG(digits_[i] != digits_[i - 1],
+                       "repeated symbol at position " << i);
+    }
+  }
+}
+
+std::size_t KautzStringHash::operator()(const KautzString& s) const {
+  std::size_t h = 1469598103934665603ull;
+  for (std::uint8_t d : s.digits()) {
+    h ^= d;
+    h *= 1099511628211ull;
+  }
+  return h ^ (static_cast<std::size_t>(s.base()) << 56);
+}
+
+std::ostream& operator<<(std::ostream& os, const KautzString& s) {
+  return os << s.to_string();
+}
+
+}  // namespace armada::kautz

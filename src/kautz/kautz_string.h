@@ -1,0 +1,82 @@
+// Kautz strings: the identifier alphabet of FISSIONE and Armada.
+//
+// A Kautz string of base d is a sequence over the alphabet {0, 1, ..., d}
+// (d+1 symbols) in which adjacent symbols differ (paper §3). KautzSpace(d,k)
+// is the set of all such strings of length k; FISSIONE PeerIDs are
+// variable-length base-2 Kautz strings and ObjectIDs are fixed-length ones.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace armada::kautz {
+
+/// Immutable-by-convention Kautz string with checked invariants: every digit
+/// is <= base() and adjacent digits differ. The empty string is valid (it is
+/// the root label of the partition tree and a neutral prefix).
+class KautzString {
+ public:
+  /// Empty string of the given base. Base must be >= 1 (alphabet size 2+).
+  explicit KautzString(std::uint8_t base = 2);
+
+  /// Build from digits; throws CheckError if not a valid Kautz string.
+  KautzString(std::uint8_t base, std::vector<std::uint8_t> digits);
+
+  /// Parse a textual form such as "0120" (digits '0'..'9'). Throws on
+  /// malformed input or Kautz-invariant violation.
+  static KautzString parse(std::string_view text, std::uint8_t base = 2);
+
+  std::uint8_t base() const { return base_; }
+  std::size_t length() const { return digits_.size(); }
+  bool empty() const { return digits_.empty(); }
+  std::uint8_t digit(std::size_t i) const;
+  std::uint8_t front() const;
+  std::uint8_t back() const;
+  const std::vector<std::uint8_t>& digits() const { return digits_; }
+
+  /// Append one symbol; it must differ from back() and be <= base().
+  void push_back(std::uint8_t symbol);
+  void pop_back();
+
+  /// Leading/trailing slices (always valid Kautz strings themselves).
+  KautzString prefix(std::size_t len) const;
+  KautzString suffix(std::size_t len) const;
+  /// Drop the first symbol (the left-shift used by Kautz-graph edges).
+  KautzString drop_front() const;
+
+  /// Concatenation; the junction symbols must differ.
+  KautzString concat(const KautzString& tail) const;
+  /// True when appending `symbol` keeps the string valid.
+  bool can_append(std::uint8_t symbol) const;
+
+  bool is_prefix_of(const KautzString& other) const;
+  bool is_suffix_of(const KautzString& other) const;
+  /// Length of the longest suffix of *this that is a prefix of `other`.
+  /// This is the alignment used by FISSIONE's shift routing.
+  std::size_t longest_suffix_prefix(const KautzString& other) const;
+
+  /// Lexicographic order (the paper's relation "preceq"); a proper prefix
+  /// sorts before its extensions.
+  std::strong_ordering operator<=>(const KautzString& other) const;
+  bool operator==(const KautzString& other) const = default;
+
+  std::string to_string() const;
+
+ private:
+  void check_valid() const;
+
+  std::uint8_t base_;
+  std::vector<std::uint8_t> digits_;
+};
+
+/// FNV-1a over digits, for unordered containers.
+struct KautzStringHash {
+  std::size_t operator()(const KautzString& s) const;
+};
+
+std::ostream& operator<<(std::ostream& os, const KautzString& s);
+
+}  // namespace armada::kautz

@@ -1,0 +1,61 @@
+// DCF-CAN: single-attribute range queries on CAN via directed controlled
+// flooding (Andrzejak & Xu, "Scalable, Efficient Range Queries for Grid
+// Information Services", P2P 2002) — the baseline of the paper's Figures
+// 5-8.
+//
+// The attribute interval maps onto CAN's 2-d space through a Hilbert curve,
+// so a value range becomes a contiguous curve segment: a connected set of
+// zones. A query first routes to the zone owning the range's median value
+// (O(sqrt(N)) hops for d=2), then floods outward over zones intersecting
+// the segment; receivers suppress duplicates but every transmission counts.
+// Delay therefore grows with both N and the queried range — the behaviour
+// PIRA's delay bound eliminates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "armada/range_query.h"
+#include "can/can_network.h"
+#include "kautz/partition_tree.h"
+#include "sfc/sfc_region.h"
+
+namespace armada::rq {
+
+class DcfCan {
+ public:
+  struct Config {
+    std::uint32_t order = 20;  ///< Hilbert grid order (cells per side 2^order)
+    kautz::Interval domain{0.0, 1000.0};
+  };
+
+  DcfCan(const can::CanNetwork& net, Config config);
+
+  /// Publish a value; returns its handle.
+  std::uint64_t publish(double value);
+  double value(std::uint64_t handle) const;
+
+  /// Range query [lo, hi]: route to median, flood the mapped segment.
+  core::RangeQueryResult query(can::NodeId issuer, double lo, double hi) const;
+
+  /// Ground truth for tests: zones intersecting the mapped segment.
+  std::vector<can::NodeId> expected_destinations(double lo, double hi) const;
+
+  /// Curve position of a value (public for tests/ablation).
+  std::uint64_t value_to_index(double v) const;
+  /// Hilbert index ranges of a node's zone (1-2 ranges, precomputed).
+  const std::vector<sfc::IndexRange>& zone_ranges(can::NodeId id) const;
+
+ private:
+  sfc::IndexRange query_range(double lo, double hi) const;
+  bool zone_intersects(can::NodeId id, const sfc::IndexRange& r) const;
+  void cell_center(std::uint64_t index, double* x, double* y) const;
+
+  const can::CanNetwork& net_;
+  Config config_;
+  std::vector<std::vector<sfc::IndexRange>> zone_ranges_;
+  std::vector<std::vector<std::pair<double, std::uint64_t>>> store_;
+  std::vector<double> values_;
+};
+
+}  // namespace armada::rq

@@ -1,0 +1,71 @@
+#include "sfc/hilbert.h"
+
+#include "util/check.h"
+
+namespace armada::sfc {
+
+namespace {
+
+// One step of the classic rotate/flip transform.
+void rotate(std::uint64_t half, std::uint64_t& x, std::uint64_t& y,
+            std::uint64_t rx, std::uint64_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      x = half - 1 - x;
+      y = half - 1 - y;
+    }
+    std::swap(x, y);
+  }
+}
+
+}  // namespace
+
+std::uint64_t hilbert_index(std::uint32_t order, Cell cell) {
+  ARMADA_CHECK(order >= 1 && order <= 31);
+  const std::uint64_t side = 1ull << order;
+  ARMADA_CHECK(cell.x < side && cell.y < side);
+  std::uint64_t x = cell.x;
+  std::uint64_t y = cell.y;
+  std::uint64_t d = 0;
+  for (std::uint64_t s = side / 2; s > 0; s /= 2) {
+    const std::uint64_t rx = (x & s) > 0 ? 1 : 0;
+    const std::uint64_t ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    rotate(s, x, y, rx, ry);
+  }
+  return d;
+}
+
+Cell hilbert_cell(std::uint32_t order, std::uint64_t d) {
+  ARMADA_CHECK(order >= 1 && order <= 31);
+  const std::uint64_t side = 1ull << order;
+  ARMADA_CHECK(d < side * side);
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+  std::uint64_t t = d;
+  for (std::uint64_t s = 1; s < side; s *= 2) {
+    const std::uint64_t rx = 1 & (t / 2);
+    const std::uint64_t ry = 1 & (t ^ rx);
+    rotate(s, x, y, rx, ry);
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+  return Cell{x, y};
+}
+
+IndexRange hilbert_square_range(std::uint32_t order, Cell corner,
+                                std::uint32_t side_bits) {
+  ARMADA_CHECK(side_bits <= order);
+  const std::uint64_t size = 1ull << side_bits;
+  ARMADA_CHECK_MSG(corner.x % size == 0 && corner.y % size == 0,
+                   "square not aligned to its size");
+  const std::uint64_t block = size * size;
+  // A dyadic aligned square is one Hilbert subtree: a block of `block`
+  // consecutive indices aligned at a multiple of `block`.
+  const std::uint64_t some_index = hilbert_index(order, corner);
+  const std::uint64_t first = some_index & ~(block - 1);
+  return IndexRange{first, first + block};
+}
+
+}  // namespace armada::sfc

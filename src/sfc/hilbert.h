@@ -1,0 +1,46 @@
+// 2-D Hilbert space-filling curve.
+//
+// Used by the DCF-CAN baseline (mapping the attribute interval onto CAN's
+// 2-d space so that a value range becomes a connected region), and by the
+// Squid / SCRAP baselines (multi-attribute linearization). The key locality
+// property — consecutive indices map to edge-adjacent cells — is what makes
+// directed controlled flooding terminate quickly.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace armada::sfc {
+
+/// Grid coordinates of a cell on the order-n Hilbert curve (grid side 2^n).
+struct Cell {
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+
+  bool operator==(const Cell&) const = default;
+};
+
+/// Curve position of cell (x, y); order <= 31, x,y < 2^order.
+std::uint64_t hilbert_index(std::uint32_t order, Cell cell);
+
+/// Inverse of hilbert_index; d < 4^order.
+Cell hilbert_cell(std::uint32_t order, std::uint64_t d);
+
+/// Half-open index range [first, last) covered by the axis-aligned dyadic
+/// square with side 2^side_bits cells whose lower corner is `corner`
+/// (corner must be aligned to the square size). Dyadic squares are exactly
+/// the Hilbert recursion subtrees, so their indices are contiguous.
+struct IndexRange {
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+
+  bool intersects(const IndexRange& o) const {
+    return first < o.last && o.first < last;
+  }
+  bool operator==(const IndexRange&) const = default;
+};
+
+IndexRange hilbert_square_range(std::uint32_t order, Cell corner,
+                                std::uint32_t side_bits);
+
+}  // namespace armada::sfc

@@ -1,0 +1,55 @@
+#include "sfc/morton.h"
+
+#include "util/check.h"
+
+namespace armada::sfc {
+
+namespace {
+
+std::uint64_t spread_bits(std::uint64_t v) {
+  v &= 0xffffffffull;
+  v = (v | (v << 16)) & 0x0000ffff0000ffffull;
+  v = (v | (v << 8)) & 0x00ff00ff00ff00ffull;
+  v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0full;
+  v = (v | (v << 2)) & 0x3333333333333333ull;
+  v = (v | (v << 1)) & 0x5555555555555555ull;
+  return v;
+}
+
+std::uint64_t compact_bits(std::uint64_t v) {
+  v &= 0x5555555555555555ull;
+  v = (v | (v >> 1)) & 0x3333333333333333ull;
+  v = (v | (v >> 2)) & 0x0f0f0f0f0f0f0f0full;
+  v = (v | (v >> 4)) & 0x00ff00ff00ff00ffull;
+  v = (v | (v >> 8)) & 0x0000ffff0000ffffull;
+  v = (v | (v >> 16)) & 0x00000000ffffffffull;
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t morton_index(std::uint32_t order, Cell cell) {
+  ARMADA_CHECK(order >= 1 && order <= 31);
+  const std::uint64_t side = 1ull << order;
+  ARMADA_CHECK(cell.x < side && cell.y < side);
+  return spread_bits(cell.x) | (spread_bits(cell.y) << 1);
+}
+
+Cell morton_cell(std::uint32_t order, std::uint64_t d) {
+  ARMADA_CHECK(order >= 1 && order <= 31);
+  ARMADA_CHECK(d < (1ull << (2 * order)));
+  return Cell{compact_bits(d), compact_bits(d >> 1)};
+}
+
+IndexRange morton_square_range(std::uint32_t order, Cell corner,
+                               std::uint32_t side_bits) {
+  ARMADA_CHECK(side_bits <= order);
+  const std::uint64_t size = 1ull << side_bits;
+  ARMADA_CHECK_MSG(corner.x % size == 0 && corner.y % size == 0,
+                   "square not aligned to its size");
+  const std::uint64_t block = size * size;
+  const std::uint64_t first = morton_index(order, corner) & ~(block - 1);
+  return IndexRange{first, first + block};
+}
+
+}  // namespace armada::sfc

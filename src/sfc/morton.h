@@ -1,0 +1,22 @@
+// Morton (Z-order) curve — the cheaper, lower-locality alternative to
+// Hilbert. Used by the SCRAP baseline and the naming-ablation bench.
+#pragma once
+
+#include <cstdint>
+
+#include "sfc/hilbert.h"  // Cell, IndexRange
+
+namespace armada::sfc {
+
+/// Bit-interleaved index of cell (x, y); order <= 31.
+std::uint64_t morton_index(std::uint32_t order, Cell cell);
+
+/// Inverse of morton_index.
+Cell morton_cell(std::uint32_t order, std::uint64_t d);
+
+/// Index range of an aligned dyadic square (Z-order subtrees are contiguous
+/// exactly like Hilbert subtrees).
+IndexRange morton_square_range(std::uint32_t order, Cell corner,
+                               std::uint32_t side_bits);
+
+}  // namespace armada::sfc

@@ -1,0 +1,113 @@
+#include "sfc/sfc_region.h"
+
+#include <algorithm>
+
+#include "sfc/morton.h"
+#include "util/check.h"
+
+namespace armada::sfc {
+
+std::uint64_t curve_index(Curve curve, std::uint32_t order, Cell cell) {
+  return curve == Curve::kHilbert ? hilbert_index(order, cell)
+                                  : morton_index(order, cell);
+}
+
+namespace {
+
+IndexRange square_range(Curve curve, std::uint32_t order, Cell corner,
+                        std::uint32_t side_bits) {
+  return curve == Curve::kHilbert
+             ? hilbert_square_range(order, corner, side_bits)
+             : morton_square_range(order, corner, side_bits);
+}
+
+void rect_ranges_rec(Curve curve, std::uint32_t order, Cell corner,
+                     std::uint32_t x_bits, std::uint32_t y_bits,
+                     std::vector<IndexRange>& out) {
+  if (x_bits == y_bits) {
+    out.push_back(square_range(curve, order, corner, x_bits));
+    return;
+  }
+  if (x_bits > y_bits) {
+    const std::uint64_t half = 1ull << (x_bits - 1);
+    rect_ranges_rec(curve, order, corner, x_bits - 1, y_bits, out);
+    rect_ranges_rec(curve, order, Cell{corner.x + half, corner.y}, x_bits - 1,
+                    y_bits, out);
+  } else {
+    const std::uint64_t half = 1ull << (y_bits - 1);
+    rect_ranges_rec(curve, order, corner, x_bits, y_bits - 1, out);
+    rect_ranges_rec(curve, order, Cell{corner.x, corner.y + half}, x_bits,
+                    y_bits - 1, out);
+  }
+}
+
+struct BoxQuery {
+  Curve curve;
+  std::uint32_t order;
+  std::uint64_t x_lo, x_hi, y_lo, y_hi;  // inclusive cell bounds
+  std::uint32_t min_side_bits;
+  std::vector<IndexRange>* out;
+};
+
+void box_ranges_rec(const BoxQuery& q, Cell corner, std::uint32_t side_bits) {
+  const std::uint64_t size = 1ull << side_bits;
+  const std::uint64_t sx_hi = corner.x + size - 1;
+  const std::uint64_t sy_hi = corner.y + size - 1;
+  if (corner.x > q.x_hi || sx_hi < q.x_lo || corner.y > q.y_hi ||
+      sy_hi < q.y_lo) {
+    return;  // disjoint
+  }
+  const bool contained = corner.x >= q.x_lo && sx_hi <= q.x_hi &&
+                         corner.y >= q.y_lo && sy_hi <= q.y_hi;
+  if (contained || side_bits == q.min_side_bits) {
+    q.out->push_back(square_range(q.curve, q.order, corner, side_bits));
+    return;
+  }
+  const std::uint64_t half = size / 2;
+  box_ranges_rec(q, corner, side_bits - 1);
+  box_ranges_rec(q, Cell{corner.x + half, corner.y}, side_bits - 1);
+  box_ranges_rec(q, Cell{corner.x, corner.y + half}, side_bits - 1);
+  box_ranges_rec(q, Cell{corner.x + half, corner.y + half}, side_bits - 1);
+}
+
+}  // namespace
+
+std::vector<IndexRange> coalesce(std::vector<IndexRange> ranges) {
+  std::sort(ranges.begin(), ranges.end(),
+            [](const IndexRange& a, const IndexRange& b) {
+              return a.first < b.first;
+            });
+  std::vector<IndexRange> out;
+  for (const IndexRange& r : ranges) {
+    if (!out.empty() && r.first <= out.back().last) {
+      out.back().last = std::max(out.back().last, r.last);
+    } else {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::vector<IndexRange> rect_ranges(Curve curve, std::uint32_t order,
+                                    Cell corner, std::uint32_t x_bits,
+                                    std::uint32_t y_bits) {
+  ARMADA_CHECK(x_bits <= order && y_bits <= order);
+  std::vector<IndexRange> out;
+  rect_ranges_rec(curve, order, corner, x_bits, y_bits, out);
+  return coalesce(std::move(out));
+}
+
+std::vector<IndexRange> box_ranges(Curve curve, std::uint32_t order,
+                                   std::uint64_t x_lo, std::uint64_t x_hi,
+                                   std::uint64_t y_lo, std::uint64_t y_hi,
+                                   std::uint32_t min_side_bits) {
+  ARMADA_CHECK(x_lo <= x_hi && y_lo <= y_hi);
+  ARMADA_CHECK(x_hi < (1ull << order) && y_hi < (1ull << order));
+  ARMADA_CHECK(min_side_bits <= order);
+  std::vector<IndexRange> out;
+  const BoxQuery q{curve, order, x_lo, x_hi, y_lo, y_hi, min_side_bits, &out};
+  box_ranges_rec(q, Cell{0, 0}, order);
+  return coalesce(std::move(out));
+}
+
+}  // namespace armada::sfc

@@ -1,0 +1,44 @@
+// Exact decomposition of rectangles into space-filling-curve index ranges.
+//
+// Two users:
+//  * DCF-CAN: a CAN zone (a dyadic rectangle with side ratio <= 2) is 1-2
+//    aligned squares, hence 1-2 contiguous Hilbert ranges; "does this zone
+//    intersect the mapped value range" is then exact interval overlap.
+//  * Squid / SCRAP: a multi-attribute query box maps to the set of curve
+//    segments ("clusters") covering it; the recursion below is the standard
+//    quadtree cluster decomposition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sfc/hilbert.h"
+
+namespace armada::sfc {
+
+enum class Curve { kHilbert, kMorton };
+
+/// Curve index of a cell under the chosen curve.
+std::uint64_t curve_index(Curve curve, std::uint32_t order, Cell cell);
+
+/// Index ranges of a dyadic rectangle: lower corner `corner`, side lengths
+/// 2^x_bits by 2^y_bits cells, corner aligned per dimension. Returned
+/// sorted and coalesced.
+std::vector<IndexRange> rect_ranges(Curve curve, std::uint32_t order,
+                                    Cell corner, std::uint32_t x_bits,
+                                    std::uint32_t y_bits);
+
+/// Index ranges covering the inclusive cell box [x_lo, x_hi] x [y_lo, y_hi].
+/// Exact when min_side_bits == 0; a larger value stops the recursion at
+/// squares of side 2^min_side_bits and over-approximates (fewer, coarser
+/// ranges), which trades extra scanned peers for fewer query segments.
+/// Returned sorted and coalesced.
+std::vector<IndexRange> box_ranges(Curve curve, std::uint32_t order,
+                                   std::uint64_t x_lo, std::uint64_t x_hi,
+                                   std::uint64_t y_lo, std::uint64_t y_hi,
+                                   std::uint32_t min_side_bits = 0);
+
+/// Sort ranges and merge touching/overlapping ones.
+std::vector<IndexRange> coalesce(std::vector<IndexRange> ranges);
+
+}  // namespace armada::sfc

@@ -1,0 +1,39 @@
+#include "sim/event_queue.h"
+
+#include "util/check.h"
+
+namespace armada::sim {
+
+void Simulator::schedule_at(Time when, std::function<void()> action) {
+  ARMADA_CHECK_MSG(when >= now_, "scheduling into the past");
+  queue_.push(Item{when, seq_++, std::move(action)});
+}
+
+void Simulator::schedule_after(Time delay, std::function<void()> action) {
+  ARMADA_CHECK(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    // Copy out before pop so the action may schedule further events.
+    Item item = queue_.top();
+    queue_.pop();
+    now_ = item.when;
+    ++processed_;
+    item.action();
+  }
+}
+
+void Simulator::run_until(Time horizon) {
+  while (!queue_.empty() && queue_.top().when <= horizon) {
+    Item item = queue_.top();
+    queue_.pop();
+    now_ = item.when;
+    ++processed_;
+    item.action();
+  }
+  now_ = horizon > now_ ? horizon : now_;
+}
+
+}  // namespace armada::sim

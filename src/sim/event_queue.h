@@ -1,0 +1,55 @@
+// Discrete-event simulation kernel.
+//
+// All overlays execute queries on this kernel; one overlay hop costs one
+// time unit by default, so arrival time equals hop count and "query delay"
+// (the paper's metric) is the latest arrival at any destination peer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace armada::sim {
+
+using Time = double;
+
+/// Minimal deterministic event loop. Events at equal times run in
+/// scheduling (FIFO) order, which keeps runs reproducible for a fixed seed.
+class Simulator {
+ public:
+  void schedule_at(Time when, std::function<void()> action);
+  void schedule_after(Time delay, std::function<void()> action);
+
+  /// Process events until the queue is empty.
+  void run();
+
+  /// Process events with time <= horizon; later events stay queued.
+  void run_until(Time horizon);
+
+  Time now() const { return now_; }
+  std::uint64_t events_processed() const { return processed_; }
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  struct Item {
+    Time when;
+    std::uint64_t seq;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  Time now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace armada::sim

@@ -1,0 +1,53 @@
+// Query metrics matching the paper's evaluation (§4.3.3).
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.h"
+
+namespace armada::sim {
+
+/// Per-query measurements.
+struct QueryStats {
+  /// Total overlay messages produced by the query.
+  std::uint64_t messages = 0;
+  /// Hops until the last destination peer received the query.
+  double delay = 0.0;
+  /// Destination peers that intersect the query and scan local data.
+  std::uint64_t dest_peers = 0;
+  /// Matching objects found.
+  std::uint64_t results = 0;
+
+  /// Messages / Destpeers (paper metric MesgRatio).
+  double mesg_ratio() const;
+  /// (Messages - logN) / (Destpeers - 1) (paper metric IncreRatio);
+  /// meaningful only when dest_peers > 1.
+  double incre_ratio(double log_n) const;
+};
+
+/// Aggregates QueryStats across a workload.
+class MetricSet {
+ public:
+  explicit MetricSet(double log_n) : log_n_(log_n) {}
+
+  void add(const QueryStats& q);
+
+  const OnlineStats& delay() const { return delay_; }
+  const OnlineStats& messages() const { return messages_; }
+  const OnlineStats& dest_peers() const { return dest_peers_; }
+  const OnlineStats& results() const { return results_; }
+  const OnlineStats& mesg_ratio() const { return mesg_ratio_; }
+  const OnlineStats& incre_ratio() const { return incre_ratio_; }
+  double log_n() const { return log_n_; }
+
+ private:
+  double log_n_;
+  OnlineStats delay_;
+  OnlineStats messages_;
+  OnlineStats dest_peers_;
+  OnlineStats results_;
+  OnlineStats mesg_ratio_;
+  OnlineStats incre_ratio_;
+};
+
+}  // namespace armada::sim

@@ -1,0 +1,119 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace armada::sim {
+
+RangeWorkload::RangeWorkload(kautz::Interval domain, double query_size,
+                             Rng rng)
+    : domain_(domain), size_(query_size), rng_(std::move(rng)) {
+  ARMADA_CHECK(domain_.lo < domain_.hi);
+  ARMADA_CHECK(size_ >= 0.0);
+  ARMADA_CHECK_MSG(size_ <= domain_.hi - domain_.lo,
+                   "query size exceeds the domain");
+}
+
+RangeQuery RangeWorkload::next() {
+  if (domain_.hi - size_ <= domain_.lo) {
+    return RangeQuery{domain_.lo, domain_.hi};  // query spans the domain
+  }
+  const double lo = rng_.next_double(domain_.lo, domain_.hi - size_);
+  return RangeQuery{lo, lo + size_};
+}
+
+BoxWorkload::BoxWorkload(kautz::Box domain, std::vector<double> sizes, Rng rng)
+    : domain_(std::move(domain)), sizes_(std::move(sizes)), rng_(std::move(rng)) {
+  ARMADA_CHECK(!domain_.empty());
+  ARMADA_CHECK(domain_.size() == sizes_.size());
+  for (std::size_t i = 0; i < domain_.size(); ++i) {
+    ARMADA_CHECK(domain_[i].lo < domain_[i].hi);
+    ARMADA_CHECK(sizes_[i] >= 0.0);
+    ARMADA_CHECK(sizes_[i] <= domain_[i].hi - domain_[i].lo);
+  }
+}
+
+kautz::Box BoxWorkload::next() {
+  kautz::Box q(domain_.size());
+  for (std::size_t i = 0; i < domain_.size(); ++i) {
+    if (domain_[i].hi - sizes_[i] <= domain_[i].lo) {
+      q[i] = domain_[i];  // the query spans this attribute's whole range
+      continue;
+    }
+    const double lo =
+        rng_.next_double(domain_[i].lo, domain_[i].hi - sizes_[i]);
+    q[i] = kautz::Interval{lo, lo + sizes_[i]};
+  }
+  return q;
+}
+
+UniformPoints::UniformPoints(kautz::Box domain, Rng rng)
+    : domain_(std::move(domain)), rng_(std::move(rng)) {
+  ARMADA_CHECK(!domain_.empty());
+  for (const auto& iv : domain_) {
+    ARMADA_CHECK(iv.lo < iv.hi);
+  }
+}
+
+std::vector<double> UniformPoints::next() {
+  std::vector<double> p(domain_.size());
+  for (std::size_t i = 0; i < domain_.size(); ++i) {
+    p[i] = rng_.next_double(domain_[i].lo, domain_[i].hi);
+  }
+  return p;
+}
+
+ZipfValues::ZipfValues(kautz::Interval domain, std::size_t bins,
+                       double exponent, Rng rng)
+    : domain_(domain), rng_(std::move(rng)) {
+  ARMADA_CHECK(domain_.lo < domain_.hi);
+  ARMADA_CHECK(bins >= 1);
+  ARMADA_CHECK(exponent >= 0.0);
+  cdf_.reserve(bins);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < bins; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_.push_back(acc);
+  }
+  for (double& c : cdf_) {
+    c /= acc;
+  }
+}
+
+double ZipfValues::next() {
+  const double u = rng_.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto bin = static_cast<std::size_t>(it - cdf_.begin());
+  const double width = (domain_.hi - domain_.lo) / static_cast<double>(cdf_.size());
+  const double lo = domain_.lo + static_cast<double>(bin) * width;
+  return lo + rng_.next_double() * width;
+}
+
+ClusteredValues::ClusteredValues(kautz::Interval domain,
+                                 std::vector<Cluster> clusters, Rng rng)
+    : domain_(domain), clusters_(std::move(clusters)), rng_(std::move(rng)) {
+  ARMADA_CHECK(domain_.lo < domain_.hi);
+  ARMADA_CHECK(!clusters_.empty());
+  double acc = 0.0;
+  for (const Cluster& c : clusters_) {
+    ARMADA_CHECK(c.weight > 0.0 && c.stddev > 0.0);
+    acc += c.weight;
+    cdf_.push_back(acc);
+  }
+  for (double& c : cdf_) {
+    c /= acc;
+  }
+}
+
+double ClusteredValues::next() {
+  const double u = rng_.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const Cluster& c = clusters_[static_cast<std::size_t>(it - cdf_.begin())];
+  std::normal_distribution<double> noise(c.center, c.stddev);
+  const double v = noise(rng_.engine());
+  return std::clamp(v, domain_.lo, domain_.hi);
+}
+
+}  // namespace armada::sim

@@ -1,0 +1,132 @@
+#include "skipgraph/skipgraph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace armada::skipgraph {
+
+SkipGraph::SkipGraph(std::vector<double> keys, std::uint64_t seed) {
+  ARMADA_CHECK(!keys.empty());
+  std::sort(keys.begin(), keys.end());
+  ARMADA_CHECK_MSG(std::adjacent_find(keys.begin(), keys.end()) == keys.end(),
+                   "duplicate keys");
+  keys_ = std::move(keys);
+
+  Rng rng(seed);
+  membership_.resize(keys_.size());
+  for (auto& m : membership_) {
+    m = rng.engine()();
+  }
+
+  // Level l links nodes sharing the first l membership bits. Stop once all
+  // groups are singletons.
+  for (std::size_t level = 0; level < 64; ++level) {
+    const std::uint64_t mask =
+        level == 0 ? 0 : (~0ull >> (64 - level));
+    std::map<std::uint64_t, NodeId> last_in_group;
+    std::vector<Links> row(keys_.size());
+    bool any_link = false;
+    for (NodeId id = 0; id < keys_.size(); ++id) {
+      const std::uint64_t group = membership_[id] & mask;
+      const auto it = last_in_group.find(group);
+      if (it != last_in_group.end()) {
+        row[id].left = it->second;
+        row[it->second].right = id;
+        any_link = true;
+      }
+      last_in_group[group] = id;
+    }
+    if (!any_link && level > 0) {
+      break;  // every node is alone at this level
+    }
+    links_.push_back(std::move(row));
+  }
+  levels_ = links_.size();
+}
+
+double SkipGraph::key(NodeId id) const {
+  ARMADA_CHECK(id < keys_.size());
+  return keys_[id];
+}
+
+NodeId SkipGraph::next(NodeId id) const {
+  ARMADA_CHECK(id < keys_.size());
+  return links_[0][id].right;
+}
+
+NodeId SkipGraph::prev(NodeId id) const {
+  ARMADA_CHECK(id < keys_.size());
+  return links_[0][id].left;
+}
+
+NodeId SkipGraph::owner_of(double target) const {
+  // Greatest key <= target; first node when target precedes all keys.
+  const auto it = std::upper_bound(keys_.begin(), keys_.end(), target);
+  if (it == keys_.begin()) {
+    return 0;
+  }
+  return static_cast<NodeId>(it - keys_.begin() - 1);
+}
+
+SkipSearch SkipGraph::search(NodeId from, double target) const {
+  ARMADA_CHECK(from < keys_.size());
+  SkipSearch r;
+  NodeId cur = from;
+  // Descend from the top level, moving as far as possible toward the target
+  // at each level without overshooting.
+  for (std::size_t l = levels_; l > 0; --l) {
+    const auto& row = links_[l - 1];
+    if (keys_[cur] <= target) {
+      while (row[cur].right != kNoNode && keys_[row[cur].right] <= target) {
+        cur = row[cur].right;
+        ++r.hops;
+      }
+    } else {
+      while (keys_[cur] > target && row[cur].left != kNoNode) {
+        cur = row[cur].left;
+        ++r.hops;
+      }
+    }
+  }
+  // cur is now the greatest key <= target unless target precedes all keys,
+  // in which case cur is the first node.
+  r.node = cur;
+  ARMADA_CHECK(r.node == owner_of(target));
+  return r;
+}
+
+void SkipGraph::check_invariants() const {
+  ARMADA_CHECK(std::is_sorted(keys_.begin(), keys_.end()));
+  for (std::size_t l = 0; l < levels_; ++l) {
+    const std::uint64_t mask = l == 0 ? 0 : (~0ull >> (64 - l));
+    for (NodeId id = 0; id < keys_.size(); ++id) {
+      const Links& ln = links_[l][id];
+      if (ln.right != kNoNode) {
+        ARMADA_CHECK(ln.right > id);  // sorted by construction
+        ARMADA_CHECK(links_[l][ln.right].left == id);
+        ARMADA_CHECK((membership_[id] & mask) == (membership_[ln.right] & mask));
+        // No skipped group member between id and right.
+        for (NodeId mid = id + 1; mid < ln.right; ++mid) {
+          ARMADA_CHECK((membership_[mid] & mask) != (membership_[id] & mask));
+        }
+      }
+      if (ln.left != kNoNode) {
+        ARMADA_CHECK(links_[l][ln.left].right == id);
+      }
+    }
+  }
+}
+
+double SkipGraph::average_degree() const {
+  std::size_t total = 0;
+  for (const auto& row : links_) {
+    for (const Links& ln : row) {
+      total += (ln.left != kNoNode ? 1 : 0) + (ln.right != kNoNode ? 1 : 0);
+    }
+  }
+  return static_cast<double>(total) / static_cast<double>(keys_.size());
+}
+
+}  // namespace armada::skipgraph

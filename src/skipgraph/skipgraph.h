@@ -1,0 +1,62 @@
+// Skip Graph (Aspnes & Shah, SODA'03): the O(log N)-degree overlay that
+// supports single-attribute range queries natively in O(log N + n) — the
+// paper's Table 1 comparison row, and the substrate of SCRAP.
+//
+// Nodes are ordered by key. Every node draws a random membership word; the
+// level-l list links nodes agreeing on the first l membership bits, so each
+// node appears in ~log N doubly-linked lists and expected search cost is
+// O(log N).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace armada::skipgraph {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+struct SkipSearch {
+  NodeId node = kNoNode;  ///< greatest-key node with key <= target, or first
+  std::uint32_t hops = 0;
+};
+
+class SkipGraph {
+ public:
+  /// Build over the given keys (any order; duplicates rejected).
+  SkipGraph(std::vector<double> keys, std::uint64_t seed);
+
+  std::size_t num_nodes() const { return keys_.size(); }
+  double key(NodeId id) const;
+  /// Level-0 successor / predecessor (kNoNode at the ends).
+  NodeId next(NodeId id) const;
+  NodeId prev(NodeId id) const;
+  std::size_t num_levels() const { return levels_; }
+
+  /// The node owning `target` under range partitioning: the greatest key
+  /// <= target (the first node if target precedes every key). Hop-counted
+  /// skip-graph search from `from`.
+  SkipSearch search(NodeId from, double target) const;
+
+  /// Ground truth owner (binary search).
+  NodeId owner_of(double target) const;
+
+  /// List sortedness, membership-prefix consistency, link symmetry.
+  void check_invariants() const;
+  double average_degree() const;
+
+ private:
+  struct Links {
+    NodeId left = kNoNode;
+    NodeId right = kNoNode;
+  };
+
+  std::vector<double> keys_;                    // by NodeId, sorted ascending
+  std::vector<std::uint64_t> membership_;       // by NodeId
+  std::vector<std::vector<Links>> links_;       // [level][node]
+  std::size_t levels_ = 0;
+};
+
+}  // namespace armada::skipgraph

@@ -1,0 +1,15 @@
+#include "util/check.h"
+
+namespace armada::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " (" << message << ")";
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace armada::detail

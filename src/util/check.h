@@ -1,0 +1,44 @@
+// Checked-assertion helpers.
+//
+// ARMADA_CHECK fires in every build type: simulator correctness depends on
+// structural invariants (prefix covers, neighborhood invariant, ...) that we
+// would rather surface as a thrown diagnostic than as silently wrong metrics.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace armada {
+
+/// Thrown when a checked invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace armada
+
+/// Verify `cond`; on failure throw armada::CheckError with location info.
+#define ARMADA_CHECK(cond)                                               \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::armada::detail::check_failed(#cond, __FILE__, __LINE__, "");     \
+    }                                                                    \
+  } while (false)
+
+/// Like ARMADA_CHECK but appends a streamed message: ARMADA_CHECK_MSG(x>0, "x=" << x)
+#define ARMADA_CHECK_MSG(cond, stream_expr)                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream armada_check_os_;                                   \
+      armada_check_os_ << stream_expr;                                       \
+      ::armada::detail::check_failed(#cond, __FILE__, __LINE__,              \
+                                     armada_check_os_.str());                \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,39 @@
+#include "util/rng.h"
+
+#include "util/check.h"
+
+namespace armada {
+
+std::uint64_t Rng::next_u64(std::uint64_t bound) {
+  ARMADA_CHECK(bound > 0);
+  std::uniform_int_distribution<std::uint64_t> dist(0, bound - 1);
+  return dist(engine_);
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  ARMADA_CHECK(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::next_double() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::next_double(double lo, double hi) {
+  ARMADA_CHECK(lo < hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+Rng Rng::split() { return Rng(engine_()); }
+
+std::size_t Rng::next_index(std::size_t size) {
+  ARMADA_CHECK(size > 0);
+  return static_cast<std::size_t>(next_u64(size));
+}
+
+}  // namespace armada

@@ -1,0 +1,51 @@
+// Deterministic random number generation for reproducible simulations.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace armada {
+
+/// Seeded pseudo-random source. Every simulation component draws from an
+/// explicitly passed Rng so that experiments are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t next_u64(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi). Requires lo < hi.
+  double next_double(double lo, double hi);
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p = 0.5);
+
+  /// Derive an independent child generator (splittable-style).
+  Rng split();
+
+  /// Uniformly choose an index into a container of the given size (> 0).
+  std::size_t next_index(std::size_t size);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[next_index(i)]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace armada

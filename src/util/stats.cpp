@@ -1,0 +1,135 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace armada {
+
+void OnlineStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::mean() const {
+  ARMADA_CHECK(count_ > 0);
+  return mean_;
+}
+
+double OnlineStats::variance() const {
+  ARMADA_CHECK(count_ > 1);
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const {
+  ARMADA_CHECK(count_ > 0);
+  return min_;
+}
+
+double OnlineStats::max() const {
+  ARMADA_CHECK(count_ > 0);
+  return max_;
+}
+
+void Histogram::add(std::int64_t value, std::uint64_t weight) {
+  buckets_[value] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::count(std::int64_t value) const {
+  auto it = buckets_.find(value);
+  return it == buckets_.end() ? 0 : it->second;
+}
+
+std::int64_t Histogram::min() const {
+  ARMADA_CHECK(total_ > 0);
+  return buckets_.begin()->first;
+}
+
+std::int64_t Histogram::max() const {
+  ARMADA_CHECK(total_ > 0);
+  return buckets_.rbegin()->first;
+}
+
+double Histogram::mean() const {
+  ARMADA_CHECK(total_ > 0);
+  double acc = 0.0;
+  for (const auto& [value, count] : buckets_) {
+    acc += static_cast<double>(value) * static_cast<double>(count);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  ARMADA_CHECK(total_ > 0);
+  ARMADA_CHECK(q > 0.0 && q <= 1.0);
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t seen = 0;
+  for (const auto& [value, count] : buckets_) {
+    seen += count;
+    if (static_cast<double>(seen) >= target) {
+      return value;
+    }
+  }
+  return buckets_.rbegin()->first;
+}
+
+double gini(std::vector<double> loads) {
+  ARMADA_CHECK(!loads.empty());
+  std::sort(loads.begin(), loads.end());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    ARMADA_CHECK(loads[i] >= 0.0);
+    weighted += static_cast<double>(i + 1) * loads[i];
+    total += loads[i];
+  }
+  ARMADA_CHECK_MSG(total > 0.0, "gini of an all-zero load vector");
+  const double n = static_cast<double>(loads.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+std::string Histogram::to_string(int max_rows) const {
+  std::ostringstream os;
+  int rows = 0;
+  for (const auto& [value, count] : buckets_) {
+    if (rows++ >= max_rows) {
+      os << "  ... (" << buckets_.size() - static_cast<std::size_t>(max_rows)
+         << " more buckets)\n";
+      break;
+    }
+    os << "  " << value << ": " << count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace armada

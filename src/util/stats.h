@@ -1,0 +1,64 @@
+// Streaming statistics and histograms for simulation metrics.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace armada {
+
+/// Welford-style online accumulator: count, mean, variance, min, max.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Integer-bucket histogram (exact counts per value), suitable for hop-count
+/// and degree distributions.
+class Histogram {
+ public:
+  void add(std::int64_t value, std::uint64_t weight = 1);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(std::int64_t value) const;
+  std::int64_t min() const;
+  std::int64_t max() const;
+  double mean() const;
+  /// Smallest value v such that at least `q` (0..1] of the mass is <= v.
+  std::int64_t quantile(double q) const;
+
+  const std::map<std::int64_t, std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+
+  std::string to_string(int max_rows = 32) const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Gini coefficient of a non-negative load vector: 0 = perfectly even,
+/// -> 1 = concentrated on one element. Used by the load-balance bench.
+double gini(std::vector<double> loads);
+
+}  // namespace armada

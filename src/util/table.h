@@ -1,0 +1,32 @@
+// Aligned ASCII tables and CSV output for benchmark harnesses.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// reproduces; Table renders them readably and emits machine-readable CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace armada {
+
+/// Column-aligned text table with an optional title, plus CSV serialization.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with fixed precision, integers plainly.
+  static std::string cell(double value, int precision = 2);
+  static std::string cell(std::int64_t value);
+  static std::string cell(std::uint64_t value);
+
+  std::string to_text() const;
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace armada

@@ -1,0 +1,321 @@
+// Tests for the layered range-query baselines (PHT, Squid, SCRAP, native
+// Skip Graph ranges), including the golden cross-scheme invariant: every
+// scheme answers the same workload with the same result set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "armada/armada.h"
+#include "fissione/network.h"
+#include "rq/dcf_can.h"
+#include "rq/pht.h"
+#include "rq/scrap.h"
+#include "rq/skipgraph_rq.h"
+#include "rq/squid.h"
+#include "util/rng.h"
+
+namespace armada::rq {
+namespace {
+
+std::vector<double> random_keys(std::size_t n, double lo, double hi,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(rng.next_double(lo, hi));
+  }
+  return keys;
+}
+
+template <typename T>
+std::vector<T> sorted(std::vector<T> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(SkipGraphRange, ExactResultsAndDestinations) {
+  skipgraph::SkipGraph graph(random_keys(300, 0.0, 1000.0, 3), 5);
+  SkipGraphRangeIndex index(graph, {0.0, 1000.0});
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 800; ++i) {
+    values.push_back(rng.next_double(0.0, 1000.0));
+    index.publish(values.back());
+  }
+  for (int trial = 0; trial < 60; ++trial) {
+    const double lo = rng.next_double(0.0, 900.0);
+    const double hi = lo + rng.next_double(0.0, 100.0);
+    const auto r = index.query(
+        static_cast<skipgraph::NodeId>(rng.next_index(graph.num_nodes())), lo,
+        hi);
+    EXPECT_EQ(sorted(r.destinations),
+              sorted(index.expected_destinations(lo, hi)));
+    std::vector<std::uint64_t> expected;
+    for (std::uint64_t h = 0; h < values.size(); ++h) {
+      if (values[h] >= lo && values[h] <= hi) {
+        expected.push_back(h);
+      }
+    }
+    EXPECT_EQ(sorted(r.matches), expected);
+  }
+}
+
+TEST(SkipGraphRange, DelayGrowsWithAnswerSize) {
+  skipgraph::SkipGraph graph(random_keys(2000, 0.0, 1000.0, 9), 11);
+  SkipGraphRangeIndex index(graph, {0.0, 1000.0});
+  Rng rng(13);
+  auto mean_delay = [&](double size) {
+    double total = 0.0;
+    for (int i = 0; i < 50; ++i) {
+      const double lo = rng.next_double(0.0, 1000.0 - size);
+      total += index
+                   .query(static_cast<skipgraph::NodeId>(
+                              rng.next_index(graph.num_nodes())),
+                          lo, lo + size)
+                   .stats.delay;
+    }
+    return total / 50.0;
+  };
+  // O(logN + n): delay must scale with range size — the contrast to PIRA.
+  EXPECT_GT(mean_delay(200.0), mean_delay(2.0) + 100.0);
+}
+
+TEST(Pht, TrieInvariantsAndExactRange) {
+  Pht pht(Pht::Config{.key_bits = 12, .leaf_capacity = 4,
+                      .domain = {0.0, 1000.0}},
+          [](const std::string&) { return 3u; });
+  Rng rng(15);
+  std::vector<double> values;
+  for (int i = 0; i < 600; ++i) {
+    values.push_back(rng.next_double(0.0, 1000.0));
+    pht.publish(values.back());
+  }
+  pht.check_invariants();
+  EXPECT_GT(pht.num_trie_nodes(), 100u);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const double lo = rng.next_double(0.0, 900.0);
+    const double hi = lo + rng.next_double(0.0, 100.0);
+    const auto r = pht.query(lo, hi);
+    std::vector<std::uint64_t> expected;
+    for (std::uint64_t h = 0; h < values.size(); ++h) {
+      // Quantization: compare on keys, as PHT stores them.
+      if (pht.key_of(values[h]) >= pht.key_of(lo) &&
+          pht.key_of(values[h]) <= pht.key_of(hi)) {
+        expected.push_back(h);
+      }
+    }
+    EXPECT_EQ(sorted(r.matches), expected);
+    EXPECT_GT(r.stats.delay, 0.0);
+    EXPECT_GE(r.stats.messages, r.stats.delay);
+  }
+}
+
+TEST(Pht, DelayScalesWithTrieDepthTimesRouting) {
+  // With unit lookup cost the delay equals the visited subtrie depth+1;
+  // with cost c it is c times that — O(b * logN) structure.
+  auto build = [](std::uint32_t cost) {
+    return Pht(Pht::Config{.key_bits = 12, .leaf_capacity = 4,
+                           .domain = {0.0, 1000.0}},
+               [cost](const std::string&) { return cost; });
+  };
+  Pht unit = build(1);
+  Pht costly = build(7);
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.next_double(0.0, 1000.0);
+    unit.publish(v);
+    costly.publish(v);
+  }
+  const auto r1 = unit.query(100.0, 300.0);
+  const auto r7 = costly.query(100.0, 300.0);
+  EXPECT_DOUBLE_EQ(r7.stats.delay, 7.0 * r1.stats.delay);
+  EXPECT_EQ(r7.stats.dest_peers, r1.stats.dest_peers);
+}
+
+TEST(Pht, BinarySearchLookupFindsKeysCheaply) {
+  std::uint32_t gets = 0;
+  Pht pht(Pht::Config{.key_bits = 16, .leaf_capacity = 4,
+                      .domain = {0.0, 1000.0}},
+          [&gets](const std::string&) {
+            ++gets;
+            return 2u;
+          });
+  Rng rng(55);
+  std::vector<double> values;
+  for (int i = 0; i < 800; ++i) {
+    values.push_back(rng.next_double(0.0, 1000.0));
+    pht.publish(values.back());
+  }
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t pick = rng.next_index(values.size());
+    const auto r = pht.lookup(values[pick]);
+    // The published handle is among the results for its key.
+    EXPECT_NE(std::find(r.handles.begin(), r.handles.end(),
+                        static_cast<std::uint64_t>(pick)),
+              r.handles.end());
+    // O(log D) probes: D = 16 -> at most ~5 probes.
+    EXPECT_LE(r.probes, 5u);
+    EXPECT_EQ(r.messages, 2u * r.probes);
+  }
+  EXPECT_GT(gets, 0u);
+}
+
+TEST(Pht, LookupMissingValueReturnsEmpty) {
+  Pht pht(Pht::Config{.key_bits = 12, .leaf_capacity = 4,
+                      .domain = {0.0, 1000.0}},
+          [](const std::string&) { return 1u; });
+  pht.publish(10.0);
+  const auto r = pht.lookup(990.0);
+  EXPECT_TRUE(r.handles.empty());
+  EXPECT_GE(r.probes, 1u);
+}
+
+TEST(Squid, ExactResultsOnChord) {
+  chord::ChordNetwork net(400, 19);
+  Squid squid(net, Squid::Config{.order = 10, .min_side_bits = 4});
+  Rng rng(21);
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 700; ++i) {
+    pts.push_back({rng.next_double(0.0, 1000.0), rng.next_double(0.0, 1000.0)});
+    squid.publish(pts.back());
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    kautz::Box q(2);
+    for (auto& iv : q) {
+      iv.lo = rng.next_double(0.0, 800.0);
+      iv.hi = iv.lo + rng.next_double(0.0, 200.0);
+    }
+    const auto r =
+        squid.query(static_cast<chord::NodeId>(rng.next_index(400)), q);
+    std::vector<std::uint64_t> expected;
+    for (std::uint64_t h = 0; h < pts.size(); ++h) {
+      if (pts[h][0] >= q[0].lo && pts[h][0] <= q[0].hi && pts[h][1] >= q[1].lo &&
+          pts[h][1] <= q[1].hi) {
+        expected.push_back(h);
+      }
+    }
+    EXPECT_EQ(sorted(r.matches), expected);
+    EXPECT_GT(r.stats.delay, 0.0);
+  }
+}
+
+TEST(Scrap, ExactResultsOnSkipGraph) {
+  const std::uint32_t order = 10;
+  const double total = std::exp2(2.0 * order);
+  skipgraph::SkipGraph graph(random_keys(300, 0.0, total - 1.0, 23), 25);
+  Scrap scrap(graph, Scrap::Config{.order = order, .min_side_bits = 4});
+  Rng rng(27);
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 700; ++i) {
+    pts.push_back({rng.next_double(0.0, 1000.0), rng.next_double(0.0, 1000.0)});
+    scrap.publish(pts.back());
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    kautz::Box q(2);
+    for (auto& iv : q) {
+      iv.lo = rng.next_double(0.0, 800.0);
+      iv.hi = iv.lo + rng.next_double(0.0, 200.0);
+    }
+    const auto r = scrap.query(
+        static_cast<skipgraph::NodeId>(rng.next_index(graph.num_nodes())), q);
+    std::vector<std::uint64_t> expected;
+    for (std::uint64_t h = 0; h < pts.size(); ++h) {
+      if (pts[h][0] >= q[0].lo && pts[h][0] <= q[0].hi && pts[h][1] >= q[1].lo &&
+          pts[h][1] <= q[1].hi) {
+        expected.push_back(h);
+      }
+    }
+    EXPECT_EQ(sorted(r.matches), expected);
+  }
+}
+
+// Golden invariant (b): all single-attribute schemes return the same answer
+// on the same workload.
+TEST(CrossScheme, AllSchemesAgreeOnSingleAttributeWorkload) {
+  const std::uint64_t seed = 29;
+  const std::size_t n_values = 900;
+
+  auto fnet = fissione::FissioneNetwork::build(250, seed);
+  auto armada_index = core::ArmadaIndex::single(fnet, {0.0, 1000.0});
+
+  can::CanNetwork cnet(250, seed);
+  DcfCan dcf(cnet, DcfCan::Config{});
+
+  skipgraph::SkipGraph graph(random_keys(250, 0.0, 1000.0, seed), seed + 1);
+  SkipGraphRangeIndex sg(graph, {0.0, 1000.0});
+
+  Rng vals(seed + 2);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < n_values; ++i) {
+    const double v = vals.next_double(0.0, 1000.0);
+    values.push_back(v);
+    const auto h1 = armada_index.publish(v);
+    const auto h2 = dcf.publish(v);
+    const auto h3 = sg.publish(v);
+    ASSERT_EQ(h1, i);
+    ASSERT_EQ(h2, i);
+    ASSERT_EQ(h3, i);
+  }
+
+  Rng rng(seed + 3);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double lo = rng.next_double(0.0, 900.0);
+    const double hi = lo + rng.next_double(0.0, 100.0);
+    const auto a = sorted(armada_index.range_query(fnet.random_peer(), lo, hi)
+                              .matches);
+    const auto d = sorted(dcf.query(cnet.random_node(), lo, hi).matches);
+    const auto s = sorted(
+        sg.query(static_cast<skipgraph::NodeId>(rng.next_index(250)), lo, hi)
+            .matches);
+    EXPECT_EQ(a, d);
+    EXPECT_EQ(a, s);
+  }
+}
+
+// The multi-attribute schemes agree as well (exact-filtered).
+TEST(CrossScheme, MultiAttributeSchemesAgree) {
+  const std::uint64_t seed = 31;
+  auto fnet = fissione::FissioneNetwork::build(200, seed);
+  auto armada_index =
+      core::ArmadaIndex::multi(fnet, kautz::Box{{0.0, 1000.0}, {0.0, 1000.0}});
+
+  chord::ChordNetwork chord_net(200, seed);
+  Squid squid(chord_net, Squid::Config{.order = 10, .min_side_bits = 4});
+
+  const std::uint32_t order = 10;
+  skipgraph::SkipGraph graph(
+      random_keys(200, 0.0, std::exp2(2.0 * order) - 1.0, seed), seed + 1);
+  Scrap scrap(graph, Scrap::Config{.order = order, .min_side_bits = 4});
+
+  Rng vals(seed + 2);
+  for (int i = 0; i < 700; ++i) {
+    const std::vector<double> p{vals.next_double(0.0, 1000.0),
+                                vals.next_double(0.0, 1000.0)};
+    armada_index.publish(p);
+    squid.publish(p);
+    scrap.publish(p);
+  }
+
+  Rng rng(seed + 3);
+  for (int trial = 0; trial < 25; ++trial) {
+    kautz::Box q(2);
+    for (auto& iv : q) {
+      iv.lo = rng.next_double(0.0, 700.0);
+      iv.hi = iv.lo + rng.next_double(0.0, 300.0);
+    }
+    const auto a = sorted(armada_index.box_query(fnet.random_peer(), q).matches);
+    const auto s = sorted(
+        squid.query(static_cast<chord::NodeId>(rng.next_index(200)), q).matches);
+    const auto c = sorted(
+        scrap.query(static_cast<skipgraph::NodeId>(rng.next_index(200)), q)
+            .matches);
+    EXPECT_EQ(a, s);
+    EXPECT_EQ(a, c);
+  }
+}
+
+}  // namespace
+}  // namespace armada::rq

@@ -1,0 +1,109 @@
+#include "can/can_network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace armada::can {
+namespace {
+
+TEST(Zone, GeometryAndContainment) {
+  const Zone z{.x_num = 1, .y_num = 0, .x_bits = 1, .y_bits = 0};
+  EXPECT_DOUBLE_EQ(z.x_lo(), 0.5);
+  EXPECT_DOUBLE_EQ(z.x_hi(), 1.0);
+  EXPECT_DOUBLE_EQ(z.y_lo(), 0.0);
+  EXPECT_DOUBLE_EQ(z.y_hi(), 1.0);
+  EXPECT_TRUE(z.contains(0.5, 0.0));
+  EXPECT_TRUE(z.contains(0.75, 0.99));
+  EXPECT_FALSE(z.contains(0.49, 0.5));
+}
+
+TEST(Zone, AdjacencyIncludesTorusWrap) {
+  const Zone left{.x_num = 0, .y_num = 0, .x_bits = 1, .y_bits = 0};
+  const Zone right{.x_num = 1, .y_num = 0, .x_bits = 1, .y_bits = 0};
+  EXPECT_TRUE(left.adjacent(right));   // shared internal edge
+  EXPECT_TRUE(right.adjacent(left));   // and the wrap edge
+  const Zone q00{.x_num = 0, .y_num = 0, .x_bits = 1, .y_bits = 1};
+  const Zone q11{.x_num = 1, .y_num = 1, .x_bits = 1, .y_bits = 1};
+  // Corner-only contact is not adjacency.
+  EXPECT_FALSE(q00.adjacent(q11));
+}
+
+TEST(Zone, TorusDistance) {
+  const Zone z{.x_num = 0, .y_num = 0, .x_bits = 2, .y_bits = 2};  // [0,.25)^2
+  EXPECT_DOUBLE_EQ(z.distance2(0.1, 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(z.distance2(0.5, 0.1), 0.25 * 0.25);
+  // Wrap: x = 0.95 is 0.05 away from x_lo = 0 across the seam.
+  EXPECT_NEAR(z.distance2(0.95, 0.1), 0.05 * 0.05, 1e-12);
+}
+
+TEST(CanNetwork, InvariantsAtSeveralSizes) {
+  for (std::size_t n : {1u, 2u, 3u, 10u, 100u, 500u}) {
+    CanNetwork net(n, 7);
+    EXPECT_EQ(net.num_nodes(), n);
+    net.check_invariants();
+  }
+}
+
+TEST(CanNetwork, NeighborsMatchBruteForce) {
+  CanNetwork net(120, 9);
+  net.check_neighbors_brute_force();
+}
+
+TEST(CanNetwork, NodeAtFindsContainingZone) {
+  CanNetwork net(300, 11);
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_double();
+    const double y = rng.next_double();
+    const NodeId id = net.node_at(x, y);
+    EXPECT_TRUE(net.zone(id).contains(x, y));
+  }
+}
+
+TEST(CanNetwork, GreedyRoutingReachesTarget) {
+  CanNetwork net(400, 15);
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.next_double();
+    const double y = rng.next_double();
+    const NodeId from = static_cast<NodeId>(rng.next_index(net.num_nodes()));
+    const CanRoute r = net.route(from, x, y);
+    EXPECT_EQ(r.final_node, net.node_at(x, y));
+  }
+}
+
+TEST(CanNetwork, RoutingScalesAsSqrtN) {
+  // Average greedy path length should grow like sqrt(N) (paper §2 notes
+  // DCF-CAN delay > O(N^{1/d})); sanity-check the trend.
+  Rng rng(19);
+  double mean_small = 0.0;
+  double mean_large = 0.0;
+  for (int rep = 0; rep < 2; ++rep) {
+    const std::size_t n = rep == 0 ? 100 : 1600;
+    CanNetwork net(n, 21 + rep);
+    double total = 0.0;
+    const int trials = 300;
+    for (int i = 0; i < trials; ++i) {
+      const CanRoute r =
+          net.route(static_cast<NodeId>(rng.next_index(net.num_nodes())),
+                    rng.next_double(), rng.next_double());
+      total += r.hops;
+    }
+    (rep == 0 ? mean_small : mean_large) = total / trials;
+  }
+  // 16x nodes => ~4x hops; allow generous tolerance.
+  EXPECT_GT(mean_large, 2.0 * mean_small);
+  EXPECT_LT(mean_large, 8.0 * mean_small);
+}
+
+TEST(CanNetwork, AverageDegreeNearFour) {
+  CanNetwork net(1000, 23);
+  EXPECT_NEAR(net.average_degree(), 4.0, 1.5);
+}
+
+}  // namespace
+}  // namespace armada::can

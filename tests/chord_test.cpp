@@ -1,0 +1,71 @@
+#include "chord/chord.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace armada::chord {
+namespace {
+
+TEST(RingRange, WrapAwareIntervals) {
+  EXPECT_TRUE(in_ring_range(10, 20, 15));
+  EXPECT_TRUE(in_ring_range(10, 20, 20));
+  EXPECT_FALSE(in_ring_range(10, 20, 10));
+  EXPECT_FALSE(in_ring_range(10, 20, 25));
+  // Wrapping interval.
+  EXPECT_TRUE(in_ring_range(~0ull - 5, 5, 2));
+  EXPECT_TRUE(in_ring_range(~0ull - 5, 5, ~0ull));
+  EXPECT_FALSE(in_ring_range(~0ull - 5, 5, 100));
+  // Degenerate = whole ring.
+  EXPECT_TRUE(in_ring_range(7, 7, 123));
+}
+
+TEST(Chord, InvariantsAndOwnership) {
+  ChordNetwork net(300, 5);
+  net.check_invariants();
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Key k = rng.engine()();
+    const NodeId owner = net.owner_of(k);
+    // The owner's predecessor precedes k.
+    const NodeId pred = net.predecessor_node(owner);
+    EXPECT_TRUE(in_ring_range(net.node_key(pred), net.node_key(owner), k));
+  }
+}
+
+TEST(Chord, RoutingReachesOwnerInLogHops) {
+  ChordNetwork net(1000, 9);
+  Rng rng(11);
+  const double log_n = std::log2(1000.0);
+  double total = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const NodeId from = static_cast<NodeId>(rng.next_index(net.num_nodes()));
+    const Key k = rng.engine()();
+    const ChordRoute r = net.route(from, k);
+    EXPECT_EQ(r.owner, net.owner_of(k));
+    EXPECT_LE(r.hops, 2 * log_n + 5);
+    total += r.hops;
+  }
+  // Classic expectation: ~ (1/2) log2 N average.
+  EXPECT_LT(total / 300.0, log_n);
+  EXPECT_GT(total / 300.0, 0.25 * log_n);
+}
+
+TEST(Chord, RouteToOwnKeyIsFree) {
+  ChordNetwork net(50, 13);
+  const ChordRoute r = net.route(7, net.node_key(7));
+  EXPECT_EQ(r.owner, 7u);
+  EXPECT_EQ(r.hops, 0u);
+}
+
+TEST(Chord, SuccessorPredecessorAreInverse) {
+  ChordNetwork net(64, 15);
+  for (NodeId id = 0; id < 64; ++id) {
+    EXPECT_EQ(net.predecessor_node(net.successor_node(id)), id);
+  }
+}
+
+}  // namespace
+}  // namespace armada::chord

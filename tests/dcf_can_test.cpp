@@ -1,0 +1,118 @@
+#include "rq/dcf_can.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace armada::rq {
+namespace {
+
+using can::CanNetwork;
+using can::NodeId;
+
+std::vector<NodeId> sorted(std::vector<NodeId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+class DcfExactnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DcfExactnessTest, FloodReachesExactlyIntersectingZones) {
+  const std::uint64_t seed = GetParam();
+  CanNetwork net(200 + 50 * (seed % 3), seed);
+  DcfCan dcf(net, DcfCan::Config{});
+  Rng rng(seed + 1000);
+  for (int i = 0; i < 500; ++i) {
+    dcf.publish(rng.next_double(0.0, 1000.0));
+  }
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const double size = rng.next_double(0.0, 300.0);
+    const double lo = rng.next_double(0.0, 1000.0 - size);
+    const double hi = lo + size;
+    const NodeId issuer = static_cast<NodeId>(rng.next_index(net.num_nodes()));
+    const auto r = dcf.query(issuer, lo, hi);
+
+    // Destination set = zones whose Hilbert ranges intersect the segment.
+    EXPECT_EQ(sorted({r.destinations.begin(), r.destinations.end()}),
+              sorted(dcf.expected_destinations(lo, hi)));
+
+    // No duplicate visits.
+    std::unordered_set<NodeId> unique(r.destinations.begin(),
+                                      r.destinations.end());
+    EXPECT_EQ(unique.size(), r.destinations.size());
+
+    // Exact results.
+    std::vector<std::uint64_t> expected_matches;
+    for (std::uint64_t h = 0; h < 500; ++h) {
+      if (dcf.value(h) >= lo && dcf.value(h) <= hi) {
+        expected_matches.push_back(h);
+      }
+    }
+    auto got = r.matches;
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected_matches);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DcfExactnessTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(DcfCan, ValueMappingIsMonotoneOnTheCurve) {
+  CanNetwork net(50, 31);
+  DcfCan dcf(net, DcfCan::Config{});
+  double prev = -1.0;
+  for (double v = 0.0; v <= 1000.0; v += 10.0) {
+    const double idx = static_cast<double>(dcf.value_to_index(v));
+    EXPECT_GT(idx, prev);
+    prev = idx;
+  }
+}
+
+TEST(DcfCan, DelayGrowsWithRangeSize) {
+  CanNetwork net(2000, 33);
+  DcfCan dcf(net, DcfCan::Config{});
+  Rng rng(35);
+  auto mean_delay = [&](double size) {
+    double total = 0.0;
+    const int trials = 60;
+    for (int i = 0; i < trials; ++i) {
+      const double lo = rng.next_double(0.0, 1000.0 - size);
+      const auto r = dcf.query(
+          static_cast<NodeId>(rng.next_index(net.num_nodes())), lo, lo + size);
+      total += r.stats.delay;
+    }
+    return total / trials;
+  };
+  // The paper's Figure 5 behaviour: DCF-CAN delay increases remarkably
+  // with the queried range.
+  EXPECT_GT(mean_delay(300.0), mean_delay(2.0) + 3.0);
+}
+
+TEST(DcfCan, ZoneRangesPartitionCurve) {
+  CanNetwork net(150, 37);
+  DcfCan dcf(net, DcfCan::Config{.order = 10, .domain = {0.0, 1000.0}});
+  // Total length of all zones' index ranges equals the whole curve.
+  std::uint64_t total = 0;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    for (const auto& r : dcf.zone_ranges(id)) {
+      total += r.last - r.first;
+    }
+  }
+  EXPECT_EQ(total, 1ull << 20);  // 4^10
+}
+
+TEST(DcfCan, SingleZoneQueryCostsOnlyRouting) {
+  CanNetwork net(300, 39);
+  DcfCan dcf(net, DcfCan::Config{});
+  // A zero-width range hits exactly one zone.
+  const auto r = dcf.query(0, 500.0, 500.0);
+  EXPECT_EQ(r.stats.dest_peers, 1u);
+  EXPECT_DOUBLE_EQ(r.stats.delay, static_cast<double>(r.stats.messages));
+}
+
+}  // namespace
+}  // namespace armada::rq

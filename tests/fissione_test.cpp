@@ -1,0 +1,227 @@
+#include "fissione/network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "kautz/kautz_space.h"
+#include "util/check.h"
+
+namespace armada::fissione {
+namespace {
+
+using kautz::KautzString;
+
+TEST(FissioneBootstrap, ThreeSeedPeers) {
+  FissioneNetwork net(FissioneNetwork::Config{}, 1);
+  EXPECT_EQ(net.num_peers(), 3u);
+  net.check_invariants();
+  // Seed peers own "0", "1", "2" and are pairwise neighbors (K(2,1)).
+  std::unordered_set<std::string> ids;
+  for (PeerId p : net.alive_peers()) {
+    ids.insert(net.peer(p).peer_id.to_string());
+    EXPECT_EQ(net.peer(p).out_neighbors.size(), 2u);
+  }
+  EXPECT_EQ(ids, (std::unordered_set<std::string>{"0", "1", "2"}));
+}
+
+TEST(FissioneJoin, InvariantsAfterEachOfManyJoins) {
+  FissioneNetwork net(FissioneNetwork::Config{}, 2);
+  for (int i = 0; i < 60; ++i) {
+    net.join();
+    net.check_invariants();
+    EXPECT_LE(net.max_neighbor_length_gap(), 1u);
+  }
+  EXPECT_EQ(net.num_peers(), 63u);
+}
+
+TEST(FissioneJoin, BalancedIdLengths) {
+  auto net = FissioneNetwork::build(2000, 3);
+  const auto hist = net.peer_id_length_histogram();
+  const double log_n = std::log2(2000.0);
+  // Paper §3: max PeerID length < 2 log2 N, average < log2 N.
+  EXPECT_LT(static_cast<double>(hist.max()), 2 * log_n);
+  EXPECT_LT(hist.mean(), log_n);
+}
+
+TEST(FissioneJoin, AverageDegreeAboutFour) {
+  auto net = FissioneNetwork::build(1000, 4);
+  EXPECT_NEAR(net.average_degree(), 4.0, 0.8);
+}
+
+TEST(FissioneRouting, ReachesOwnerWithinIdLengthHops) {
+  auto net = FissioneNetwork::build(500, 5);
+  Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    const KautzString target = kautz::random_string(rng, 2, 48);
+    const PeerId from =
+        net.alive_peers()[rng.next_index(net.alive_peers().size())];
+    const RouteResult r = net.route(from, target);
+    EXPECT_EQ(r.owner, net.owner_of(target));
+    EXPECT_LE(r.hops, net.peer(from).peer_id.length());
+    EXPECT_EQ(r.path.size(), static_cast<std::size_t>(r.hops) + 1);
+    EXPECT_EQ(r.path.front(), from);
+    EXPECT_EQ(r.path.back(), r.owner);
+  }
+}
+
+TEST(FissioneRouting, ZeroHopsWhenSourceOwns) {
+  auto net = FissioneNetwork::build(100, 6);
+  Rng rng(7);
+  const KautzString target = kautz::random_string(rng, 2, 48);
+  const PeerId owner = net.owner_of(target);
+  const RouteResult r = net.route(owner, target);
+  EXPECT_EQ(r.hops, 0u);
+  EXPECT_EQ(r.owner, owner);
+}
+
+TEST(FissioneRouting, PathHopsFollowOutEdges) {
+  auto net = FissioneNetwork::build(300, 8);
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const KautzString target = kautz::random_string(rng, 2, 48);
+    const RouteResult r = net.route(
+        net.alive_peers()[rng.next_index(net.alive_peers().size())], target);
+    for (std::size_t h = 0; h + 1 < r.path.size(); ++h) {
+      const auto& out = net.peer(r.path[h]).out_neighbors;
+      EXPECT_NE(std::find(out.begin(), out.end(), r.path[h + 1]), out.end());
+    }
+  }
+}
+
+TEST(FissioneData, PublishLookupRoundTrip) {
+  auto net = FissioneNetwork::build(200, 9);
+  Rng rng(13);
+  std::vector<KautzString> ids;
+  for (std::uint64_t v = 0; v < 100; ++v) {
+    ids.push_back(kautz::random_string(rng, 2, 48));
+    net.publish(ids.back(), v);
+  }
+  EXPECT_EQ(net.total_objects(), 100u);
+  for (std::uint64_t v = 0; v < 100; ++v) {
+    const auto payloads = net.lookup(
+        net.alive_peers()[rng.next_index(net.alive_peers().size())], ids[v]);
+    ASSERT_EQ(payloads.size(), 1u) << ids[v].to_string();
+    EXPECT_EQ(payloads[0], v);
+  }
+}
+
+TEST(FissioneData, ObjectsFollowSplits) {
+  FissioneNetwork net(FissioneNetwork::Config{}, 10);
+  Rng rng(17);
+  for (std::uint64_t v = 0; v < 200; ++v) {
+    net.publish(kautz::random_string(rng, 2, 48), v);
+  }
+  for (int i = 0; i < 50; ++i) {
+    net.join();
+  }
+  EXPECT_EQ(net.total_objects(), 200u);
+  net.check_invariants();  // includes placement checks
+}
+
+TEST(FissioneLeave, GracefulDepartureTransfersObjects) {
+  auto net = FissioneNetwork::build(80, 11);
+  Rng rng(19);
+  for (std::uint64_t v = 0; v < 300; ++v) {
+    net.publish(kautz::random_string(rng, 2, 48), v);
+  }
+  for (int i = 0; i < 40; ++i) {
+    const auto& alive = net.alive_peers();
+    net.leave(alive[rng.next_index(alive.size())]);
+    net.check_invariants();
+    EXPECT_LE(net.max_neighbor_length_gap(), 1u);
+  }
+  EXPECT_EQ(net.num_peers(), 40u);
+  EXPECT_EQ(net.total_objects(), 300u);
+}
+
+TEST(FissioneCrash, LosesOnlyLocalObjectsAndHeals) {
+  auto net = FissioneNetwork::build(100, 12);
+  Rng rng(23);
+  for (std::uint64_t v = 0; v < 400; ++v) {
+    net.publish(kautz::random_string(rng, 2, 48), v);
+  }
+  const std::size_t before = net.total_objects();
+  const auto& alive = net.alive_peers();
+  const PeerId victim = alive[rng.next_index(alive.size())];
+  const std::size_t victim_objects = net.peer(victim).store.size();
+  const std::size_t lost = net.crash(victim);
+  EXPECT_EQ(lost, victim_objects);
+  EXPECT_EQ(net.total_objects(), before - lost);
+  net.check_invariants();
+  // Routing still works everywhere after the failure is healed.
+  for (int i = 0; i < 50; ++i) {
+    const KautzString target = kautz::random_string(rng, 2, 48);
+    const PeerId from =
+        net.alive_peers()[rng.next_index(net.alive_peers().size())];
+    EXPECT_EQ(net.route(from, target).owner, net.owner_of(target));
+  }
+}
+
+TEST(FissioneLeave, RefusesToDropBelowBootstrap) {
+  FissioneNetwork net(FissioneNetwork::Config{}, 13);
+  EXPECT_THROW(net.leave(net.alive_peers().front()), CheckError);
+}
+
+TEST(FissioneHash, KautzHashDeterministicAndValid) {
+  FissioneNetwork net(FissioneNetwork::Config{}, 14);
+  const auto a = net.kautz_hash("hello");
+  const auto b = net.kautz_hash("hello");
+  const auto c = net.kautz_hash("world");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.length(), net.config().object_id_length);
+}
+
+TEST(FissioneJoin, PlacementHopsBounded) {
+  auto net = FissioneNetwork::build(500, 15);
+  for (int i = 0; i < 20; ++i) {
+    const auto stats = net.join();
+    EXPECT_LE(stats.placement_hops,
+              static_cast<std::uint32_t>(
+                  2 * std::log2(static_cast<double>(net.num_peers())) + 2));
+  }
+}
+
+// Property sweep: random churn mixes at several seeds keep every invariant.
+class FissioneChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FissioneChurnTest, InvariantsUnderRandomChurn) {
+  const std::uint64_t seed = GetParam();
+  auto net = FissioneNetwork::build(60, seed);
+  Rng rng(seed * 7919 + 1);
+  for (std::uint64_t v = 0; v < 100; ++v) {
+    net.publish(kautz::random_string(rng, 2, 48), v);
+  }
+  for (int step = 0; step < 120; ++step) {
+    const double dice = rng.next_double();
+    if (dice < 0.45 || net.num_peers() <= 10) {
+      net.join();
+    } else if (dice < 0.9) {
+      const auto& alive = net.alive_peers();
+      net.leave(alive[rng.next_index(alive.size())]);
+    } else {
+      const auto& alive = net.alive_peers();
+      net.crash(alive[rng.next_index(alive.size())]);
+    }
+    if (step % 10 == 0) {
+      net.check_invariants();
+      EXPECT_LE(net.max_neighbor_length_gap(), 1u);
+    }
+  }
+  net.check_invariants();
+  // Routing correctness after heavy churn.
+  for (int i = 0; i < 100; ++i) {
+    const KautzString target = kautz::random_string(rng, 2, 48);
+    const PeerId from =
+        net.alive_peers()[rng.next_index(net.alive_peers().size())];
+    EXPECT_EQ(net.route(from, target).owner, net.owner_of(target));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FissioneChurnTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 42, 1234));
+
+}  // namespace
+}  // namespace armada::fissione

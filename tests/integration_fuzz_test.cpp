@@ -1,0 +1,126 @@
+// Long-running randomized integration test: interleaves membership churn,
+// publishes, and every query type Armada supports, verifying each answer
+// against ground truth and every structural invariant along the way.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "armada/armada.h"
+#include "fissione/network.h"
+#include "util/rng.h"
+
+namespace armada::core {
+namespace {
+
+using fissione::FissioneNetwork;
+
+class IntegrationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntegrationFuzz, EverythingStaysCorrectUnderInterleavedChurn) {
+  const std::uint64_t seed = GetParam();
+  auto net = FissioneNetwork::build(120, seed);
+  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
+  Rng rng(seed * 104729 + 13);
+
+  std::vector<double> values;  // handle -> value (all ever published)
+  auto surviving_values = [&]() {
+    // Crashes can drop objects: ground truth is what peers still store.
+    std::vector<std::uint64_t> alive_handles;
+    for (auto p : net.alive_peers()) {
+      for (const auto& obj : net.peer(p).store) {
+        alive_handles.push_back(obj.payload);
+      }
+    }
+    std::sort(alive_handles.begin(), alive_handles.end());
+    return alive_handles;
+  };
+
+  for (int step = 0; step < 300; ++step) {
+    const double dice = rng.next_double();
+    if (dice < 0.25) {
+      values.push_back(rng.next_double(0.0, 1000.0));
+      index.publish(values.back());
+    } else if (dice < 0.35) {
+      net.join();
+    } else if (dice < 0.42 && net.num_peers() > 40) {
+      const auto& alive = net.alive_peers();
+      net.leave(alive[rng.next_index(alive.size())]);
+    } else if (dice < 0.45 && net.num_peers() > 40) {
+      const auto& alive = net.alive_peers();
+      net.crash(alive[rng.next_index(alive.size())]);
+    } else if (!values.empty()) {
+      const auto alive_handles = surviving_values();
+      const double lo = rng.next_double(0.0, 900.0);
+      const double hi = lo + rng.next_double(0.0, 100.0);
+      const auto issuer = net.random_peer();
+      const double bound =
+          static_cast<double>(net.peer(issuer).peer_id.length());
+
+      if (dice < 0.65) {  // range query
+        auto got = index.range_query(issuer, lo, hi).matches;
+        std::sort(got.begin(), got.end());
+        std::vector<std::uint64_t> expected;
+        for (std::uint64_t h : alive_handles) {
+          if (values[h] >= lo && values[h] <= hi) {
+            expected.push_back(h);
+          }
+        }
+        EXPECT_EQ(got, expected);
+      } else if (dice < 0.75) {  // top-k
+        const std::size_t k = 1 + rng.next_index(8);
+        const auto r = index.top_k(issuer, lo, hi, k);
+        std::vector<std::pair<double, std::uint64_t>> in_range;
+        for (std::uint64_t h : alive_handles) {
+          if (values[h] >= lo && values[h] <= hi) {
+            in_range.emplace_back(values[h], h);
+          }
+        }
+        std::sort(in_range.begin(), in_range.end(), [](auto a, auto b) {
+          return a.first != b.first ? a.first > b.first : a.second < b.second;
+        });
+        in_range.resize(std::min(in_range.size(), k));
+        ASSERT_EQ(r.handles.size(), in_range.size());
+        for (std::size_t i = 0; i < in_range.size(); ++i) {
+          EXPECT_EQ(r.handles[i], in_range[i].second);
+        }
+      } else if (dice < 0.85) {  // aggregate
+        const auto agg = index.range_aggregate(issuer, lo, hi);
+        std::uint64_t count = 0;
+        for (std::uint64_t h : alive_handles) {
+          if (values[h] >= lo && values[h] <= hi) {
+            ++count;
+          }
+        }
+        EXPECT_EQ(agg.count, count);
+        EXPECT_LE(agg.stats.delay, bound);
+      } else {  // k-NN
+        const std::size_t k = 1 + rng.next_index(5);
+        const double q = rng.next_double(0.0, 1000.0);
+        const auto r = index.nearest(issuer, q, k);
+        std::vector<std::pair<double, std::uint64_t>> by_dist;
+        for (std::uint64_t h : alive_handles) {
+          by_dist.emplace_back(std::abs(values[h] - q), h);
+        }
+        std::sort(by_dist.begin(), by_dist.end());
+        by_dist.resize(std::min(by_dist.size(), k));
+        ASSERT_EQ(r.handles.size(), by_dist.size());
+        for (std::size_t i = 0; i < by_dist.size(); ++i) {
+          EXPECT_EQ(r.handles[i], by_dist[i].second) << "q=" << q;
+        }
+      }
+    }
+
+    if (step % 50 == 49) {
+      net.check_invariants();
+      EXPECT_LE(net.max_neighbor_length_gap(), 1u);
+    }
+  }
+  net.check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegrationFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace armada::core

@@ -1,0 +1,103 @@
+#include "kautz/kautz_string.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace armada::kautz {
+namespace {
+
+TEST(KautzString, ParseAndPrint) {
+  const auto s = KautzString::parse("0120");
+  EXPECT_EQ(s.length(), 4u);
+  EXPECT_EQ(s.to_string(), "0120");
+  EXPECT_EQ(s.base(), 2);
+  EXPECT_EQ(KautzString(2).to_string(), "<empty>");
+}
+
+TEST(KautzString, RejectsAdjacentRepeats) {
+  EXPECT_THROW(KautzString::parse("011"), CheckError);
+  EXPECT_THROW(KautzString::parse("00"), CheckError);
+}
+
+TEST(KautzString, RejectsDigitsAboveBase) {
+  EXPECT_THROW(KautzString::parse("013"), CheckError);
+  EXPECT_NO_THROW(KautzString::parse("013", 3));
+}
+
+TEST(KautzString, PushPopRespectInvariant) {
+  KautzString s{2};
+  s.push_back(1);
+  EXPECT_FALSE(s.can_append(1));
+  EXPECT_TRUE(s.can_append(0));
+  EXPECT_TRUE(s.can_append(2));
+  EXPECT_THROW(s.push_back(1), CheckError);
+  s.push_back(2);
+  EXPECT_EQ(s.to_string(), "12");
+  s.pop_back();
+  EXPECT_EQ(s.to_string(), "1");
+}
+
+TEST(KautzString, PrefixSuffixSlices) {
+  const auto s = KautzString::parse("21012");
+  EXPECT_EQ(s.prefix(3).to_string(), "210");
+  EXPECT_EQ(s.suffix(2).to_string(), "12");
+  EXPECT_EQ(s.prefix(0).length(), 0u);
+  EXPECT_EQ(s.drop_front().to_string(), "1012");
+}
+
+TEST(KautzString, ConcatChecksJunction) {
+  const auto a = KautzString::parse("012");
+  EXPECT_EQ(a.concat(KautzString::parse("01")).to_string(), "01201");
+  EXPECT_THROW(a.concat(KautzString::parse("21")), CheckError);
+  EXPECT_EQ(a.concat(KautzString(2)), a);
+}
+
+TEST(KautzString, PrefixSuffixPredicates) {
+  const auto s = KautzString::parse("0120");
+  EXPECT_TRUE(KautzString::parse("01").is_prefix_of(s));
+  EXPECT_FALSE(KautzString::parse("02").is_prefix_of(s));
+  EXPECT_TRUE(KautzString::parse("20").is_suffix_of(s));
+  EXPECT_FALSE(KautzString::parse("12").is_suffix_of(s));
+  EXPECT_TRUE(KautzString(2).is_prefix_of(s));
+  EXPECT_TRUE(s.is_prefix_of(s));
+}
+
+TEST(KautzString, LongestSuffixPrefixAlignment) {
+  // Suffix "12" of 212 is a prefix of "120...".
+  const auto id = KautzString::parse("212");
+  EXPECT_EQ(id.longest_suffix_prefix(KautzString::parse("1202")), 2u);
+  EXPECT_EQ(id.longest_suffix_prefix(KautzString::parse("2021")), 1u);
+  EXPECT_EQ(id.longest_suffix_prefix(KautzString::parse("0121")), 0u);
+  // Whole-string alignment.
+  EXPECT_EQ(id.longest_suffix_prefix(KautzString::parse("21201")), 3u);
+}
+
+TEST(KautzString, LexicographicOrder) {
+  EXPECT_LT(KautzString::parse("010"), KautzString::parse("012"));
+  EXPECT_LT(KautzString::parse("012"), KautzString::parse("020"));
+  EXPECT_LT(KautzString::parse("01"), KautzString::parse("010"));  // prefix first
+  EXPECT_EQ(KautzString::parse("120"), KautzString::parse("120"));
+  EXPECT_GT(KautzString::parse("2"), KautzString::parse("1210"));
+}
+
+TEST(KautzString, HashDistinguishesStrings) {
+  std::unordered_set<KautzString, KautzStringHash> set;
+  set.insert(KautzString::parse("010"));
+  set.insert(KautzString::parse("012"));
+  set.insert(KautzString::parse("010"));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(KautzString::parse("012")));
+  EXPECT_FALSE(set.contains(KautzString::parse("021")));
+}
+
+TEST(KautzString, CrossBaseComparisonRejected) {
+  const auto a = KautzString::parse("01", 2);
+  const auto b = KautzString::parse("01", 3);
+  EXPECT_THROW((void)(a < b), CheckError);
+}
+
+}  // namespace
+}  // namespace armada::kautz

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "sfc/hilbert.h"
+#include "sfc/morton.h"
+#include "sfc/sfc_region.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace armada::sfc {
+namespace {
+
+TEST(Hilbert, BijectiveExhaustiveSmallOrders) {
+  for (std::uint32_t order : {1u, 2u, 3u, 4u, 5u}) {
+    const std::uint64_t n = 1ull << (2 * order);
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t x = 0; x < (1ull << order); ++x) {
+      for (std::uint64_t y = 0; y < (1ull << order); ++y) {
+        const std::uint64_t d = hilbert_index(order, {x, y});
+        EXPECT_LT(d, n);
+        EXPECT_TRUE(seen.insert(d).second);
+        EXPECT_EQ(hilbert_cell(order, d), (Cell{x, y}));
+      }
+    }
+    EXPECT_EQ(seen.size(), n);
+  }
+}
+
+TEST(Hilbert, ConsecutiveIndicesAreAdjacentCells) {
+  // The locality property DCF flooding depends on.
+  for (std::uint32_t order : {2u, 4u, 6u}) {
+    const std::uint64_t n = 1ull << (2 * order);
+    Cell prev = hilbert_cell(order, 0);
+    for (std::uint64_t d = 1; d < n; ++d) {
+      const Cell cur = hilbert_cell(order, d);
+      const std::uint64_t dx =
+          cur.x > prev.x ? cur.x - prev.x : prev.x - cur.x;
+      const std::uint64_t dy =
+          cur.y > prev.y ? cur.y - prev.y : prev.y - cur.y;
+      EXPECT_EQ(dx + dy, 1u) << "jump at d=" << d;
+      prev = cur;
+    }
+  }
+}
+
+TEST(Hilbert, LargeOrderRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = rng.next_u64(1ull << 20);
+    const std::uint64_t y = rng.next_u64(1ull << 20);
+    const std::uint64_t d = hilbert_index(20, {x, y});
+    EXPECT_EQ(hilbert_cell(20, d), (Cell{x, y}));
+  }
+}
+
+TEST(Morton, BijectiveAndRoundTrip) {
+  for (std::uint32_t order : {1u, 3u, 5u}) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t x = 0; x < (1ull << order); ++x) {
+      for (std::uint64_t y = 0; y < (1ull << order); ++y) {
+        const std::uint64_t d = morton_index(order, {x, y});
+        EXPECT_TRUE(seen.insert(d).second);
+        EXPECT_EQ(morton_cell(order, d), (Cell{x, y}));
+      }
+    }
+  }
+}
+
+TEST(SquareRange, MatchesBruteForceEnumeration) {
+  const std::uint32_t order = 5;
+  for (Curve curve : {Curve::kHilbert, Curve::kMorton}) {
+    for (std::uint32_t side_bits : {0u, 1u, 2u, 3u}) {
+      const std::uint64_t size = 1ull << side_bits;
+      for (std::uint64_t cx = 0; cx < (1ull << order); cx += size) {
+        for (std::uint64_t cy = 0; cy < (1ull << order); cy += size) {
+          const IndexRange r =
+              curve == Curve::kHilbert
+                  ? hilbert_square_range(order, {cx, cy}, side_bits)
+                  : morton_square_range(order, {cx, cy}, side_bits);
+          EXPECT_EQ(r.last - r.first, size * size);
+          // Every cell of the square falls inside the range.
+          for (std::uint64_t x = cx; x < cx + size; ++x) {
+            for (std::uint64_t y = cy; y < cy + size; ++y) {
+              const std::uint64_t d = curve_index(curve, order, {x, y});
+              EXPECT_GE(d, r.first);
+              EXPECT_LT(d, r.last);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SquareRange, RejectsMisalignedCorner) {
+  EXPECT_THROW(hilbert_square_range(4, {1, 0}, 1), CheckError);
+  EXPECT_THROW(morton_square_range(4, {0, 3}, 2), CheckError);
+}
+
+TEST(RectRanges, CoverExactlyTheRectangle) {
+  const std::uint32_t order = 5;
+  Rng rng(7);
+  for (Curve curve : {Curve::kHilbert, Curve::kMorton}) {
+    for (int trial = 0; trial < 40; ++trial) {
+      const std::uint32_t xb = static_cast<std::uint32_t>(rng.next_u64(4));
+      const std::uint32_t yb = static_cast<std::uint32_t>(rng.next_u64(4));
+      const std::uint64_t xs = 1ull << xb;
+      const std::uint64_t ys = 1ull << yb;
+      const std::uint64_t cx = rng.next_u64((1ull << order) / xs) * xs;
+      const std::uint64_t cy = rng.next_u64((1ull << order) / ys) * ys;
+      const auto ranges = rect_ranges(curve, order, {cx, cy}, xb, yb);
+
+      std::set<std::uint64_t> expected;
+      for (std::uint64_t x = cx; x < cx + xs; ++x) {
+        for (std::uint64_t y = cy; y < cy + ys; ++y) {
+          expected.insert(curve_index(curve, order, {x, y}));
+        }
+      }
+      std::set<std::uint64_t> got;
+      for (const IndexRange& r : ranges) {
+        for (std::uint64_t d = r.first; d < r.last; ++d) {
+          EXPECT_TRUE(got.insert(d).second) << "overlapping ranges";
+        }
+      }
+      EXPECT_EQ(got, expected);
+    }
+  }
+}
+
+TEST(RectRanges, DyadicZoneRatioTwoYieldsAtMostTwoRanges) {
+  // CAN zones have side ratio <= 2: 1-2 contiguous Hilbert ranges.
+  const std::uint32_t order = 8;
+  EXPECT_LE(rect_ranges(Curve::kHilbert, order, {0, 0}, 3, 3).size(), 2u);
+  EXPECT_LE(rect_ranges(Curve::kHilbert, order, {16, 8}, 4, 3).size(), 2u);
+  EXPECT_LE(rect_ranges(Curve::kHilbert, order, {8, 16}, 3, 4).size(), 2u);
+}
+
+TEST(BoxRanges, ExactCoverMatchesBruteForce) {
+  const std::uint32_t order = 5;
+  Rng rng(11);
+  for (Curve curve : {Curve::kHilbert, Curve::kMorton}) {
+    for (int trial = 0; trial < 60; ++trial) {
+      const std::uint64_t side = 1ull << order;
+      std::uint64_t x0 = rng.next_u64(side);
+      std::uint64_t x1 = rng.next_u64(side);
+      std::uint64_t y0 = rng.next_u64(side);
+      std::uint64_t y1 = rng.next_u64(side);
+      if (x0 > x1) std::swap(x0, x1);
+      if (y0 > y1) std::swap(y0, y1);
+
+      const auto ranges = box_ranges(curve, order, x0, x1, y0, y1);
+      std::set<std::uint64_t> expected;
+      for (std::uint64_t x = x0; x <= x1; ++x) {
+        for (std::uint64_t y = y0; y <= y1; ++y) {
+          expected.insert(curve_index(curve, order, {x, y}));
+        }
+      }
+      std::set<std::uint64_t> got;
+      for (const IndexRange& r : ranges) {
+        EXPECT_LT(r.first, r.last);
+        for (std::uint64_t d = r.first; d < r.last; ++d) {
+          EXPECT_TRUE(got.insert(d).second);
+        }
+      }
+      EXPECT_EQ(got, expected);
+      // Coalesced: strictly increasing, non-touching.
+      for (std::size_t i = 1; i < ranges.size(); ++i) {
+        EXPECT_GT(ranges[i].first, ranges[i - 1].last);
+      }
+    }
+  }
+}
+
+TEST(BoxRanges, GranularityLimitOverApproximates) {
+  const std::uint32_t order = 6;
+  const auto exact = box_ranges(Curve::kHilbert, order, 3, 40, 5, 50);
+  const auto coarse = box_ranges(Curve::kHilbert, order, 3, 40, 5, 50, 3);
+  EXPECT_LE(coarse.size(), exact.size());
+  // Every exact index is covered by the coarse set.
+  for (const IndexRange& e : exact) {
+    for (std::uint64_t d = e.first; d < e.last; ++d) {
+      bool covered = false;
+      for (const IndexRange& c : coarse) {
+        if (d >= c.first && d < c.last) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << d;
+    }
+  }
+}
+
+TEST(IndexRange, Intersection) {
+  const IndexRange a{10, 20};
+  EXPECT_TRUE(a.intersects({19, 30}));
+  EXPECT_TRUE(a.intersects({0, 11}));
+  EXPECT_FALSE(a.intersects({20, 30}));
+  EXPECT_FALSE(a.intersects({0, 10}));
+}
+
+}  // namespace
+}  // namespace armada::sfc

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/workload.h"
+#include "util/check.h"
+
+namespace armada::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, EqualTimesRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, ActionsMayScheduleMore) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) {
+      sim.schedule_after(1.0, chain);
+    }
+  };
+  sim.schedule_after(1.0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RejectsSchedulingIntoThePast) {
+  Simulator sim;
+  sim.schedule_at(2.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), CheckError);
+}
+
+TEST(QueryStats, Ratios) {
+  QueryStats q;
+  q.messages = 30;
+  q.dest_peers = 10;
+  EXPECT_DOUBLE_EQ(q.mesg_ratio(), 3.0);
+  EXPECT_DOUBLE_EQ(q.incre_ratio(11.0), 19.0 / 9.0);
+}
+
+TEST(MetricSet, AggregatesAndSkipsDegenerateRatios) {
+  MetricSet m(10.0);
+  m.add(QueryStats{.messages = 20, .delay = 5, .dest_peers = 10, .results = 3});
+  m.add(QueryStats{.messages = 12, .delay = 7, .dest_peers = 1, .results = 0});
+  m.add(QueryStats{.messages = 0, .delay = 0, .dest_peers = 0, .results = 0});
+  EXPECT_EQ(m.delay().count(), 3u);
+  EXPECT_DOUBLE_EQ(m.delay().mean(), 4.0);
+  EXPECT_EQ(m.mesg_ratio().count(), 2u);   // dest_peers >= 1 only
+  EXPECT_EQ(m.incre_ratio().count(), 1u);  // dest_peers > 1 only
+  EXPECT_DOUBLE_EQ(m.incre_ratio().mean(), 10.0 / 9.0);
+}
+
+TEST(RangeWorkload, StaysInsideDomain) {
+  RangeWorkload w({0.0, 1000.0}, 50.0, Rng(5));
+  for (int i = 0; i < 1000; ++i) {
+    const RangeQuery q = w.next();
+    EXPECT_GE(q.lo, 0.0);
+    EXPECT_LE(q.hi, 1000.0);
+    EXPECT_NEAR(q.hi - q.lo, 50.0, 1e-9);
+  }
+}
+
+TEST(RangeWorkload, RejectsOversizedQueries) {
+  EXPECT_THROW(RangeWorkload({0.0, 10.0}, 11.0, Rng(1)), CheckError);
+}
+
+TEST(BoxWorkload, StaysInsideDomain) {
+  BoxWorkload w(kautz::Box{{0.0, 100.0}, {0.0, 10.0}}, {20.0, 2.0}, Rng(6));
+  for (int i = 0; i < 500; ++i) {
+    const kautz::Box q = w.next();
+    ASSERT_EQ(q.size(), 2u);
+    EXPECT_GE(q[0].lo, 0.0);
+    EXPECT_LE(q[0].hi, 100.0);
+    EXPECT_NEAR(q[0].hi - q[0].lo, 20.0, 1e-12);
+    EXPECT_NEAR(q[1].hi - q[1].lo, 2.0, 1e-12);
+  }
+}
+
+TEST(UniformPoints, CoversDomain) {
+  UniformPoints gen(kautz::Box{{0.0, 1.0}, {5.0, 6.0}}, Rng(7));
+  OnlineStats s0;
+  OnlineStats s1;
+  for (int i = 0; i < 2000; ++i) {
+    const auto p = gen.next();
+    s0.add(p[0]);
+    s1.add(p[1]);
+  }
+  EXPECT_NEAR(s0.mean(), 0.5, 0.05);
+  EXPECT_NEAR(s1.mean(), 5.5, 0.05);
+}
+
+}  // namespace
+}  // namespace armada::sim

@@ -1,0 +1,97 @@
+#include "skipgraph/skipgraph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace armada::skipgraph {
+namespace {
+
+std::vector<double> random_keys(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(rng.next_double(0.0, 1000.0));
+  }
+  return keys;
+}
+
+TEST(SkipGraph, StructureInvariants) {
+  for (std::size_t n : {1u, 2u, 5u, 64u, 500u}) {
+    SkipGraph g(random_keys(n, 3), 4);
+    EXPECT_EQ(g.num_nodes(), n);
+    g.check_invariants();
+  }
+}
+
+TEST(SkipGraph, LevelZeroIsSortedChain) {
+  SkipGraph g(random_keys(100, 5), 6);
+  NodeId cur = 0;
+  std::size_t count = 1;
+  while (g.next(cur) != kNoNode) {
+    EXPECT_LT(g.key(cur), g.key(g.next(cur)));
+    EXPECT_EQ(g.prev(g.next(cur)), cur);
+    cur = g.next(cur);
+    ++count;
+  }
+  EXPECT_EQ(count, g.num_nodes());
+}
+
+TEST(SkipGraph, SearchFindsOwnerFromAnywhere) {
+  SkipGraph g(random_keys(400, 7), 8);
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const NodeId from = static_cast<NodeId>(rng.next_index(g.num_nodes()));
+    const double target = rng.next_double(-10.0, 1010.0);
+    const SkipSearch r = g.search(from, target);
+    EXPECT_EQ(r.node, g.owner_of(target));  // also CHECKed internally
+  }
+}
+
+TEST(SkipGraph, SearchCostLogarithmic) {
+  Rng rng(11);
+  double small_mean = 0.0;
+  double large_mean = 0.0;
+  for (int rep = 0; rep < 2; ++rep) {
+    const std::size_t n = rep == 0 ? 100 : 6400;
+    SkipGraph g(random_keys(n, 13 + rep), 15 + rep);
+    double total = 0.0;
+    for (int i = 0; i < 400; ++i) {
+      total += g.search(static_cast<NodeId>(rng.next_index(n)),
+                        rng.next_double(0.0, 1000.0))
+                   .hops;
+    }
+    (rep == 0 ? small_mean : large_mean) = total / 400.0;
+  }
+  // 64x nodes should cost ~log(64) = 6 extra hops, far below linear growth.
+  EXPECT_LT(large_mean, small_mean + 16.0);
+  EXPECT_LT(large_mean, 3.0 * std::log2(6400.0));
+}
+
+TEST(SkipGraph, LevelCountNearLogN) {
+  SkipGraph g(random_keys(1024, 17), 19);
+  EXPECT_GE(g.num_levels(), 8u);
+  EXPECT_LE(g.num_levels(), 24u);
+  // Average degree ~ 2 per level a node participates in.
+  EXPECT_GT(g.average_degree(), std::log2(1024.0));
+}
+
+TEST(SkipGraph, RejectsDuplicateKeys) {
+  EXPECT_THROW(SkipGraph({1.0, 2.0, 1.0}, 3), CheckError);
+}
+
+TEST(SkipGraph, OwnerOfEdgeCases) {
+  SkipGraph g({10.0, 20.0, 30.0}, 21);
+  EXPECT_EQ(g.owner_of(5.0), 0u);    // below all keys -> first node
+  EXPECT_EQ(g.owner_of(10.0), 0u);
+  EXPECT_EQ(g.owner_of(19.9), 0u);
+  EXPECT_EQ(g.owner_of(20.0), 1u);
+  EXPECT_EQ(g.owner_of(99.0), 2u);
+}
+
+}  // namespace
+}  // namespace armada::skipgraph

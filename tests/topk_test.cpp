@@ -1,0 +1,100 @@
+#include "armada/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "armada/armada.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace armada::core {
+namespace {
+
+using fissione::FissioneNetwork;
+
+class TopKTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopKTest, MatchesBruteForceTopK) {
+  const std::uint64_t seed = GetParam();
+  auto net = FissioneNetwork::build(150, seed);
+  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
+  Rng rng(seed + 5);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(rng.next_double(0.0, 1000.0));
+    index.publish(values.back());
+  }
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const double lo = rng.next_double(0.0, 800.0);
+    const double hi = lo + rng.next_double(0.0, 200.0);
+    const std::size_t k = 1 + rng.next_index(20);
+    const auto r = index.top_k(net.random_peer(), lo, hi, k);
+
+    // Brute force: handles of in-range values, by descending value.
+    std::vector<std::pair<double, std::uint64_t>> in_range;
+    for (std::uint64_t h = 0; h < values.size(); ++h) {
+      if (values[h] >= lo && values[h] <= hi) {
+        in_range.emplace_back(values[h], h);
+      }
+    }
+    std::sort(in_range.begin(), in_range.end(), [](auto a, auto b) {
+      if (a.first != b.first) {
+        return a.first > b.first;
+      }
+      return a.second < b.second;
+    });
+    in_range.resize(std::min(in_range.size(), k));
+    std::vector<std::uint64_t> expected;
+    for (const auto& [v, h] : in_range) {
+      expected.push_back(h);
+    }
+    EXPECT_EQ(r.handles, expected) << "k=" << k << " [" << lo << "," << hi
+                                   << "]";
+    EXPECT_EQ(r.stats.results, expected.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopKTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(TopK, StopsEarlyForSmallK) {
+  auto net = FissioneNetwork::build(400, 9);
+  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
+  Rng rng(11);
+  for (int i = 0; i < 4000; ++i) {
+    index.publish(rng.next_double(0.0, 1000.0));
+  }
+  // k=3 over the whole domain should only touch the top few zones, while a
+  // full range query touches every peer.
+  const auto r = index.top_k(net.random_peer(), 0.0, 1000.0, 3);
+  EXPECT_EQ(r.handles.size(), 3u);
+  EXPECT_LT(r.stats.dest_peers, net.num_peers() / 10);
+}
+
+TEST(TopK, EmptyRangeYieldsNothing) {
+  auto net = FissioneNetwork::build(100, 13);
+  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
+  index.publish(10.0);
+  const auto r = index.top_k(net.random_peer(), 500.0, 600.0, 5);
+  EXPECT_TRUE(r.handles.empty());
+}
+
+TEST(TopK, FewerThanKResultsReturnsAll) {
+  auto net = FissioneNetwork::build(100, 15);
+  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
+  const auto h0 = index.publish(100.0);
+  const auto h1 = index.publish(200.0);
+  const auto r = index.top_k(net.random_peer(), 0.0, 1000.0, 10);
+  EXPECT_EQ(r.handles, (std::vector<std::uint64_t>{h1, h0}));
+}
+
+TEST(TopK, RequiresSingleAttribute) {
+  auto net = FissioneNetwork::build(50, 17);
+  ArmadaIndex index =
+      ArmadaIndex::multi(net, kautz::Box{{0.0, 1.0}, {0.0, 1.0}});
+  EXPECT_THROW(index.top_k(net.random_peer(), 0.0, 1.0, 3), CheckError);
+}
+
+}  // namespace
+}  // namespace armada::core

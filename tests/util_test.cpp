@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace armada {
+namespace {
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(ARMADA_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingConditionThrowsWithLocation) {
+  try {
+    ARMADA_CHECK_MSG(false, "ctx " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("util_test.cpp"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("ctx 42"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(1000), b.next_u64(1000));
+  }
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_u64(17), 17u);
+    const double d = rng.next_double(2.0, 3.0);
+    EXPECT_GE(d, 2.0);
+    EXPECT_LT(d, 3.0);
+    const auto v = rng.next_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(11);
+  Rng child = a.split();
+  // Different streams should diverge almost surely.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64(1000000) == child.next_u64(1000000)) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto shuffled_sorted = v;
+  std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+  EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+TEST(OnlineStats, MeanMinMax) {
+  OnlineStats s;
+  for (double x : {4.0, 2.0, 6.0, 8.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 20.0);
+}
+
+TEST(OnlineStats, VarianceMatchesDirectFormula) {
+  OnlineStats s;
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  double mean = 3.0;
+  double var = 0;
+  for (double x : xs) {
+    s.add(x);
+    var += (x - mean) * (x - mean);
+  }
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+}
+
+TEST(OnlineStats, MergeEqualsSingleStream) {
+  OnlineStats all;
+  OnlineStats left;
+  OnlineStats right;
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_double(0, 100);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.add(i);
+  }
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_EQ(h.quantile(0.5), 50);
+  EXPECT_EQ(h.quantile(0.99), 99);
+  EXPECT_EQ(h.quantile(1.0), 100);
+  EXPECT_EQ(h.count(42), 1u);
+  EXPECT_EQ(h.count(101), 0u);
+}
+
+TEST(Table, TextAndCsv) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({Table::cell(std::int64_t{3}), Table::cell(4.5, 1)});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("| a"), std::string::npos);
+  EXPECT_NE(text.find("4.5"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n3,4.5\n");
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+}  // namespace
+}  // namespace armada

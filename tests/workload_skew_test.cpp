@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "sim/workload.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace armada::sim {
+namespace {
+
+TEST(ZipfValues, StaysInDomainAndSkews) {
+  ZipfValues gen({0.0, 1000.0}, 100, 1.2, Rng(3));
+  Histogram first_decile;
+  const int n = 20000;
+  int low = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = gen.next();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1000.0);
+    if (v < 100.0) {
+      ++low;
+    }
+  }
+  // With exponent 1.2, far more than 10% of the mass sits in the first
+  // decile of the domain.
+  EXPECT_GT(low, n / 4);
+}
+
+TEST(ZipfValues, ZeroExponentIsUniform) {
+  ZipfValues gen({0.0, 1.0}, 50, 0.0, Rng(5));
+  OnlineStats s;
+  for (int i = 0; i < 20000; ++i) {
+    s.add(gen.next());
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.02);
+}
+
+TEST(ClusteredValues, ConcentratesAroundCenters) {
+  ClusteredValues gen({0.0, 1000.0}, {{200.0, 5.0, 1.0}, {800.0, 5.0, 1.0}},
+                      Rng(7));
+  int near_centers = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double v = gen.next();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1000.0);
+    if (std::abs(v - 200.0) < 20.0 || std::abs(v - 800.0) < 20.0) {
+      ++near_centers;
+    }
+  }
+  EXPECT_GT(near_centers, n * 9 / 10);
+}
+
+TEST(ClusteredValues, RespectsWeights) {
+  ClusteredValues gen({0.0, 1000.0}, {{200.0, 5.0, 3.0}, {800.0, 5.0, 1.0}},
+                      Rng(9));
+  int low = 0;
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.next() < 500.0) {
+      ++low;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.75, 0.03);
+}
+
+TEST(Gini, KnownValues) {
+  EXPECT_NEAR(gini({1.0, 1.0, 1.0, 1.0}), 0.0, 1e-12);
+  // All load on one of four peers: gini = (n-1)/n = 0.75.
+  EXPECT_NEAR(gini({0.0, 0.0, 0.0, 8.0}), 0.75, 1e-12);
+  EXPECT_THROW(gini({0.0, 0.0}), CheckError);
+  EXPECT_THROW(gini({}), CheckError);
+}
+
+TEST(Gini, MonotoneInConcentration) {
+  EXPECT_LT(gini({2.0, 2.0, 2.0, 2.0}), gini({1.0, 1.0, 2.0, 4.0}));
+  EXPECT_LT(gini({1.0, 1.0, 2.0, 4.0}), gini({0.0, 0.0, 1.0, 7.0}));
+}
+
+}  // namespace
+}  // namespace armada::sim
