@@ -59,7 +59,7 @@ sim::QueryStats brute_force_query(const can::CanNetwork& net,
 }  // namespace
 
 int main() {
-  constexpr std::size_t kN = 2000;
+  const std::size_t kN = armada::bench::scaled(2000);
   constexpr std::uint64_t kSeed = 92;
 
   can::CanNetwork net(kN, kSeed);

@@ -49,7 +49,7 @@ void curve_connectivity(Table& table, std::uint64_t seed) {
     const std::uint64_t total = 1ull << (2 * order);
     OnlineStats reach;
     OnlineStats zones;
-    for (int trial = 0; trial < 200; ++trial) {
+    for (int trial = 0; trial < armada::bench::scaled_queries(200); ++trial) {
       const std::uint64_t len = total / 20;  // 5% of the value axis
       const std::uint64_t start = rng.next_u64(total - len);
       const sfc::IndexRange q{start, start + len};
@@ -96,7 +96,7 @@ void curve_connectivity(Table& table, std::uint64_t seed) {
 }  // namespace
 
 int main() {
-  constexpr std::size_t kN = 2000;
+  const std::size_t kN = armada::bench::scaled(2000);
   constexpr std::uint64_t kSeed = 91;
 
   // --- Ablation 1: order-preserving vs uniform naming --------------------

@@ -10,7 +10,7 @@ int main() {
   using namespace armada;
   using namespace armada::bench;
 
-  constexpr std::size_t kN = 2000;
+  const std::size_t kN = scaled(2000);
   constexpr std::uint64_t kSeed = 90;
   constexpr double kRange = 100.0;
 
@@ -44,7 +44,7 @@ int main() {
     sim::RangeWorkload workload({kDomainLo, kDomainHi}, kRange,
                                 Rng(kSeed + 2 + round));
     std::size_t wrong = 0;
-    for (int q = 0; q < 200; ++q) {
+    for (int q = 0; q < scaled_queries(200); ++q) {
       const auto rqy = workload.next();
       const auto r = index.range_query(net.random_peer(), rqy.lo, rqy.hi);
       metrics.add(r.stats);

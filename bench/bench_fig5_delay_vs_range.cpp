@@ -9,7 +9,7 @@ int main() {
   using namespace armada;
   using namespace armada::bench;
 
-  constexpr std::size_t kN = 2000;
+  const std::size_t kN = scaled(2000);
   constexpr std::uint64_t kSeed = 42;
   const double log_n = std::log2(static_cast<double>(kN));
 

@@ -11,7 +11,7 @@ int main() {
   using namespace armada;
   using namespace armada::bench;
 
-  constexpr std::size_t kN = 2000;
+  const std::size_t kN = scaled(2000);
   constexpr std::uint64_t kSeed = 43;
 
   ArmadaSetup armada_setup(kN, 2 * kN, kSeed);
@@ -25,8 +25,8 @@ int main() {
     a.add_row({Table::cell(size, 0), Table::cell(pira.messages().mean()),
                Table::cell(dcf.messages().mean()),
                Table::cell(pira.dest_peers().mean())});
-    b.add_row({Table::cell(size, 0), Table::cell(pira.mesg_ratio().mean()),
-               Table::cell(pira.incre_ratio().mean())});
+    b.add_row({Table::cell(size, 0), Table::cell(pira.mesg_ratio().mean_or(std::nan(""))),
+               Table::cell(pira.incre_ratio().mean_or(std::nan("")))});
   }
   print_tables("Figure 6(a): messages at different range size (N=2000)", a);
   print_tables("Figure 6(b): PIRA message ratios", b);

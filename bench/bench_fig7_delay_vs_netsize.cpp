@@ -13,8 +13,9 @@ int main() {
   constexpr std::uint64_t kSeed = 44;
 
   Table table({"NetworkSize", "PIRA", "PIRA_max", "DCF-CAN", "logN"});
-  for (std::size_t n :
+  for (std::size_t full_n :
        {1000u, 2000u, 3000u, 4000u, 5000u, 6000u, 7000u, 8000u}) {
+    const std::size_t n = scaled(full_n);
     ArmadaSetup armada_setup(n, 2 * n, kSeed);
     DcfSetup dcf_setup(n, 2 * n, kSeed);
     const auto pira = armada_setup.run(kRange, kSeed + 1);

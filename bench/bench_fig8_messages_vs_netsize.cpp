@@ -14,8 +14,9 @@ int main() {
 
   Table a({"NetworkSize", "PIRA", "DCF-CAN", "Destpeers"});
   Table b({"NetworkSize", "MesgRatio", "IncreRatio"});
-  for (std::size_t n :
+  for (std::size_t full_n :
        {1000u, 2000u, 3000u, 4000u, 5000u, 6000u, 7000u, 8000u}) {
+    const std::size_t n = scaled(full_n);
     ArmadaSetup armada_setup(n, 2 * n, kSeed);
     DcfSetup dcf_setup(n, 2 * n, kSeed);
     const auto pira = armada_setup.run(kRange, kSeed + 1);
@@ -25,8 +26,8 @@ int main() {
                Table::cell(dcf.messages().mean()),
                Table::cell(pira.dest_peers().mean())});
     b.add_row({Table::cell(static_cast<std::uint64_t>(n)),
-               Table::cell(pira.mesg_ratio().mean()),
-               Table::cell(pira.incre_ratio().mean())});
+               Table::cell(pira.mesg_ratio().mean_or(std::nan(""))),
+               Table::cell(pira.incre_ratio().mean_or(std::nan("")))});
   }
   print_tables("Figure 8(a): messages at different network size (range=20)",
                a);

@@ -15,13 +15,14 @@ int main() {
 
   Table table({"N", "AvgDegree", "AvgIDLen", "MaxIDLen", "AvgRoute",
                "MaxRoute", "logN", "2logN", "NbrGap"});
-  for (std::size_t n : {1000u, 2000u, 4000u, 8000u}) {
+  for (std::size_t full_n : {1000u, 2000u, 4000u, 8000u}) {
+    const std::size_t n = scaled(full_n);
     auto net = fissione::FissioneNetwork::build(n, kSeed);
     const auto lens = net.peer_id_length_histogram();
 
     Rng rng(kSeed + 1);
     OnlineStats hops;
-    for (int i = 0; i < kQueries; ++i) {
+    for (int i = 0; i < scaled_queries(); ++i) {
       const auto target = kautz::random_string(rng, 2, 48);
       const auto route = net.route(net.random_peer(), target);
       hops.add(route.hops);

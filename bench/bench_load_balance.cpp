@@ -35,8 +35,8 @@ LoadRow measure(const std::vector<double>& per_peer) {
 }  // namespace
 
 int main() {
-  constexpr std::size_t kN = 2000;
-  constexpr std::size_t kObjects = 40000;
+  const std::size_t kN = armada::bench::scaled(2000);
+  const std::size_t kObjects = armada::bench::scaled(40000);
   constexpr std::uint64_t kSeed = 93;
 
   Table table({"Workload", "Naming", "MeanLoad", "MaxLoad", "p99", "Gini"});

@@ -9,7 +9,7 @@ int main() {
   using namespace armada;
   using namespace armada::bench;
 
-  constexpr std::size_t kN = 2000;
+  const std::size_t kN = scaled(2000);
   constexpr std::uint64_t kSeed = 48;
   const double log_n = std::log2(static_cast<double>(kN));
 
@@ -29,7 +29,7 @@ int main() {
       sim::BoxWorkload workload(domain, std::vector<double>(m, side),
                                 Rng(kSeed + static_cast<std::uint64_t>(side)));
       sim::MetricSet metrics(log_n);
-      for (int q = 0; q < kQueries / 2; ++q) {
+      for (int q = 0; q < scaled_queries(kQueries / 2); ++q) {
         const auto box = workload.next();
         const auto r = index.box_query(net.random_peer(), box);
         metrics.add(r.stats);

@@ -9,7 +9,7 @@ int main() {
   using namespace armada;
   using namespace armada::bench;
 
-  constexpr std::size_t kN = 2000;
+  const std::size_t kN = scaled(2000);
   constexpr std::uint64_t kSeed = 47;
   const double log_n = std::log2(static_cast<double>(kN));
 
@@ -36,7 +36,8 @@ int main() {
   sim::RangeWorkload workload({kDomainLo, kDomainHi}, 100.0, Rng(kSeed + 3));
   std::size_t violations = 0;
   double worst = 0.0;
-  for (int q = 0; q < kQueries; ++q) {
+  const int audit_queries = scaled_queries();
+  for (int q = 0; q < audit_queries; ++q) {
     const auto rq = workload.next();
     const auto issuer = setup.net().random_peer();
     const auto r = setup.index().range_query(issuer, rq.lo, rq.hi);
@@ -49,6 +50,6 @@ int main() {
   }
   std::printf("delay-bound audit: %zu violations in %d queries; worst delay "
               "%.0f vs 2logN = %.2f\n",
-              violations, kQueries, worst, 2 * log_n);
+              violations, audit_queries, worst, 2 * log_n);
   return violations == 0 ? 0 : 1;
 }

@@ -25,7 +25,7 @@ namespace {
 using namespace armada;
 using namespace armada::bench;
 
-constexpr std::size_t kN = 2000;
+const std::size_t kN = scaled(2000);
 constexpr std::uint64_t kSeed = 77;
 
 std::vector<double> random_keys(std::size_t n, double lo, double hi,
@@ -62,7 +62,7 @@ int main() {
   const double range_size = 100.0;  // 10% selectivity, same for all schemes
   std::printf("N = %zu peers, logN = %.2f, range size = %.0f of [0,1000], "
               "%d queries\n\n",
-              kN, log_n, range_size, kQueries);
+              kN, log_n, range_size, scaled_queries());
 
   Table table({"Scheme", "DHT", "Degree", "Attrs", "AvgDelay", "MaxDelay",
                "AvgMsgs", "Destpeers", "DelayBounded"});
@@ -97,7 +97,7 @@ int main() {
     sim::RangeWorkload workload({kDomainLo, kDomainHi}, range_size,
                                 Rng(kSeed + 1));
     Rng pick(kSeed + 3);
-    for (int q = 0; q < kQueries; ++q) {
+    for (int q = 0; q < scaled_queries(); ++q) {
       const auto rqy = workload.next();
       metrics.add(index
                       .query(static_cast<skipgraph::NodeId>(
@@ -126,7 +126,7 @@ int main() {
     sim::MetricSet metrics(log_n);
     sim::RangeWorkload workload({kDomainLo, kDomainHi}, range_size,
                                 Rng(kSeed + 1));
-    for (int q = 0; q < kQueries; ++q) {
+    for (int q = 0; q < scaled_queries(); ++q) {
       const auto rqy = workload.next();
       client = net.random_peer();
       metrics.add(pht.query(rqy.lo, rqy.hi).stats);
@@ -157,7 +157,7 @@ int main() {
     sim::MetricSet metrics(log_n);
     sim::RangeWorkload workload({kDomainLo, kDomainHi}, range_size,
                                 Rng(kSeed + 1));
-    for (int q = 0; q < kQueries; ++q) {
+    for (int q = 0; q < scaled_queries(); ++q) {
       const auto rqy = workload.next();
       client = net.random_node();
       metrics.add(pht.query(rqy.lo, rqy.hi).stats);
@@ -185,7 +185,7 @@ int main() {
     }
     sim::MetricSet metrics(log_n);
     sim::BoxWorkload workload(domain, box_side, Rng(kSeed + 1));
-    for (int q = 0; q < kQueries; ++q) {
+    for (int q = 0; q < scaled_queries(); ++q) {
       metrics.add(index.box_query(net.random_peer(), workload.next()).stats);
     }
     Row row{"Armada(MIRA)", "FissionE", Table::cell(net.average_degree()),
@@ -204,7 +204,7 @@ int main() {
     }
     sim::MetricSet metrics(log_n);
     sim::BoxWorkload workload(domain, box_side, Rng(kSeed + 1));
-    for (int q = 0; q < kQueries; ++q) {
+    for (int q = 0; q < scaled_queries(); ++q) {
       metrics.add(squid.query(net.random_node(), workload.next()).stats);
     }
     Row row{"Squid", "Chord", Table::cell(net.average_degree()), "multi(2)",
@@ -226,7 +226,7 @@ int main() {
     sim::MetricSet metrics(log_n);
     sim::BoxWorkload workload(domain, box_side, Rng(kSeed + 1));
     Rng pick(kSeed + 3);
-    for (int q = 0; q < kQueries; ++q) {
+    for (int q = 0; q < scaled_queries(); ++q) {
       metrics.add(scrap
                       .query(static_cast<skipgraph::NodeId>(
                                  pick.next_index(graph.num_nodes())),

@@ -5,8 +5,10 @@
 // whose issuer is a random peer.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "armada/armada.h"
@@ -22,6 +24,43 @@ namespace armada::bench {
 inline constexpr double kDomainLo = 0.0;
 inline constexpr double kDomainHi = 1000.0;
 inline constexpr int kQueries = 1000;
+
+/// Global size multiplier from the ARMADA_BENCH_SCALE env var (default 1.0).
+/// `ctest -L benchsmoke` sets it to a tiny value so every bench finishes in
+/// seconds while still exercising the full measurement path.
+inline double scale() {
+  static const double s = [] {
+    const char* env = std::getenv("ARMADA_BENCH_SCALE");
+    if (env == nullptr || *env == '\0') {
+      return 1.0;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end == env || *end != '\0' || !(v > 0.0)) {
+      // Fail loudly: silently running a typo'd scale at full size turns a
+      // smoke run into a multi-minute hang with no diagnostic.
+      std::fprintf(stderr,
+                   "invalid ARMADA_BENCH_SCALE '%s' (expected a positive "
+                   "number)\n",
+                   env);
+      std::exit(2);
+    }
+    return v;
+  }();
+  return s;
+}
+
+/// `full` scaled by ARMADA_BENCH_SCALE, floored so tiny scales stay valid
+/// (networks need a handful of peers; averages need a few samples).
+inline std::size_t scaled(std::size_t full, std::size_t floor_value = 16) {
+  const auto s = static_cast<std::size_t>(
+      std::lround(static_cast<double>(full) * scale()));
+  return std::max(s, floor_value);
+}
+
+inline int scaled_queries(int full = kQueries) {
+  return static_cast<int>(scaled(static_cast<std::size_t>(full), 4));
+}
 
 /// One PIRA-vs-DCF-CAN measurement point (fixed N, fixed range size).
 struct ComparisonPoint {
@@ -47,7 +86,7 @@ class ArmadaSetup {
   core::ArmadaIndex& index() { return index_; }
 
   sim::MetricSet run(double range_size, std::uint64_t seed,
-                     int queries = kQueries) {
+                     int queries = scaled_queries()) {
     sim::MetricSet metrics(std::log2(static_cast<double>(net_.num_peers())));
     sim::RangeWorkload workload({kDomainLo, kDomainHi}, range_size, Rng(seed));
     for (int q = 0; q < queries; ++q) {
@@ -78,7 +117,7 @@ class DcfSetup {
   rq::DcfCan& dcf() { return dcf_; }
 
   sim::MetricSet run(double range_size, std::uint64_t seed,
-                     int queries = kQueries) {
+                     int queries = scaled_queries()) {
     sim::MetricSet metrics(std::log2(static_cast<double>(net_.num_nodes())));
     sim::RangeWorkload workload({kDomainLo, kDomainHi}, range_size, Rng(seed));
     for (int q = 0; q < queries; ++q) {

@@ -43,6 +43,10 @@ double OnlineStats::mean() const {
   return mean_;
 }
 
+double OnlineStats::mean_or(double fallback) const {
+  return count_ > 0 ? mean_ : fallback;
+}
+
 double OnlineStats::variance() const {
   ARMADA_CHECK(count_ > 1);
   return m2_ / static_cast<double>(count_ - 1);

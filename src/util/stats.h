@@ -17,6 +17,10 @@ class OnlineStats {
 
   std::uint64_t count() const { return count_; }
   double mean() const;
+  /// Mean, or `fallback` when no samples were added — for metrics that are
+  /// only defined on a subset of queries (e.g. IncreRatio needs >1 dest
+  /// peer) and may legitimately be empty on small workloads.
+  double mean_or(double fallback) const;
   double variance() const;  ///< Sample variance (n-1 denominator).
   double stddev() const;
   double min() const;

@@ -6,16 +6,19 @@
 #include <cmath>
 #include <unordered_set>
 
-#include "sim/workload.h"
+#include "support/test_networks.h"
+#include "support/test_workloads.h"
 #include "util/check.h"
 
 namespace armada::core {
 namespace {
 
-using fissione::FissioneNetwork;
 using fissione::PeerId;
 using kautz::Box;
-using kautz::Interval;
+using testsupport::make_multi_index;
+using testsupport::make_single_index;
+using testsupport::publish_uniform_points;
+using testsupport::publish_uniform_values;
 
 std::vector<std::uint64_t> sorted(std::vector<std::uint64_t> v) {
   std::sort(v.begin(), v.end());
@@ -33,25 +36,20 @@ class PiraExactnessTest : public ::testing::TestWithParam<std::uint64_t> {};
 // query region, and returns exactly the objects a global scan finds.
 TEST_P(PiraExactnessTest, DestinationsAndResultsMatchBruteForce) {
   const std::uint64_t seed = GetParam();
-  auto net = FissioneNetwork::build(150 + 37 * (seed % 5), seed);
-  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
-  Rng rng(seed * 31 + 7);
-  for (int i = 0; i < 600; ++i) {
-    index.publish(rng.next_double(0.0, 1000.0));
-  }
+  auto fx = make_single_index(150 + 37 * (seed % 5), seed);
+  publish_uniform_values(fx->index, 600, seed * 31 + 7);
+  Rng rng(seed * 131 + 7);
 
   for (int trial = 0; trial < 60; ++trial) {
-    const double size = rng.next_double(0.0, 400.0);
-    const double lo = rng.next_double(0.0, 1000.0 - size);
-    const double hi = lo + size;
-    const PeerId issuer =
-        net.alive_peers()[rng.next_index(net.alive_peers().size())];
+    const auto q = testsupport::random_subrange(rng, testsupport::kPaperDomain,
+                                                400.0);
+    const PeerId issuer = fx->random_issuer(rng);
 
-    const RangeQueryResult r = index.range_query(issuer, lo, hi);
+    const RangeQueryResult r = fx->index.range_query(issuer, q.lo, q.hi);
 
     // Destinations are exactly the peers whose PeerID prefixes the region.
-    const auto expected = index.pira().expected_destinations(
-        index.naming_tree().region_for(lo, hi));
+    const auto expected = fx->index.pira().expected_destinations(
+        fx->index.naming_tree().region_for(q.lo, q.hi));
     EXPECT_EQ(sorted(r.destinations), sorted(expected));
     EXPECT_EQ(r.stats.dest_peers, expected.size());
 
@@ -61,11 +59,11 @@ TEST_P(PiraExactnessTest, DestinationsAndResultsMatchBruteForce) {
     EXPECT_EQ(unique.size(), r.destinations.size());
 
     // Results equal a global scan.
-    EXPECT_EQ(sorted(r.matches), index.scan_matches(Box{{lo, hi}}));
+    EXPECT_EQ(sorted(r.matches), fx->index.scan_matches(Box{{q.lo, q.hi}}));
 
     // Delay bound: at most the issuer's PeerID length (paper §4.3.2).
     EXPECT_LE(r.stats.delay,
-              static_cast<double>(net.peer(issuer).peer_id.length()));
+              static_cast<double>(fx->net.peer(issuer).peer_id.length()));
   }
 }
 
@@ -73,56 +71,52 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PiraExactnessTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
 TEST(Pira, FullDomainQueryReachesEveryPeer) {
-  auto net = FissioneNetwork::build(120, 21);
-  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
+  auto fx = make_single_index(120, 21);
   const RangeQueryResult r =
-      index.range_query(net.alive_peers().front(), 0.0, 1000.0);
-  EXPECT_EQ(r.stats.dest_peers, net.num_peers());
+      fx->index.range_query(fx->net.alive_peers().front(), 0.0, 1000.0);
+  EXPECT_EQ(r.stats.dest_peers, fx->net.num_peers());
   // Delay stays bounded by the issuer's PeerID length even for the full
   // space — the delay-bounded property that distinguishes Armada.
   EXPECT_LE(r.stats.delay,
             static_cast<double>(
-                net.peer(net.alive_peers().front()).peer_id.length()));
+                fx->net.peer(fx->net.alive_peers().front()).peer_id.length()));
 }
 
 TEST(Pira, PointQueryHitsSinglePeer) {
-  auto net = FissioneNetwork::build(200, 22);
-  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
-  const std::uint64_t h = index.publish(123.456);
+  auto fx = make_single_index(200, 22);
+  const std::uint64_t h = fx->index.publish(123.456);
   const RangeQueryResult r =
-      index.range_query(net.random_peer(), 123.456, 123.456);
+      fx->index.range_query(fx->net.random_peer(), 123.456, 123.456);
   EXPECT_EQ(r.stats.dest_peers, 1u);
   EXPECT_EQ(r.matches, std::vector<std::uint64_t>{h});
 }
 
 TEST(Pira, IssuerInsideRangeIsAlsoDestination) {
-  auto net = FissioneNetwork::build(100, 23);
-  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
+  auto fx = make_single_index(100, 23);
   // Find a peer and query a range that surely covers its zone: use the
   // whole domain, then check the issuer is among destinations at delay 0
   // for its own zone's subregion.
-  const PeerId issuer = net.random_peer();
-  const RangeQueryResult r = index.range_query(issuer, 0.0, 1000.0);
+  const PeerId issuer = fx->net.random_peer();
+  const RangeQueryResult r = fx->index.range_query(issuer, 0.0, 1000.0);
   EXPECT_NE(std::find(r.destinations.begin(), r.destinations.end(), issuer),
             r.destinations.end());
 }
 
 TEST(Pira, EmptyRangeStillRoutesToOwner) {
-  auto net = FissioneNetwork::build(150, 24);
-  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
-  const RangeQueryResult r = index.range_query(net.random_peer(), 500.0, 500.0);
+  auto fx = make_single_index(150, 24);
+  const RangeQueryResult r =
+      fx->index.range_query(fx->net.random_peer(), 500.0, 500.0);
   EXPECT_EQ(r.stats.dest_peers, 1u);
   EXPECT_TRUE(r.matches.empty());
 }
 
 TEST(Pira, MessageCountSanity) {
-  auto net = FissioneNetwork::build(400, 25);
-  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
+  auto fx = make_single_index(400, 25);
   Rng rng(77);
   for (int trial = 0; trial < 40; ++trial) {
     const double lo = rng.next_double(0.0, 900.0);
     const RangeQueryResult r =
-        index.range_query(net.random_peer(), lo, lo + 100.0);
+        fx->index.range_query(fx->net.random_peer(), lo, lo + 100.0);
     const double n = static_cast<double>(r.stats.dest_peers);
     const double max_len = 2.0 * std::log2(400.0);
     // Forwarding tree: at least n-1 edges beyond the up-to-3 class roots,
@@ -136,13 +130,10 @@ class MiraExactnessTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(MiraExactnessTest, DestinationsAndResultsMatchBruteForce) {
   const std::uint64_t seed = GetParam();
-  auto net = FissioneNetwork::build(120 + 29 * (seed % 4), seed + 100);
-  ArmadaIndex index =
-      ArmadaIndex::multi(net, Box{{0.0, 100.0}, {0.0, 100.0}});
-  Rng rng(seed * 17 + 3);
-  for (int i = 0; i < 500; ++i) {
-    index.publish({rng.next_double(0.0, 100.0), rng.next_double(0.0, 100.0)});
-  }
+  auto fx = make_multi_index(120 + 29 * (seed % 4), seed + 100,
+                             Box{{0.0, 100.0}, {0.0, 100.0}});
+  publish_uniform_points(fx->index, 500, seed * 17 + 3);
+  Rng rng(seed * 23 + 5);
 
   for (int trial = 0; trial < 40; ++trial) {
     Box q(2);
@@ -150,20 +141,19 @@ TEST_P(MiraExactnessTest, DestinationsAndResultsMatchBruteForce) {
       iv.lo = rng.next_double(0.0, 80.0);
       iv.hi = iv.lo + rng.next_double(0.0, 100.0 - iv.lo);
     }
-    const PeerId issuer =
-        net.alive_peers()[rng.next_index(net.alive_peers().size())];
-    const RangeQueryResult r = index.box_query(issuer, q);
+    const PeerId issuer = fx->random_issuer(rng);
+    const RangeQueryResult r = fx->index.box_query(issuer, q);
 
     EXPECT_EQ(sorted(r.destinations),
-              sorted(index.mira().expected_destinations(q)));
-    EXPECT_EQ(sorted(r.matches), index.scan_matches(q));
+              sorted(fx->index.mira().expected_destinations(q)));
+    EXPECT_EQ(sorted(r.matches), fx->index.scan_matches(q));
 
     std::unordered_set<PeerId> unique(r.destinations.begin(),
                                       r.destinations.end());
     EXPECT_EQ(unique.size(), r.destinations.size());
 
     EXPECT_LE(r.stats.delay,
-              static_cast<double>(net.peer(issuer).peer_id.length()));
+              static_cast<double>(fx->net.peer(issuer).peer_id.length()));
   }
 }
 
@@ -171,68 +161,59 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MiraExactnessTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
 
 TEST(Mira, ThreeAttributesWork) {
-  auto net = FissioneNetwork::build(150, 30);
-  ArmadaIndex index = ArmadaIndex::multi(
-      net, Box{{0.0, 1.0}, {0.0, 10.0}, {-5.0, 5.0}});
-  Rng rng(31);
-  for (int i = 0; i < 400; ++i) {
-    index.publish({rng.next_double(), rng.next_double(0, 10),
-                   rng.next_double(-5, 5)});
-  }
+  auto fx =
+      make_multi_index(150, 30, Box{{0.0, 1.0}, {0.0, 10.0}, {-5.0, 5.0}});
+  publish_uniform_points(fx->index, 400, 31);
   const Box q{{0.2, 0.7}, {2.0, 6.0}, {-1.0, 3.0}};
-  const RangeQueryResult r = index.box_query(net.random_peer(), q);
-  EXPECT_EQ(sorted(r.matches), index.scan_matches(q));
+  const RangeQueryResult r = fx->index.box_query(fx->net.random_peer(), q);
+  EXPECT_EQ(sorted(r.matches), fx->index.scan_matches(q));
   EXPECT_EQ(sorted(r.destinations),
-            sorted(index.mira().expected_destinations(q)));
+            sorted(fx->index.mira().expected_destinations(q)));
 }
 
 TEST(Mira, NarrowBoxVisitsFewPeers) {
   // MIRA prunes inside the bounding region: a thin box in one dimension
   // should reach far fewer peers than the region <LowT, HighT> spans.
-  auto net = FissioneNetwork::build(500, 32);
-  ArmadaIndex index = ArmadaIndex::multi(net, Box{{0.0, 1.0}, {0.0, 1.0}});
+  auto fx = make_multi_index(500, 32, Box{{0.0, 1.0}, {0.0, 1.0}});
   const Box q{{0.0, 1.0}, {0.40, 0.42}};
-  const RangeQueryResult r = index.box_query(net.random_peer(), q);
-  EXPECT_LT(r.stats.dest_peers, net.num_peers() / 2);
+  const RangeQueryResult r = fx->index.box_query(fx->net.random_peer(), q);
+  EXPECT_LT(r.stats.dest_peers, fx->net.num_peers() / 2);
   EXPECT_EQ(sorted(r.destinations),
-            sorted(index.mira().expected_destinations(q)));
+            sorted(fx->index.mira().expected_destinations(q)));
 }
 
 TEST(ArmadaIndex, PublishAttributesRoundTrip) {
-  auto net = FissioneNetwork::build(50, 33);
-  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 10.0});
-  const auto h0 = index.publish(1.5);
-  const auto h1 = index.publish(9.25);
+  auto fx = make_single_index(50, 33, {0.0, 10.0});
+  const auto h0 = fx->index.publish(1.5);
+  const auto h1 = fx->index.publish(9.25);
   EXPECT_NE(h0, h1);
-  EXPECT_EQ(index.attributes(h0), std::vector<double>{1.5});
-  EXPECT_EQ(index.attributes(h1), std::vector<double>{9.25});
+  EXPECT_EQ(fx->index.attributes(h0), std::vector<double>{1.5});
+  EXPECT_EQ(fx->index.attributes(h1), std::vector<double>{9.25});
 }
 
 TEST(ArmadaIndex, RejectsMismatchedDimensions) {
-  auto net = FissioneNetwork::build(50, 34);
-  ArmadaIndex index = ArmadaIndex::multi(net, Box{{0.0, 1.0}, {0.0, 1.0}});
-  EXPECT_THROW(index.publish(0.5), CheckError);
-  EXPECT_THROW(index.box_query(net.random_peer(), Box{{0.0, 1.0}}),
+  auto fx = make_multi_index(50, 34, Box{{0.0, 1.0}, {0.0, 1.0}});
+  EXPECT_THROW(fx->index.publish(0.5), CheckError);
+  EXPECT_THROW(fx->index.box_query(fx->net.random_peer(), Box{{0.0, 1.0}}),
                CheckError);
-  EXPECT_THROW(index.range_query(net.random_peer(), 0.0, 1.0), CheckError);
+  EXPECT_THROW(fx->index.range_query(fx->net.random_peer(), 0.0, 1.0),
+               CheckError);
 }
 
 TEST(ArmadaIndex, QueriesSurviveChurn) {
-  auto net = FissioneNetwork::build(200, 35);
-  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
-  Rng rng(36);
-  for (int i = 0; i < 500; ++i) {
-    index.publish(rng.next_double(0.0, 1000.0));
-  }
+  auto fx = make_single_index(200, 35);
+  publish_uniform_values(fx->index, 500, 36);
+  Rng rng(37);
   for (int round = 0; round < 10; ++round) {
     for (int i = 0; i < 10; ++i) {
-      net.join();
-      net.leave(net.alive_peers()[rng.next_index(net.alive_peers().size())]);
+      fx->net.join();
+      fx->net.leave(fx->random_issuer(rng));
     }
     const double lo = rng.next_double(0.0, 900.0);
     const RangeQueryResult r =
-        index.range_query(net.random_peer(), lo, lo + 100.0);
-    EXPECT_EQ(sorted(r.matches), index.scan_matches(Box{{lo, lo + 100.0}}));
+        fx->index.range_query(fx->net.random_peer(), lo, lo + 100.0);
+    EXPECT_EQ(sorted(r.matches),
+              fx->index.scan_matches(Box{{lo, lo + 100.0}}));
   }
 }
 

@@ -13,21 +13,12 @@
 #include "rq/scrap.h"
 #include "rq/skipgraph_rq.h"
 #include "rq/squid.h"
+#include "support/test_networks.h"
+#include "support/test_workloads.h"
 #include "util/rng.h"
 
 namespace armada::rq {
 namespace {
-
-std::vector<double> random_keys(std::size_t n, double lo, double hi,
-                                std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<double> keys;
-  keys.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    keys.push_back(rng.next_double(lo, hi));
-  }
-  return keys;
-}
 
 template <typename T>
 std::vector<T> sorted(std::vector<T> v) {
@@ -36,7 +27,7 @@ std::vector<T> sorted(std::vector<T> v) {
 }
 
 TEST(SkipGraphRange, ExactResultsAndDestinations) {
-  skipgraph::SkipGraph graph(random_keys(300, 0.0, 1000.0, 3), 5);
+  skipgraph::SkipGraph graph(testsupport::random_keys(300, 3, 0.0, 1000.0), 5);
   SkipGraphRangeIndex index(graph, {0.0, 1000.0});
   Rng rng(7);
   std::vector<double> values;
@@ -63,7 +54,7 @@ TEST(SkipGraphRange, ExactResultsAndDestinations) {
 }
 
 TEST(SkipGraphRange, DelayGrowsWithAnswerSize) {
-  skipgraph::SkipGraph graph(random_keys(2000, 0.0, 1000.0, 9), 11);
+  skipgraph::SkipGraph graph(testsupport::random_keys(2000, 9, 0.0, 1000.0), 11);
   SkipGraphRangeIndex index(graph, {0.0, 1000.0});
   Rng rng(13);
   auto mean_delay = [&](double size) {
@@ -205,7 +196,7 @@ TEST(Squid, ExactResultsOnChord) {
 TEST(Scrap, ExactResultsOnSkipGraph) {
   const std::uint32_t order = 10;
   const double total = std::exp2(2.0 * order);
-  skipgraph::SkipGraph graph(random_keys(300, 0.0, total - 1.0, 23), 25);
+  skipgraph::SkipGraph graph(testsupport::random_keys(300, 23, 0.0, total - 1.0), 25);
   Scrap scrap(graph, Scrap::Config{.order = order, .min_side_bits = 4});
   Rng rng(27);
   std::vector<std::vector<double>> pts;
@@ -238,13 +229,14 @@ TEST(CrossScheme, AllSchemesAgreeOnSingleAttributeWorkload) {
   const std::uint64_t seed = 29;
   const std::size_t n_values = 900;
 
-  auto fnet = fissione::FissioneNetwork::build(250, seed);
-  auto armada_index = core::ArmadaIndex::single(fnet, {0.0, 1000.0});
+  auto fx = testsupport::make_single_index(250, seed);
+  auto& fnet = fx->net;
+  auto& armada_index = fx->index;
 
   can::CanNetwork cnet(250, seed);
   DcfCan dcf(cnet, DcfCan::Config{});
 
-  skipgraph::SkipGraph graph(random_keys(250, 0.0, 1000.0, seed), seed + 1);
+  skipgraph::SkipGraph graph(testsupport::random_keys(250, seed, 0.0, 1000.0), seed + 1);
   SkipGraphRangeIndex sg(graph, {0.0, 1000.0});
 
   Rng vals(seed + 2);
@@ -278,16 +270,17 @@ TEST(CrossScheme, AllSchemesAgreeOnSingleAttributeWorkload) {
 // The multi-attribute schemes agree as well (exact-filtered).
 TEST(CrossScheme, MultiAttributeSchemesAgree) {
   const std::uint64_t seed = 31;
-  auto fnet = fissione::FissioneNetwork::build(200, seed);
-  auto armada_index =
-      core::ArmadaIndex::multi(fnet, kautz::Box{{0.0, 1000.0}, {0.0, 1000.0}});
+  auto fx = testsupport::make_multi_index(
+      200, seed, kautz::Box{{0.0, 1000.0}, {0.0, 1000.0}});
+  auto& fnet = fx->net;
+  auto& armada_index = fx->index;
 
   chord::ChordNetwork chord_net(200, seed);
   Squid squid(chord_net, Squid::Config{.order = 10, .min_side_bits = 4});
 
   const std::uint32_t order = 10;
   skipgraph::SkipGraph graph(
-      random_keys(200, 0.0, std::exp2(2.0 * order) - 1.0, seed), seed + 1);
+      testsupport::random_keys(200, seed, 0.0, std::exp2(2.0 * order) - 1.0), seed + 1);
   Scrap scrap(graph, Scrap::Config{.order = order, .min_side_bits = 4});
 
   Rng vals(seed + 2);

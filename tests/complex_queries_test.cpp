@@ -6,31 +6,30 @@
 #include <cmath>
 
 #include "armada/armada.h"
+#include "support/test_networks.h"
+#include "support/test_workloads.h"
 #include "util/check.h"
 #include "util/rng.h"
 
 namespace armada::core {
 namespace {
 
-using fissione::FissioneNetwork;
+using testsupport::make_single_index;
+using testsupport::publish_uniform_values;
 
 class KnnTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(KnnTest, MatchesBruteForceNeighbors) {
   const std::uint64_t seed = GetParam();
-  auto net = FissioneNetwork::build(120, seed);
-  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
-  Rng rng(seed + 50);
-  std::vector<double> values;
-  for (int i = 0; i < 400; ++i) {
-    values.push_back(rng.next_double(0.0, 1000.0));
-    index.publish(values.back());
-  }
+  auto fx = make_single_index(120, seed);
+  const std::vector<double> values =
+      publish_uniform_values(fx->index, 400, seed + 50);
+  Rng rng(seed + 51);
 
   for (int trial = 0; trial < 40; ++trial) {
     const double q = rng.next_double(0.0, 1000.0);
     const std::size_t k = 1 + rng.next_index(15);
-    const auto r = index.nearest(net.random_peer(), q, k);
+    const auto r = fx->index.nearest(fx->net.random_peer(), q, k);
 
     std::vector<std::pair<double, std::uint64_t>> by_dist;
     for (std::uint64_t h = 0; h < values.size(); ++h) {
@@ -49,42 +48,33 @@ TEST_P(KnnTest, MatchesBruteForceNeighbors) {
 INSTANTIATE_TEST_SUITE_P(Seeds, KnnTest, ::testing::Values(1, 2, 3, 4));
 
 TEST(Knn, VisitsFewZonesForSmallK) {
-  auto net = FissioneNetwork::build(500, 9);
-  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
-  Rng rng(10);
-  for (int i = 0; i < 5000; ++i) {
-    index.publish(rng.next_double(0.0, 1000.0));
-  }
-  const auto r = index.nearest(net.random_peer(), 500.0, 5);
+  auto fx = make_single_index(500, 9);
+  publish_uniform_values(fx->index, 5000, 10);
+  const auto r = fx->index.nearest(fx->net.random_peer(), 500.0, 5);
   EXPECT_EQ(r.handles.size(), 5u);
   EXPECT_LT(r.stats.dest_peers, 10u);
 }
 
 TEST(Knn, FewerObjectsThanKReturnsAll) {
-  auto net = FissioneNetwork::build(80, 11);
-  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
-  index.publish(100.0);
-  index.publish(900.0);
-  const auto r = index.nearest(net.random_peer(), 500.0, 10);
+  auto fx = make_single_index(80, 11);
+  fx->index.publish(100.0);
+  fx->index.publish(900.0);
+  const auto r = fx->index.nearest(fx->net.random_peer(), 500.0, 10);
   EXPECT_EQ(r.handles.size(), 2u);
 }
 
 TEST(Knn, QueryAtDomainEdge) {
-  auto net = FissioneNetwork::build(100, 13);
-  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
-  Rng rng(14);
-  std::vector<double> values;
-  for (int i = 0; i < 200; ++i) {
-    values.push_back(rng.next_double(0.0, 1000.0));
-    index.publish(values.back());
-  }
-  const auto r = index.nearest(net.random_peer(), 0.0, 3);
+  auto fx = make_single_index(100, 13);
+  const std::vector<double> values =
+      publish_uniform_values(fx->index, 200, 14);
+  const auto r = fx->index.nearest(fx->net.random_peer(), 0.0, 3);
   std::vector<double> sorted_vals = values;
   std::sort(sorted_vals.begin(), sorted_vals.end());
   ASSERT_EQ(r.handles.size(), 3u);
   for (int i = 0; i < 3; ++i) {
-    EXPECT_DOUBLE_EQ(index.attributes(r.handles[static_cast<std::size_t>(i)])[0],
-                     sorted_vals[static_cast<std::size_t>(i)]);
+    EXPECT_DOUBLE_EQ(
+        fx->index.attributes(r.handles[static_cast<std::size_t>(i)])[0],
+        sorted_vals[static_cast<std::size_t>(i)]);
   }
 }
 
@@ -92,19 +82,15 @@ class AggregateTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(AggregateTest, MatchesBruteForceAggregates) {
   const std::uint64_t seed = GetParam();
-  auto net = FissioneNetwork::build(150, seed + 20);
-  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
-  Rng rng(seed + 70);
-  std::vector<double> values;
-  for (int i = 0; i < 600; ++i) {
-    values.push_back(rng.next_double(0.0, 1000.0));
-    index.publish(values.back());
-  }
+  auto fx = make_single_index(150, seed + 20);
+  const std::vector<double> values =
+      publish_uniform_values(fx->index, 600, seed + 70);
+  Rng rng(seed + 71);
 
   for (int trial = 0; trial < 40; ++trial) {
     const double lo = rng.next_double(0.0, 900.0);
     const double hi = lo + rng.next_double(0.0, 100.0);
-    const auto agg = index.range_aggregate(net.random_peer(), lo, hi);
+    const auto agg = fx->index.range_aggregate(fx->net.random_peer(), lo, hi);
 
     std::uint64_t count = 0;
     double sum = 0.0;
@@ -133,26 +119,22 @@ TEST_P(AggregateTest, MatchesBruteForceAggregates) {
 INSTANTIATE_TEST_SUITE_P(Seeds, AggregateTest, ::testing::Values(1, 2, 3));
 
 TEST(Aggregate, DelayBoundHolds) {
-  auto net = FissioneNetwork::build(300, 31);
-  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
-  Rng rng(32);
-  for (int i = 0; i < 1000; ++i) {
-    index.publish(rng.next_double(0.0, 1000.0));
-  }
+  auto fx = make_single_index(300, 31);
+  publish_uniform_values(fx->index, 1000, 32);
   for (int trial = 0; trial < 20; ++trial) {
-    const auto issuer = net.random_peer();
-    const auto agg = index.range_aggregate(issuer, 0.0, 1000.0);
+    const auto issuer = fx->net.random_peer();
+    const auto agg = fx->index.range_aggregate(issuer, 0.0, 1000.0);
     EXPECT_LE(agg.stats.delay,
-              static_cast<double>(net.peer(issuer).peer_id.length()));
+              static_cast<double>(fx->net.peer(issuer).peer_id.length()));
     EXPECT_EQ(agg.count, 1000u);
   }
 }
 
 TEST(Aggregate, EmptyRange) {
-  auto net = FissioneNetwork::build(60, 33);
-  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
-  index.publish(10.0);
-  const auto agg = index.range_aggregate(net.random_peer(), 500.0, 600.0);
+  auto fx = make_single_index(60, 33);
+  fx->index.publish(10.0);
+  const auto agg = fx->index.range_aggregate(fx->net.random_peer(), 500.0,
+                                             600.0);
   EXPECT_EQ(agg.count, 0u);
   EXPECT_THROW(agg.mean(), CheckError);
 }

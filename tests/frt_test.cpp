@@ -7,6 +7,7 @@
 
 #include "armada/armada.h"
 #include "armada/frt_search.h"
+#include "support/test_networks.h"
 #include "util/rng.h"
 
 namespace armada::core {
@@ -63,8 +64,9 @@ TEST(ForwardRoutingTree, LevelsCoverAllPeers) {
 // Paper §4.2: with a common-prefix region, all destinations sit at FRT
 // level b - f, and PIRA reaches them in exactly b - f hops.
 TEST(ForwardRoutingTree, DestinationsLiveAtLevelBMinusF) {
-  auto net = FissioneNetwork::build(250, 54);
-  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
+  auto fx = testsupport::make_single_index(250, 54);
+  auto& net = fx->net;
+  auto& index = fx->index;
   Rng rng(55);
   int checked = 0;
   for (int trial = 0; trial < 60; ++trial) {

@@ -5,9 +5,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "armada/armada.h"
 #include "fissione/network.h"
+#include "support/test_networks.h"
 #include "util/rng.h"
 
 namespace armada::core {
@@ -19,8 +22,9 @@ class IntegrationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(IntegrationFuzz, EverythingStaysCorrectUnderInterleavedChurn) {
   const std::uint64_t seed = GetParam();
-  auto net = FissioneNetwork::build(120, seed);
-  ArmadaIndex index = ArmadaIndex::single(net, {0.0, 1000.0});
+  auto fx = testsupport::make_single_index(120, seed);
+  auto& net = fx->net;
+  auto& index = fx->index;
   Rng rng(seed * 104729 + 13);
 
   std::vector<double> values;  // handle -> value (all ever published)
@@ -119,8 +123,38 @@ TEST_P(IntegrationFuzz, EverythingStaysCorrectUnderInterleavedChurn) {
   net.check_invariants();
 }
 
+// Default seeds are fixed so CI is deterministic. To reproduce a failure or
+// explore new seeds, override with the ARMADA_FUZZ_SEED env var:
+//
+//   ARMADA_FUZZ_SEED=12345 ./integration_fuzz_test
+//   ARMADA_FUZZ_SEED=12345 ctest -L fuzz --output-on-failure
+//
+// The failing seed appears in the test name (EverythingStaysCorrect.../<seed>)
+// and in this suite's output, so re-running with that value replays the
+// exact interleaving.
+std::vector<std::uint64_t> fuzz_seeds() {
+  if (const char* env = std::getenv("ARMADA_FUZZ_SEED")) {
+    char* end = nullptr;
+    const std::uint64_t seed = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0') {
+      // Fail loudly: silently running seed 0 would make a typo'd repro
+      // attempt look like "not reproducible".
+      std::fprintf(stderr,
+                   "invalid ARMADA_FUZZ_SEED '%s' (expected an unsigned "
+                   "integer)\n",
+                   env);
+      std::exit(2);
+    }
+    return {seed};
+  }
+  return {1, 2, 3, 4, 5, 6};
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, IntegrationFuzz,
-                         ::testing::Values(1, 2, 3, 4, 5, 6));
+                         ::testing::ValuesIn(fuzz_seeds()),
+                         [](const auto& info) {
+                           return "seed_" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace armada::core

@@ -1,0 +1,148 @@
+// Property / round-trip tests for the SFC layer: Hilbert and Morton
+// encode<->decode are inverses at every order, and Hilbert keeps its
+// locality contract — consecutive curve positions are edge-adjacent cells.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sfc/hilbert.h"
+#include "sfc/morton.h"
+#include "util/rng.h"
+
+namespace armada::sfc {
+namespace {
+
+std::uint64_t manhattan(const Cell& a, const Cell& b) {
+  const auto d = [](std::uint64_t p, std::uint64_t q) {
+    return p > q ? p - q : q - p;
+  };
+  return d(a.x, b.x) + d(a.y, b.y);
+}
+
+class SfcRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SfcRoundTrip, HilbertIndexCellInverseExhaustiveSmallOrders) {
+  const std::uint32_t order = GetParam();
+  if (order > 6) {
+    GTEST_SKIP() << "exhaustive check only for small orders";
+  }
+  const std::uint64_t cells = 1ull << (2 * order);
+  for (std::uint64_t d = 0; d < cells; ++d) {
+    const Cell c = hilbert_cell(order, d);
+    EXPECT_LT(c.x, 1ull << order);
+    EXPECT_LT(c.y, 1ull << order);
+    EXPECT_EQ(hilbert_index(order, c), d) << "order " << order << " d " << d;
+  }
+}
+
+TEST_P(SfcRoundTrip, HilbertCellIndexInverseSampledLargeOrders) {
+  const std::uint32_t order = GetParam();
+  Rng rng(1000 + order);
+  const std::uint64_t side = 1ull << order;
+  for (int i = 0; i < 2000; ++i) {
+    const Cell c{rng.next_u64(side), rng.next_u64(side)};
+    EXPECT_EQ(hilbert_cell(order, hilbert_index(order, c)), c);
+  }
+}
+
+TEST_P(SfcRoundTrip, MortonIndexCellInverseExhaustiveSmallOrders) {
+  const std::uint32_t order = GetParam();
+  if (order > 6) {
+    GTEST_SKIP() << "exhaustive check only for small orders";
+  }
+  const std::uint64_t cells = 1ull << (2 * order);
+  for (std::uint64_t d = 0; d < cells; ++d) {
+    const Cell c = morton_cell(order, d);
+    EXPECT_EQ(morton_index(order, c), d);
+  }
+}
+
+TEST_P(SfcRoundTrip, MortonCellIndexInverseSampledLargeOrders) {
+  const std::uint32_t order = GetParam();
+  Rng rng(2000 + order);
+  const std::uint64_t side = 1ull << order;
+  for (int i = 0; i < 2000; ++i) {
+    const Cell c{rng.next_u64(side), rng.next_u64(side)};
+    EXPECT_EQ(morton_cell(order, morton_index(order, c)), c);
+  }
+}
+
+// The defining locality property of the Hilbert curve: stepping one position
+// along the curve moves exactly one cell in the grid. (Morton does not have
+// this — its jumps are what make DCF flooding on Morton worse, see the
+// naming-ablation bench.)
+TEST_P(SfcRoundTrip, HilbertAdjacentIndicesAreAdjacentCells) {
+  const std::uint32_t order = GetParam();
+  if (order <= 6) {
+    const std::uint64_t cells = 1ull << (2 * order);
+    Cell prev = hilbert_cell(order, 0);
+    for (std::uint64_t d = 1; d < cells; ++d) {
+      const Cell cur = hilbert_cell(order, d);
+      EXPECT_EQ(manhattan(prev, cur), 1u) << "order " << order << " d " << d;
+      prev = cur;
+    }
+  } else {
+    Rng rng(3000 + order);
+    const std::uint64_t cells = 1ull << (2 * order);
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t d = rng.next_u64(cells - 1);
+      EXPECT_EQ(manhattan(hilbert_cell(order, d), hilbert_cell(order, d + 1)),
+                1u);
+    }
+  }
+}
+
+// Morton adjacency is weaker but bounded within an aligned pair: indices
+// 2k and 2k+1 always differ only in x.
+TEST_P(SfcRoundTrip, MortonSiblingCellsDifferInOneStep) {
+  const std::uint32_t order = GetParam();
+  if (order == 0) {
+    GTEST_SKIP();
+  }
+  Rng rng(4000 + order);
+  const std::uint64_t pairs = 1ull << (2 * order - 1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t k = rng.next_u64(pairs);
+    EXPECT_EQ(manhattan(morton_cell(order, 2 * k), morton_cell(order, 2 * k + 1)),
+              1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, SfcRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 10u, 16u,
+                                           24u, 31u));
+
+// Dyadic-square ranges agree with brute force on small grids, for both
+// curves — the contiguity that query decomposition relies on.
+TEST(SfcSquareRange, MatchesBruteForceEnumeration) {
+  for (std::uint32_t order = 1; order <= 4; ++order) {
+    const std::uint64_t side = 1ull << order;
+    for (std::uint32_t side_bits = 0; side_bits <= order; ++side_bits) {
+      const std::uint64_t square = 1ull << side_bits;
+      for (std::uint64_t cx = 0; cx < side; cx += square) {
+        for (std::uint64_t cy = 0; cy < side; cy += square) {
+          const Cell corner{cx, cy};
+          for (const bool use_hilbert : {true, false}) {
+            const IndexRange r =
+                use_hilbert ? hilbert_square_range(order, corner, side_bits)
+                            : morton_square_range(order, corner, side_bits);
+            EXPECT_EQ(r.last - r.first, square * square);
+            std::uint64_t inside = 0;
+            for (std::uint64_t d = r.first; d < r.last; ++d) {
+              const Cell c = use_hilbert ? hilbert_cell(order, d)
+                                         : morton_cell(order, d);
+              inside += (c.x >= cx && c.x < cx + square && c.y >= cy &&
+                         c.y < cy + square);
+            }
+            EXPECT_EQ(inside, square * square)
+                << "order " << order << " corner (" << cx << "," << cy
+                << ") side_bits " << side_bits << " hilbert " << use_hilbert;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace armada::sfc

@@ -4,32 +4,23 @@
 
 #include <cmath>
 
+#include "support/test_workloads.h"
 #include "util/check.h"
 #include "util/rng.h"
 
 namespace armada::skipgraph {
 namespace {
 
-std::vector<double> random_keys(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<double> keys;
-  keys.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    keys.push_back(rng.next_double(0.0, 1000.0));
-  }
-  return keys;
-}
-
 TEST(SkipGraph, StructureInvariants) {
   for (std::size_t n : {1u, 2u, 5u, 64u, 500u}) {
-    SkipGraph g(random_keys(n, 3), 4);
+    SkipGraph g(testsupport::random_keys(n, 3, 0.0, 1000.0), 4);
     EXPECT_EQ(g.num_nodes(), n);
     g.check_invariants();
   }
 }
 
 TEST(SkipGraph, LevelZeroIsSortedChain) {
-  SkipGraph g(random_keys(100, 5), 6);
+  SkipGraph g(testsupport::random_keys(100, 5, 0.0, 1000.0), 6);
   NodeId cur = 0;
   std::size_t count = 1;
   while (g.next(cur) != kNoNode) {
@@ -42,7 +33,7 @@ TEST(SkipGraph, LevelZeroIsSortedChain) {
 }
 
 TEST(SkipGraph, SearchFindsOwnerFromAnywhere) {
-  SkipGraph g(random_keys(400, 7), 8);
+  SkipGraph g(testsupport::random_keys(400, 7, 0.0, 1000.0), 8);
   Rng rng(9);
   for (int i = 0; i < 500; ++i) {
     const NodeId from = static_cast<NodeId>(rng.next_index(g.num_nodes()));
@@ -58,7 +49,7 @@ TEST(SkipGraph, SearchCostLogarithmic) {
   double large_mean = 0.0;
   for (int rep = 0; rep < 2; ++rep) {
     const std::size_t n = rep == 0 ? 100 : 6400;
-    SkipGraph g(random_keys(n, 13 + rep), 15 + rep);
+    SkipGraph g(testsupport::random_keys(n, 13 + rep, 0.0, 1000.0), 15 + rep);
     double total = 0.0;
     for (int i = 0; i < 400; ++i) {
       total += g.search(static_cast<NodeId>(rng.next_index(n)),
@@ -73,7 +64,7 @@ TEST(SkipGraph, SearchCostLogarithmic) {
 }
 
 TEST(SkipGraph, LevelCountNearLogN) {
-  SkipGraph g(random_keys(1024, 17), 19);
+  SkipGraph g(testsupport::random_keys(1024, 17, 0.0, 1000.0), 19);
   EXPECT_GE(g.num_levels(), 8u);
   EXPECT_LE(g.num_levels(), 24u);
   // Average degree ~ 2 per level a node participates in.

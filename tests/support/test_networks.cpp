@@ -1,0 +1,35 @@
+#include "support/test_networks.h"
+
+namespace armada::testsupport {
+
+SingleIndexFixture::SingleIndexFixture(std::size_t n, std::uint64_t seed,
+                                       kautz::Interval domain)
+    : net(fissione::FissioneNetwork::build(n, seed)),
+      index(core::ArmadaIndex::single(net, domain)) {}
+
+fissione::PeerId SingleIndexFixture::random_issuer(Rng& rng) const {
+  return net.alive_peers()[rng.next_index(net.alive_peers().size())];
+}
+
+MultiIndexFixture::MultiIndexFixture(std::size_t n, std::uint64_t seed,
+                                     kautz::Box domain)
+    : net(fissione::FissioneNetwork::build(n, seed)),
+      index(core::ArmadaIndex::multi(net, std::move(domain))) {}
+
+fissione::PeerId MultiIndexFixture::random_issuer(Rng& rng) const {
+  return net.alive_peers()[rng.next_index(net.alive_peers().size())];
+}
+
+std::unique_ptr<SingleIndexFixture> make_single_index(std::size_t n,
+                                                      std::uint64_t seed,
+                                                      kautz::Interval domain) {
+  return std::make_unique<SingleIndexFixture>(n, seed, domain);
+}
+
+std::unique_ptr<MultiIndexFixture> make_multi_index(std::size_t n,
+                                                    std::uint64_t seed,
+                                                    kautz::Box domain) {
+  return std::make_unique<MultiIndexFixture>(n, seed, std::move(domain));
+}
+
+}  // namespace armada::testsupport

@@ -1,0 +1,60 @@
+// Deterministic, seeded network builders shared by the test suites.
+//
+// Most suites need the same scaffolding: a FISSIONE overlay of a given size,
+// an ArmadaIndex layered on it, and a few hundred published objects. These
+// helpers build that scaffolding from an explicit seed so every suite stays
+// reproducible, and so the suites stop re-instantiating networks ad hoc.
+//
+// ArmadaIndex holds references into its network, so the bundles below are
+// pinned to the heap (unique_ptr) and neither copyable nor movable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "armada/armada.h"
+#include "fissione/network.h"
+#include "kautz/partition_tree.h"
+#include "util/rng.h"
+
+namespace armada::testsupport {
+
+/// The paper's attribute interval (§4.3.3): every experiment uses [0, 1000].
+inline constexpr kautz::Interval kPaperDomain{0.0, 1000.0};
+
+/// A FISSIONE overlay plus a single-attribute Armada index over it.
+struct SingleIndexFixture {
+  SingleIndexFixture(std::size_t n, std::uint64_t seed,
+                     kautz::Interval domain);
+  SingleIndexFixture(const SingleIndexFixture&) = delete;
+  SingleIndexFixture& operator=(const SingleIndexFixture&) = delete;
+
+  fissione::FissioneNetwork net;
+  core::ArmadaIndex index;
+
+  /// Uniformly chosen alive peer (deterministic given `rng`).
+  fissione::PeerId random_issuer(Rng& rng) const;
+};
+
+/// A FISSIONE overlay plus a multi-attribute Armada index over it.
+struct MultiIndexFixture {
+  MultiIndexFixture(std::size_t n, std::uint64_t seed, kautz::Box domain);
+  MultiIndexFixture(const MultiIndexFixture&) = delete;
+  MultiIndexFixture& operator=(const MultiIndexFixture&) = delete;
+
+  fissione::FissioneNetwork net;
+  core::ArmadaIndex index;
+
+  fissione::PeerId random_issuer(Rng& rng) const;
+};
+
+/// n-peer overlay + single-attribute index over the paper's [0, 1000].
+std::unique_ptr<SingleIndexFixture> make_single_index(
+    std::size_t n, std::uint64_t seed, kautz::Interval domain = kPaperDomain);
+
+/// n-peer overlay + multi-attribute index over `domain`.
+std::unique_ptr<MultiIndexFixture> make_multi_index(std::size_t n,
+                                                    std::uint64_t seed,
+                                                    kautz::Box domain);
+
+}  // namespace armada::testsupport

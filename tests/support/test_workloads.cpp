@@ -1,0 +1,71 @@
+#include "support/test_workloads.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace armada::testsupport {
+
+std::vector<double> publish_uniform_values(core::ArmadaIndex& index,
+                                           std::size_t count,
+                                           std::uint64_t seed) {
+  ARMADA_CHECK_MSG(index.num_attributes() == 1,
+                   "publish_uniform_values needs a single-attribute index");
+  const kautz::Interval domain =
+      index.naming_tree().attribute_ranges().front();
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    values.push_back(rng.next_double(domain.lo, domain.hi));
+    index.publish(values.back());
+  }
+  return values;
+}
+
+std::vector<std::vector<double>> publish_uniform_points(
+    core::ArmadaIndex& index, std::size_t count, std::uint64_t seed) {
+  const kautz::Box& domain = index.naming_tree().attribute_ranges();
+  Rng rng(seed);
+  std::vector<std::vector<double>> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<double> p;
+    p.reserve(domain.size());
+    for (const auto& iv : domain) {
+      p.push_back(rng.next_double(iv.lo, iv.hi));
+    }
+    index.publish(p);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<double> random_keys(std::size_t count, std::uint64_t seed,
+                                double lo, double hi) {
+  Rng rng(seed);
+  std::unordered_set<double> seen;
+  std::vector<double> keys;
+  keys.reserve(count);
+  while (keys.size() < count) {
+    const double k = rng.next_double(lo, hi);
+    if (seen.insert(k).second) {
+      keys.push_back(k);
+    }
+  }
+  return keys;
+}
+
+kautz::Interval random_subrange(Rng& rng, kautz::Interval domain,
+                                double max_size) {
+  const double span = domain.hi - domain.lo;
+  const double cap = std::min(max_size, span);
+  // next_double requires lo < hi, so a zero cap means a point query; any
+  // positive cap draws width in [0, cap) < span, keeping hi - width > lo.
+  const double width = cap > 0.0 ? rng.next_double(0.0, cap) : 0.0;
+  const double lo = rng.next_double(domain.lo, domain.hi - width);
+  return {lo, lo + width};
+}
+
+}  // namespace armada::testsupport

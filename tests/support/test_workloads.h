@@ -1,0 +1,36 @@
+// Deterministic workload generators shared by the test suites: seeded
+// publish loops, random key sets, and random query subranges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "armada/armada.h"
+#include "kautz/partition_tree.h"
+#include "util/rng.h"
+
+namespace armada::testsupport {
+
+/// Publish `count` uniform values into a single-attribute index; returns the
+/// published values, in handle order (handles are sequential from the first
+/// publish).
+std::vector<double> publish_uniform_values(core::ArmadaIndex& index,
+                                           std::size_t count,
+                                           std::uint64_t seed);
+
+/// Publish `count` uniform points into a (possibly multi-attribute) index;
+/// returns the published points, in handle order.
+std::vector<std::vector<double>> publish_uniform_points(
+    core::ArmadaIndex& index, std::size_t count, std::uint64_t seed);
+
+/// `count` distinct uniform keys in [lo, hi), unsorted — suitable for
+/// skip-graph / Chord style key sets.
+std::vector<double> random_keys(std::size_t count, std::uint64_t seed,
+                                double lo = 0.0, double hi = 1e6);
+
+/// A random closed subrange of `domain` with width uniform in
+/// [0, max_size] (clamped to the domain).
+kautz::Interval random_subrange(Rng& rng, kautz::Interval domain,
+                                double max_size);
+
+}  // namespace armada::testsupport

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "support/test_workloads.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -22,6 +23,32 @@ TEST(Check, FailingConditionThrowsWithLocation) {
     EXPECT_NE(std::string(e.what()).find("util_test.cpp"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("ctx 42"), std::string::npos);
   }
+}
+
+// Regression: random_subrange promised clamping but threw CheckError when
+// max_size reached or exceeded the domain width (and on max_size == 0).
+TEST(TestSupport, RandomSubrangeClampsOversizedAndZeroMaxSize) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto q = testsupport::random_subrange(rng, {0.0, 10.0}, 1e9);
+    EXPECT_GE(q.lo, 0.0);
+    EXPECT_LE(q.hi, 10.0);
+    EXPECT_LE(q.lo, q.hi);
+  }
+  const auto point = testsupport::random_subrange(rng, {0.0, 10.0}, 0.0);
+  EXPECT_EQ(point.lo, point.hi);
+}
+
+// Regression: Figure 6/8 benches crashed on small workloads because
+// IncreRatio can legitimately collect zero samples (it needs >1 dest peer);
+// mean_or() is the non-throwing accessor for such possibly-empty stats.
+TEST(OnlineStats, MeanOrFallsBackWhenEmpty) {
+  OnlineStats s;
+  EXPECT_THROW(s.mean(), CheckError);
+  EXPECT_TRUE(std::isnan(s.mean_or(std::nan(""))));
+  EXPECT_EQ(s.mean_or(-1.0), -1.0);
+  s.add(3.0);
+  EXPECT_EQ(s.mean_or(-1.0), 3.0);
 }
 
 TEST(Rng, DeterministicAcrossInstances) {
