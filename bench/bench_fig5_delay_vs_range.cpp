@@ -23,6 +23,10 @@ int main() {
     table.add_row({Table::cell(size, 0), Table::cell(pira.delay().mean()),
                    Table::cell(pira.delay().max(), 0),
                    Table::cell(dcf.delay().mean()), Table::cell(log_n)});
+    const std::vector<std::pair<std::string, double>> params = {
+        {"n", static_cast<double>(kN)}, {"range_size", size}};
+    json_record("fig5_delay_vs_range", "PIRA", params, pira);
+    json_record("fig5_delay_vs_range", "DCF-CAN", params, dcf);
   }
   print_tables("Figure 5: query delay at different range size (N=2000)",
                table);

@@ -25,6 +25,10 @@ int main() {
                    Table::cell(pira.delay().max(), 0),
                    Table::cell(dcf.delay().mean()),
                    Table::cell(std::log2(static_cast<double>(n)))});
+    const std::vector<std::pair<std::string, double>> params = {
+        {"n", static_cast<double>(n)}, {"range_size", kRange}};
+    json_record("fig7_delay_vs_netsize", "PIRA", params, pira);
+    json_record("fig7_delay_vs_netsize", "DCF-CAN", params, dcf);
   }
   print_tables("Figure 7: query delay at different network size (range=20)",
                table);

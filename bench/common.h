@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "armada/armada.h"
 #include "can/can_network.h"
@@ -137,6 +139,106 @@ class DcfSetup {
 inline void print_tables(const std::string& title, const Table& table) {
   std::printf("== %s ==\n%s\nCSV:\n%s\n", title.c_str(),
               table.to_text().c_str(), table.to_csv().c_str());
+}
+
+/// Machine-readable bench results. When ARMADA_BENCH_JSON=<path> is set,
+/// each record() call buffers one measurement and the run is *appended* to
+/// <path> as JSON Lines at process exit — one object per line:
+///   {"bench": ..., "series": ..., "scale": ...,
+///    "params": {...}, "metrics": {...}}
+/// so the perf trajectory (BENCH_*.jsonl) can be diffed across commits.
+/// Append + line-per-record means several bench binaries (e.g. a whole
+/// `ctest -L benchsmoke` run) can share one path without clobbering each
+/// other; delete the file first when a fresh capture is wanted. Names must
+/// be plain identifiers (no JSON escaping is applied).
+class JsonSink {
+ public:
+  static JsonSink& instance() {
+    static JsonSink sink;
+    return sink;
+  }
+
+  bool enabled() const { return path_ != nullptr; }
+
+  void record(const std::string& bench, const std::string& series,
+              const std::vector<std::pair<std::string, double>>& params,
+              const std::vector<std::pair<std::string, double>>& metrics) {
+    if (!enabled()) {
+      return;
+    }
+    std::string r = "{\"bench\": \"" + bench + "\", \"series\": \"" + series +
+                    "\", \"scale\": " + number(scale()) + ", \"params\": {" +
+                    fields(params) + "}, \"metrics\": {" + fields(metrics) +
+                    "}}";
+    records_.push_back(std::move(r));
+  }
+
+  JsonSink(const JsonSink&) = delete;
+  JsonSink& operator=(const JsonSink&) = delete;
+
+ private:
+  JsonSink() : path_(std::getenv("ARMADA_BENCH_JSON")) {}
+
+  ~JsonSink() {
+    if (!enabled() || records_.empty()) {
+      return;
+    }
+    std::FILE* f = std::fopen(path_, "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open ARMADA_BENCH_JSON path '%s'\n", path_);
+      return;
+    }
+    for (const std::string& r : records_) {
+      std::fprintf(f, "%s\n", r.c_str());
+    }
+    std::fclose(f);
+  }
+
+  static std::string number(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+
+  static std::string fields(
+      const std::vector<std::pair<std::string, double>>& kv) {
+    std::string out;
+    for (const auto& [key, value] : kv) {
+      if (!out.empty()) {
+        out += ", ";
+      }
+      out += "\"" + key + "\": " + number(value);
+    }
+    return out;
+  }
+
+  const char* path_;
+  std::vector<std::string> records_;
+};
+
+/// Record the standard metric summary of one MetricSet under the JSON knob:
+/// means of the paper metrics plus delay/latency percentiles.
+inline void json_record(const std::string& bench, const std::string& series,
+                        const std::vector<std::pair<std::string, double>>& params,
+                        const sim::MetricSet& m) {
+  JsonSink& sink = JsonSink::instance();
+  if (!sink.enabled()) {
+    return;
+  }
+  const bool has = m.delay().count() > 0;
+  sink.record(bench, series, params,
+              {{"queries", static_cast<double>(m.delay().count())},
+               {"delay_mean", m.delay().mean_or(0.0)},
+               {"delay_p50", has ? m.delay_percentiles().p50() : 0.0},
+               {"delay_p95", has ? m.delay_percentiles().p95() : 0.0},
+               {"delay_p99", has ? m.delay_percentiles().p99() : 0.0},
+               {"latency_mean", m.latency().mean_or(0.0)},
+               {"latency_p50", has ? m.latency_percentiles().p50() : 0.0},
+               {"latency_p95", has ? m.latency_percentiles().p95() : 0.0},
+               {"latency_p99", has ? m.latency_percentiles().p99() : 0.0},
+               {"messages_mean", m.messages().mean_or(0.0)},
+               {"dest_peers_mean", m.dest_peers().mean_or(0.0)},
+               {"mesg_ratio_mean", m.mesg_ratio().mean_or(0.0)}});
 }
 
 }  // namespace armada::bench

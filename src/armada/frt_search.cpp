@@ -28,6 +28,10 @@ RangeQueryResult FrtSearch::run(
   sim::Simulator sim;
 
   // Recursive forwarding step; `search` keeps it alive during sim.run().
+  // Forwarded messages travel through the network's Transport, so each hop
+  // arrives after its link latency: `delay` stays the paper's hop count
+  // (depth in the forwarding tree) while `latency` is the simulated arrival
+  // time of the message. Under ConstantHop the two coincide exactly.
   struct Step {
     const FrtSearch* self;
     sim::Simulator* sim;
@@ -35,14 +39,17 @@ RangeQueryResult FrtSearch::run(
     const FrtSearchClass* cls;
     const std::function<void(PeerId, RangeQueryResult&)>* on_destination;
 
-    void operator()(PeerId b, std::size_t aligned_len) const {
+    void operator()(PeerId b, std::size_t aligned_len,
+                    std::uint32_t hops) const {
       const fissione::Peer& peer = self->net_.peer(b);
       const std::size_t len = peer.peer_id.length();
       if (aligned_len == len) {
         // The whole PeerID prefixes a viable target leaf: destination.
         result->destinations.push_back(b);
         ++result->stats.dest_peers;
-        result->stats.delay = std::max(result->stats.delay, sim->now());
+        result->stats.delay =
+            std::max(result->stats.delay, static_cast<double>(hops));
+        result->stats.latency = std::max(result->stats.latency, sim->now());
         (*on_destination)(b, *result);
         return;
       }
@@ -56,8 +63,10 @@ RangeQueryResult FrtSearch::run(
         if (cls->viable(aligned)) {
           ++result->stats.messages;
           const Step step = *this;
-          sim->schedule_after(
-              1.0, [step, c, aligned_len, m] { step(c, aligned_len + m); });
+          self->net_.transport().deliver(
+              *sim, b, c, [step, c, aligned_len, m, hops] {
+                step(c, aligned_len + m, hops + 1);
+              });
         }
       }
     }
@@ -73,7 +82,7 @@ RangeQueryResult FrtSearch::run(
   for (std::size_t i = 0; i < classes.size(); ++i) {
     const std::size_t j0 = start_alignment(issuer_id, classes[i].com_t);
     const Step& step = steps[i];
-    sim.schedule_at(0.0, [&step, issuer, j0] { step(issuer, j0); });
+    sim.schedule_at(0.0, [&step, issuer, j0] { step(issuer, j0, 0); });
   }
   sim.run();
   return result;

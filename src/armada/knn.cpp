@@ -46,6 +46,7 @@ KnnResult Knn::query(PeerId issuer, double q, std::size_t k,
     const fissione::RouteResult route = net_.route(cur, to);
     result.stats.messages += route.hops;
     result.stats.delay += route.hops;
+    result.stats.latency += route.latency;  // annexations are sequential
     cur = route.owner;
     ++result.stats.dest_peers;
     for (const fissione::StoredObject& obj : net_.peer(cur).store) {

@@ -32,6 +32,7 @@ TopKResult TopK::query(PeerId issuer, double lo, double hi, std::size_t k,
     const fissione::RouteResult route = net_.route(cur, target);
     result.stats.messages += route.hops;
     result.stats.delay += route.hops;
+    result.stats.latency += route.latency;  // zone hops are sequential
     cur = route.owner;
     ++result.stats.dest_peers;
 

@@ -181,6 +181,7 @@ CanRoute CanNetwork::route(NodeId from, double x, double y) const {
       }
     }
     ARMADA_CHECK_MSG(best != kNoNode, "greedy routing stuck");
+    r.latency += transport_.link(cur, best);
     cur = best;
     cur_dist = best_dist;
     ++r.hops;

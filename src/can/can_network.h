@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/transport.h"
 #include "util/rng.h"
 
 namespace armada::can {
@@ -42,6 +43,9 @@ struct Zone {
 struct CanRoute {
   NodeId final_node = kNoNode;
   std::uint32_t hops = 0;
+  /// Sum of per-link latencies along the greedy path under the network's
+  /// latency model; equals `hops` under the default ConstantHop model.
+  double latency = 0.0;
 };
 
 class CanNetwork {
@@ -60,6 +64,13 @@ class CanNetwork {
   CanRoute route(NodeId from, double x, double y) const;
 
   NodeId random_node();
+
+  /// Message-delivery seam shared with the overlays layered on CAN
+  /// (DCF-CAN); defaults to ConstantHop(1.0), i.e. latency == hop count.
+  const net::Transport& transport() const { return transport_; }
+  void set_latency_model(std::shared_ptr<const net::LatencyModel> model) {
+    transport_.set_model(std::move(model));
+  }
 
   /// Structure checks: dyadic tiling, ratio <= 2, neighbor symmetry.
   void check_invariants() const;
@@ -82,6 +93,7 @@ class CanNetwork {
   KdNode* leaf_for(double x, double y) const;
 
   Rng rng_;
+  net::Transport transport_;
   std::unique_ptr<KdNode> root_;
   std::vector<Zone> zones_;                      // by NodeId
   std::vector<std::vector<NodeId>> neighbors_;   // by NodeId

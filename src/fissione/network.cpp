@@ -317,6 +317,7 @@ RouteResult FissioneNetwork::route(PeerId from,
     ARMADA_CHECK_MSG(result.hops <= hop_limit, "routing loop suspected");
   }
   result.owner = cur;
+  result.latency = transport_.path_latency(result.path);
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include "fissione/kautz_tree.h"
 #include "fissione/peer.h"
 #include "fissione/types.h"
+#include "net/transport.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -58,6 +59,15 @@ class FissioneNetwork {
   PeerId random_peer();
   const KautzTree& tree() const { return tree_; }
   const Config& config() const { return config_; }
+
+  // --- transport ----------------------------------------------------------
+  /// Message-delivery seam: every query layer (routing, FRT search, top-k,
+  /// kNN) charges link latencies through this transport. Defaults to
+  /// ConstantHop(1.0), i.e. latency == hop count.
+  const net::Transport& transport() const { return transport_; }
+  void set_latency_model(std::shared_ptr<const net::LatencyModel> model) {
+    transport_.set_model(std::move(model));
+  }
 
   // --- data plane --------------------------------------------------------
   /// Ground-truth owner (tree descent, no messages).
@@ -107,6 +117,7 @@ class FissioneNetwork {
   PeerId walk_to_local_min(PeerId start) const;
 
   Config config_;
+  net::Transport transport_;
   Rng rng_;
   std::vector<Peer> peers_;
   std::vector<PeerId> free_ids_;

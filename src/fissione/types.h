@@ -25,6 +25,9 @@ struct StoredObject {
 struct RouteResult {
   PeerId owner = kNoPeer;
   std::uint32_t hops = 0;
+  /// Sum of per-link latencies along `path` under the network's latency
+  /// model; equals `hops` under the default ConstantHop model.
+  double latency = 0.0;
   std::vector<PeerId> path;  ///< includes source and owner
 };
 

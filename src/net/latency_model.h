@@ -1,0 +1,113 @@
+// Pluggable per-link latency models for the transport subsystem.
+//
+// The paper's evaluation charges one time unit per overlay hop, which makes
+// "delay" a hop count. Real deployments see heterogeneous link latencies, so
+// every model here maps an overlay link (u, v) to a latency that is a *pure
+// function* of the endpoints and the model's seed/parameters: repeated calls
+// return bit-identical values, two model instances with equal seeds agree on
+// every link, and latencies are symmetric. That keeps simulations exactly
+// reproducible without materializing an N x N matrix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event_queue.h"
+
+namespace armada::net {
+
+/// Transport-level node handle. Every overlay in this repo already uses a
+/// dense uint32 id (fissione::PeerId, can::NodeId, ...), so links are
+/// addressed by those ids directly.
+using NodeId = std::uint32_t;
+
+using sim::Time;
+
+/// Interface: one-way latency of the overlay link u -> v.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// Pure and symmetric; strictly positive for u != v.
+  virtual Time link_latency(NodeId u, NodeId v) const = 0;
+
+  /// Short identifier for bench tables / JSON records.
+  virtual std::string name() const = 0;
+};
+
+/// Every link costs exactly `cost` (default 1.0): arrival time equals hop
+/// count, reproducing the paper's original delay metric bit-for-bit. This is
+/// the default model of every network, so existing figures are unchanged.
+class ConstantHop final : public LatencyModel {
+ public:
+  explicit ConstantHop(Time cost = 1.0);
+
+  Time link_latency(NodeId u, NodeId v) const override;
+  std::string name() const override { return "constant"; }
+
+ private:
+  Time cost_;
+};
+
+/// Per-link latency uniform in [lo, hi); fixed per link by hashing the seed
+/// with the (unordered) endpoint pair.
+class UniformJitter final : public LatencyModel {
+ public:
+  UniformJitter(std::uint64_t seed, Time lo = 0.5, Time hi = 1.5);
+
+  Time link_latency(NodeId u, NodeId v) const override;
+  std::string name() const override { return "jitter"; }
+
+ private:
+  std::uint64_t seed_;
+  Time lo_;
+  Time hi_;
+};
+
+/// Hierarchical transit-stub topology: each node hashes into one of
+/// `clusters` stub domains; links inside a cluster cost `intra`, links
+/// crossing clusters cost `inter`. Models the LAN/WAN split that proximity-
+/// aware overlay routing exploits.
+class TransitStub final : public LatencyModel {
+ public:
+  struct Config {
+    std::uint32_t clusters = 16;
+    Time intra = 1.0;
+    Time inter = 10.0;
+  };
+
+  explicit TransitStub(std::uint64_t seed);
+  TransitStub(std::uint64_t seed, Config config);
+
+  Time link_latency(NodeId u, NodeId v) const override;
+  std::string name() const override { return "transit_stub"; }
+
+  /// Stub domain of a node (exposed for tests).
+  std::uint32_t cluster_of(NodeId u) const;
+
+ private:
+  std::uint64_t seed_;
+  Config config_;
+};
+
+/// Seeded empirical RTT matrix with a King-style long-tail distribution
+/// (Gummadi et al., "King: Estimating latency between arbitrary Internet end
+/// hosts", IMW'02). Each link draws its latency by inverse-transform
+/// sampling from a piecewise-linear CDF shaped like the King measurements —
+/// median at `median` time units, ~4x the median at p90 and a tail past 20x
+/// — so a few slow links dominate query latency the way real WAN paths do.
+/// Behaves exactly like a fixed symmetric matrix; entries are computed
+/// lazily from the seed, so memory stays O(1) at any network size.
+class RttMatrix final : public LatencyModel {
+ public:
+  explicit RttMatrix(std::uint64_t seed, Time median = 1.0);
+
+  Time link_latency(NodeId u, NodeId v) const override;
+  std::string name() const override { return "rtt_king"; }
+
+ private:
+  std::uint64_t seed_;
+  Time median_;
+};
+
+}  // namespace armada::net

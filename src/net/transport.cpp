@@ -1,0 +1,32 @@
+#include "net/transport.h"
+
+#include "util/check.h"
+
+namespace armada::net {
+
+Transport::Transport() : model_(std::make_shared<ConstantHop>()) {}
+
+Transport::Transport(std::shared_ptr<const LatencyModel> model)
+    : model_(std::move(model)) {
+  ARMADA_CHECK(model_ != nullptr);
+}
+
+void Transport::set_model(std::shared_ptr<const LatencyModel> model) {
+  ARMADA_CHECK(model != nullptr);
+  model_ = std::move(model);
+}
+
+Time Transport::path_latency(const std::vector<NodeId>& path) const {
+  Time total = 0.0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    total += link(path[i - 1], path[i]);
+  }
+  return total;
+}
+
+void Transport::deliver(sim::Simulator& sim, NodeId from, NodeId to,
+                        std::function<void()> on_arrival) const {
+  sim.schedule_after(link(from, to), std::move(on_arrival));
+}
+
+}  // namespace armada::net

@@ -1,0 +1,52 @@
+// Transport: message delivery between overlay nodes with model-driven link
+// latencies.
+//
+// This is the seam between overlay logic and the network: overlays hand a
+// message (a callback) to the transport, which charges the link latency and
+// schedules the arrival on the discrete-event simulator. Sequential walks
+// that record their path (FISSIONE exact-match routing) price it with
+// `path_latency`; walks that don't (CAN greedy routing) accumulate
+// `link` costs hop by hop as they go. The default model is
+// ConstantHop(1.0), under which arrival times equal hop counts and every
+// pre-existing delay figure is reproduced bit-for-bit.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/latency_model.h"
+#include "sim/event_queue.h"
+
+namespace armada::net {
+
+class Transport {
+ public:
+  /// Default transport: ConstantHop(1.0), i.e. latency == hop count.
+  Transport();
+  explicit Transport(std::shared_ptr<const LatencyModel> model);
+
+  const LatencyModel& model() const { return *model_; }
+  /// Swap the latency model; subsequent queries on the owning network report
+  /// latencies under the new model. Never null.
+  void set_model(std::shared_ptr<const LatencyModel> model);
+
+  /// Latency charged to one message on the link u -> v.
+  Time link(NodeId u, NodeId v) const { return model_->link_latency(u, v); }
+
+  /// Total latency of sequential forwarding along `path` (as produced by
+  /// exact-match routing: source first, owner last).
+  Time path_latency(const std::vector<NodeId>& path) const;
+
+  /// Deliver a message: schedules `on_arrival` on `sim` at
+  /// now() + link(from, to). Concurrent deliveries interleave by arrival
+  /// time, so "query latency" falls out as the latest arrival at any
+  /// destination.
+  void deliver(sim::Simulator& sim, NodeId from, NodeId to,
+               std::function<void()> on_arrival) const;
+
+ private:
+  std::shared_ptr<const LatencyModel> model_;
+};
+
+}  // namespace armada::net

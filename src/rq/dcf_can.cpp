@@ -1,8 +1,9 @@
 #include "rq/dcf_can.h"
 
 #include <algorithm>
-#include <deque>
+#include <functional>
 
+#include "sim/event_queue.h"
 #include "util/check.h"
 
 namespace armada::rq {
@@ -91,42 +92,55 @@ core::RangeQueryResult DcfCan::query(NodeId issuer, double lo,
   const can::CanRoute route = net_.route(issuer, mx, my);
   result.stats.messages += route.hops;
 
-  // Phase 2: directed controlled flooding over intersecting zones.
-  // Receivers drop duplicates, but each transmission still costs a message.
+  // Phase 2: directed controlled flooding over intersecting zones, run on
+  // the discrete-event simulator so each transmission arrives after its
+  // link latency. A zone acts on its *first* arrival (suppressing later
+  // duplicates, though each transmission still costs a message) and floods
+  // onward to every intersecting neighbor except the sender. Under the
+  // default ConstantHop model arrivals order exactly like the classic BFS,
+  // so hop depths, parents, message counts and visit order are unchanged.
   ARMADA_CHECK(zone_intersects(route.final_node, qr));
+  sim::Simulator sim;
   std::vector<char> visited(net_.num_nodes(), 0);
-  std::deque<std::pair<NodeId, std::uint32_t>> queue;
-  std::vector<NodeId> parent(net_.num_nodes(), can::kNoNode);
-  visited[route.final_node] = 1;
-  queue.emplace_back(route.final_node, 0);
   std::uint32_t max_depth = 0;
+  double flood_latency = 0.0;
 
-  while (!queue.empty()) {
-    const auto [z, depth] = queue.front();
-    queue.pop_front();
-    max_depth = std::max(max_depth, depth);
-    result.destinations.push_back(z);
-    ++result.stats.dest_peers;
-    for (const auto& [value, handle] : store_[z]) {
-      if (value >= lo && value <= hi) {
-        result.matches.push_back(handle);
-        ++result.stats.results;
-      }
-    }
-    for (NodeId n : net_.neighbors(z)) {
-      if (n == parent[z] || !zone_intersects(n, qr)) {
-        continue;
-      }
-      ++result.stats.messages;  // transmitted even if the receiver drops it
-      if (!visited[n]) {
-        visited[n] = 1;
-        parent[n] = z;
-        queue.emplace_back(n, depth + 1);
-      }
-    }
-  }
+  std::function<void(NodeId, NodeId, std::uint32_t)> arrive =
+      [&](NodeId z, NodeId from, std::uint32_t depth) {
+        if (visited[z]) {
+          return;  // duplicate; its message was charged at transmission
+        }
+        visited[z] = 1;
+        max_depth = std::max(max_depth, depth);
+        flood_latency = std::max(flood_latency, sim.now());
+        result.destinations.push_back(z);
+        ++result.stats.dest_peers;
+        for (const auto& [value, handle] : store_[z]) {
+          if (value >= lo && value <= hi) {
+            result.matches.push_back(handle);
+            ++result.stats.results;
+          }
+        }
+        for (NodeId n : net_.neighbors(z)) {
+          if (n == from || !zone_intersects(n, qr)) {
+            continue;
+          }
+          ++result.stats.messages;  // transmitted even if the receiver drops
+          // visited[] is monotone, so a receiver already visited at send
+          // time is guaranteed to drop the arrival; skip the no-op event.
+          if (!visited[n]) {
+            net_.transport().deliver(sim, z, n, [&arrive, n, z, depth] {
+              arrive(n, z, depth + 1);
+            });
+          }
+        }
+      };
+  sim.schedule_at(
+      0.0, [&arrive, &route] { arrive(route.final_node, can::kNoNode, 0); });
+  sim.run();
 
   result.stats.delay = static_cast<double>(route.hops + max_depth);
+  result.stats.latency = route.latency + flood_latency;
   return result;
 }
 

@@ -17,6 +17,9 @@ double QueryStats::incre_ratio(double log_n) const {
 
 void MetricSet::add(const QueryStats& q) {
   delay_.add(q.delay);
+  latency_.add(q.latency);
+  delay_pct_.add(q.delay);
+  latency_pct_.add(q.latency);
   messages_.add(static_cast<double>(q.messages));
   dest_peers_.add(static_cast<double>(q.dest_peers));
   results_.add(static_cast<double>(q.results));

@@ -13,6 +13,10 @@ struct QueryStats {
   std::uint64_t messages = 0;
   /// Hops until the last destination peer received the query.
   double delay = 0.0;
+  /// Simulated time until the last destination peer received the query,
+  /// charged per link by the network's net::LatencyModel. Under the default
+  /// ConstantHop model this equals `delay` exactly.
+  double latency = 0.0;
   /// Destination peers that intersect the query and scan local data.
   std::uint64_t dest_peers = 0;
   /// Matching objects found.
@@ -33,16 +37,25 @@ class MetricSet {
   void add(const QueryStats& q);
 
   const OnlineStats& delay() const { return delay_; }
+  const OnlineStats& latency() const { return latency_; }
   const OnlineStats& messages() const { return messages_; }
   const OnlineStats& dest_peers() const { return dest_peers_; }
   const OnlineStats& results() const { return results_; }
   const OnlineStats& mesg_ratio() const { return mesg_ratio_; }
   const OnlineStats& incre_ratio() const { return incre_ratio_; }
+  /// Tail behaviour of the two delay metrics (p50/p95/p99): with
+  /// heterogeneous link latencies the mean hides the slow-link tail that
+  /// bounds user-visible response time.
+  const Percentiles& delay_percentiles() const { return delay_pct_; }
+  const Percentiles& latency_percentiles() const { return latency_pct_; }
   double log_n() const { return log_n_; }
 
  private:
   double log_n_;
   OnlineStats delay_;
+  OnlineStats latency_;
+  Percentiles delay_pct_;
+  Percentiles latency_pct_;
   OnlineStats messages_;
   OnlineStats dest_peers_;
   OnlineStats results_;

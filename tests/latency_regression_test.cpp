@@ -1,0 +1,237 @@
+// Transport regression and determinism suite.
+//
+// Backward compatibility: under the default ConstantHop model the new
+// latency machinery must reproduce the paper's hop-count delays *exactly* —
+// `latency` is accumulated through the Transport/Simulator while `delay`
+// still comes from the untouched hop counting, so bitwise equality of the
+// two proves the transport charges precisely one unit per hop (and hence
+// that fig5/fig7 delay columns are unchanged). A golden check additionally
+// pins the absolute fig5-style numbers for a fixed seed.
+//
+// Determinism: every LatencyModel is a pure function of its seed, so two
+// independently built networks with equal seeds must report bit-identical
+// per-link latencies and per-query QueryStats.latency.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "can/can_network.h"
+#include "net/latency_model.h"
+#include "rq/dcf_can.h"
+#include "support/test_networks.h"
+#include "support/test_workloads.h"
+#include "util/rng.h"
+
+namespace armada {
+namespace {
+
+using testsupport::kPaperDomain;
+using testsupport::make_single_index;
+
+std::vector<std::shared_ptr<const net::LatencyModel>> all_models(
+    std::uint64_t seed) {
+  return {
+      std::make_shared<net::ConstantHop>(),
+      std::make_shared<net::UniformJitter>(seed),
+      std::make_shared<net::TransitStub>(seed),
+      std::make_shared<net::RttMatrix>(seed),
+  };
+}
+
+TEST(ConstantHopRegression, FissioneRouteLatencyEqualsHops) {
+  auto fx = make_single_index(120, 7001);
+  Rng rng(9);
+  for (int i = 0; i < 60; ++i) {
+    const auto target = fx->net.kautz_hash("key" + std::to_string(i));
+    const auto r = fx->net.route(fx->random_issuer(rng), target);
+    EXPECT_EQ(r.latency, static_cast<double>(r.hops));
+    EXPECT_EQ(r.path.size(), static_cast<std::size_t>(r.hops) + 1);
+  }
+}
+
+TEST(ConstantHopRegression, PiraLatencyEqualsHopDelay) {
+  auto fx = make_single_index(200, 7003);
+  testsupport::publish_uniform_values(fx->index, 400, 7004);
+  Rng rng(11);
+  for (int i = 0; i < 80; ++i) {
+    const auto q = testsupport::random_subrange(rng, kPaperDomain, 200.0);
+    const auto r =
+        fx->index.range_query(fx->random_issuer(rng), q.lo, q.hi);
+    // Bitwise: the event-driven arrival time must be the hop count.
+    EXPECT_EQ(r.stats.latency, r.stats.delay);
+  }
+}
+
+TEST(ConstantHopRegression, TopKAndKnnLatencyEqualsHopDelay) {
+  auto fx = make_single_index(150, 7005);
+  testsupport::publish_uniform_values(fx->index, 300, 7006);
+  Rng rng(13);
+  for (int i = 0; i < 25; ++i) {
+    const auto q = testsupport::random_subrange(rng, kPaperDomain, 150.0);
+    const auto topk =
+        fx->index.top_k(fx->random_issuer(rng), q.lo, q.hi, 5);
+    EXPECT_EQ(topk.stats.latency, topk.stats.delay);
+    const auto knn = fx->index.nearest(
+        fx->random_issuer(rng), rng.next_double(0.0, 1000.0), 4);
+    EXPECT_EQ(knn.stats.latency, knn.stats.delay);
+  }
+}
+
+TEST(ConstantHopRegression, DcfCanLatencyEqualsHopDelay) {
+  can::CanNetwork net(250, 7007);
+  rq::DcfCan dcf(net, rq::DcfCan::Config{});
+  Rng rng(15);
+  for (int i = 0; i < 300; ++i) {
+    dcf.publish(rng.next_double(0.0, 1000.0));
+  }
+  for (int i = 0; i < 60; ++i) {
+    const auto q = testsupport::random_subrange(rng, kPaperDomain, 250.0);
+    const auto r = dcf.query(
+        static_cast<can::NodeId>(rng.next_index(net.num_nodes())), q.lo, q.hi);
+    EXPECT_EQ(r.stats.latency, r.stats.delay);
+  }
+}
+
+// Expected totals for GoldenDelayTotals below, captured from the seed
+// hop-count implementation (which the transport reproduces bit-for-bit).
+constexpr double kGoldenPiraDelay = 191.0;
+constexpr double kGoldenDcfDelay = 199.0;
+constexpr std::uint64_t kGoldenPiraMessages = 401;
+constexpr std::uint64_t kGoldenDcfMessages = 326;
+
+// Golden fig5-style numbers (N=60, fixed seeds): pins the delay/message
+// totals of the default-model query path so a change to routing, FRT
+// forwarding or the flood is caught even if it keeps latency == delay.
+// Regenerate by printing the totals if an *intentional* semantic change
+// lands.
+TEST(ConstantHopRegression, GoldenDelayTotals) {
+  auto fx = make_single_index(60, 4242);
+  testsupport::publish_uniform_values(fx->index, 120, 4243);
+  can::CanNetwork cnet(60, 4242);
+  rq::DcfCan dcf(cnet, rq::DcfCan::Config{});
+  Rng crng(4243);
+  for (int i = 0; i < 120; ++i) {
+    dcf.publish(crng.next_double(0.0, 1000.0));
+  }
+
+  double pira_delay = 0.0;
+  double dcf_delay = 0.0;
+  std::uint64_t pira_messages = 0;
+  std::uint64_t dcf_messages = 0;
+  Rng rng(4244);
+  for (int i = 0; i < 40; ++i) {
+    const auto q = testsupport::random_subrange(rng, kPaperDomain, 100.0);
+    const auto pr = fx->index.range_query(fx->random_issuer(rng), q.lo, q.hi);
+    const auto dr = dcf.query(
+        static_cast<can::NodeId>(rng.next_index(cnet.num_nodes())), q.lo,
+        q.hi);
+    pira_delay += pr.stats.delay;
+    dcf_delay += dr.stats.delay;
+    pira_messages += pr.stats.messages;
+    dcf_messages += dr.stats.messages;
+  }
+  EXPECT_EQ(pira_delay, kGoldenPiraDelay);
+  EXPECT_EQ(dcf_delay, kGoldenDcfDelay);
+  EXPECT_EQ(pira_messages, kGoldenPiraMessages);
+  EXPECT_EQ(dcf_messages, kGoldenDcfMessages);
+}
+
+TEST(LatencyModelDeterminism, TwoIndependentNetworksAgree) {
+  constexpr std::size_t kN = 150;
+  constexpr std::uint64_t kNetSeed = 8101;
+  constexpr std::uint64_t kModelSeed = 8202;
+
+  for (std::size_t mi = 0; mi < all_models(kModelSeed).size(); ++mi) {
+    // Two fully independent builds: networks, indexes, objects and models
+    // are constructed twice from the same seeds.
+    auto fx1 = make_single_index(kN, kNetSeed);
+    auto fx2 = make_single_index(kN, kNetSeed);
+    testsupport::publish_uniform_values(fx1->index, 300, kNetSeed + 1);
+    testsupport::publish_uniform_values(fx2->index, 300, kNetSeed + 1);
+    const auto model1 = all_models(kModelSeed)[mi];
+    const auto model2 = all_models(kModelSeed)[mi];
+    fx1->net.set_latency_model(model1);
+    fx2->net.set_latency_model(model2);
+
+    // Identical per-link latencies...
+    for (fissione::PeerId u = 0; u < 30; ++u) {
+      for (fissione::PeerId v = u + 1; v < 30; ++v) {
+        EXPECT_EQ(model1->link_latency(u, v), model2->link_latency(u, v));
+      }
+    }
+
+    // ... and bit-identical per-query latency under the full query path.
+    Rng rng1(77);
+    Rng rng2(77);
+    for (int i = 0; i < 40; ++i) {
+      const auto q1 = testsupport::random_subrange(rng1, kPaperDomain, 150.0);
+      const auto q2 = testsupport::random_subrange(rng2, kPaperDomain, 150.0);
+      const auto r1 =
+          fx1->index.range_query(fx1->random_issuer(rng1), q1.lo, q1.hi);
+      const auto r2 =
+          fx2->index.range_query(fx2->random_issuer(rng2), q2.lo, q2.hi);
+      EXPECT_EQ(r1.stats.latency, r2.stats.latency)
+          << "model " << model1->name() << " query " << i;
+      EXPECT_EQ(r1.stats.delay, r2.stats.delay);
+      EXPECT_EQ(r1.stats.messages, r2.stats.messages);
+    }
+  }
+}
+
+TEST(LatencyModelDeterminism, DcfFloodAgreesAcrossBuilds) {
+  constexpr std::uint64_t kModelSeed = 8303;
+  for (std::size_t mi = 0; mi < all_models(kModelSeed).size(); ++mi) {
+    can::CanNetwork net1(120, 8304);
+    can::CanNetwork net2(120, 8304);
+    rq::DcfCan dcf1(net1, rq::DcfCan::Config{});
+    rq::DcfCan dcf2(net2, rq::DcfCan::Config{});
+    Rng pub1(8305);
+    Rng pub2(8305);
+    for (int i = 0; i < 200; ++i) {
+      dcf1.publish(pub1.next_double(0.0, 1000.0));
+      dcf2.publish(pub2.next_double(0.0, 1000.0));
+    }
+    net1.set_latency_model(all_models(kModelSeed)[mi]);
+    net2.set_latency_model(all_models(kModelSeed)[mi]);
+
+    Rng rng1(78);
+    Rng rng2(78);
+    for (int i = 0; i < 30; ++i) {
+      const auto q1 = testsupport::random_subrange(rng1, kPaperDomain, 300.0);
+      const auto q2 = testsupport::random_subrange(rng2, kPaperDomain, 300.0);
+      const auto r1 = dcf1.query(
+          static_cast<can::NodeId>(rng1.next_index(net1.num_nodes())), q1.lo,
+          q1.hi);
+      const auto r2 = dcf2.query(
+          static_cast<can::NodeId>(rng2.next_index(net2.num_nodes())), q2.lo,
+          q2.hi);
+      EXPECT_EQ(r1.stats.latency, r2.stats.latency);
+      EXPECT_EQ(r1.stats.delay, r2.stats.delay);
+      EXPECT_EQ(r1.stats.messages, r2.stats.messages);
+    }
+  }
+}
+
+TEST(LatencyModels, HeterogeneousModelsChangeLatencyNotDelay) {
+  // Swapping the model must change reported latency but never the hop-count
+  // delay, destinations or message count — the model only re-prices links.
+  auto fx = make_single_index(150, 8401);
+  testsupport::publish_uniform_values(fx->index, 300, 8402);
+
+  Rng rng(79);
+  const auto q = testsupport::random_subrange(rng, kPaperDomain, 200.0);
+  const auto issuer = fx->random_issuer(rng);
+
+  const auto base = fx->index.range_query(issuer, q.lo, q.hi);
+  fx->net.set_latency_model(std::make_shared<net::TransitStub>(8403));
+  const auto slow = fx->index.range_query(issuer, q.lo, q.hi);
+
+  EXPECT_EQ(base.stats.delay, slow.stats.delay);
+  EXPECT_EQ(base.stats.messages, slow.stats.messages);
+  EXPECT_EQ(base.destinations, slow.destinations);
+  EXPECT_GE(slow.stats.latency, base.stats.latency);
+}
+
+}  // namespace
+}  // namespace armada

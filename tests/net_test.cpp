@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/latency_model.h"
+#include "net/transport.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace armada::net {
+namespace {
+
+// Sampled node pairs covering small ids, reused ids and far-apart ids.
+std::vector<std::pair<NodeId, NodeId>> sample_links() {
+  std::vector<std::pair<NodeId, NodeId>> links;
+  for (NodeId u = 0; u < 40; ++u) {
+    for (NodeId v = u + 1; v < 40; ++v) {
+      links.emplace_back(u, v);
+    }
+  }
+  links.emplace_back(7, 123456);
+  links.emplace_back(0, 4000000);
+  return links;
+}
+
+TEST(ConstantHop, EveryLinkCostsTheConstant) {
+  const ConstantHop unit;
+  const ConstantHop half(0.5);
+  for (const auto& [u, v] : sample_links()) {
+    EXPECT_EQ(unit.link_latency(u, v), 1.0);
+    EXPECT_EQ(half.link_latency(u, v), 0.5);
+  }
+  EXPECT_THROW(ConstantHop(0.0), CheckError);
+}
+
+TEST(ConstantHop, RejectsSelfLinks) {
+  const ConstantHop m;
+  EXPECT_THROW(m.link_latency(3, 3), CheckError);
+}
+
+template <typename Model>
+void expect_pure_and_symmetric(const Model& a, const Model& b) {
+  for (const auto& [u, v] : sample_links()) {
+    const Time l = a.link_latency(u, v);
+    EXPECT_GT(l, 0.0);
+    EXPECT_EQ(l, a.link_latency(u, v));  // pure: repeated calls agree
+    EXPECT_EQ(l, a.link_latency(v, u));  // symmetric
+    EXPECT_EQ(l, b.link_latency(u, v));  // same seed => same matrix
+  }
+}
+
+template <typename Model>
+void expect_seed_sensitivity(const Model& a, const Model& other_seed) {
+  bool any_differ = false;
+  for (const auto& [u, v] : sample_links()) {
+    any_differ |= a.link_latency(u, v) != other_seed.link_latency(u, v);
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(UniformJitter, DeterministicSymmetricSeeded) {
+  expect_pure_and_symmetric(UniformJitter(11), UniformJitter(11));
+  expect_seed_sensitivity(UniformJitter(11), UniformJitter(12));
+}
+
+TEST(UniformJitter, StaysInsideBounds) {
+  const UniformJitter m(5, 0.25, 4.0);
+  OnlineStats s;
+  for (const auto& [u, v] : sample_links()) {
+    const Time l = m.link_latency(u, v);
+    EXPECT_GE(l, 0.25);
+    EXPECT_LT(l, 4.0);
+    s.add(l);
+  }
+  // Uniform over [0.25, 4): the sample mean lands near the midpoint.
+  EXPECT_NEAR(s.mean(), (0.25 + 4.0) / 2.0, 0.3);
+}
+
+TEST(TransitStub, DeterministicSymmetricSeeded) {
+  expect_pure_and_symmetric(TransitStub(21), TransitStub(21));
+  expect_seed_sensitivity(TransitStub(21), TransitStub(23));
+}
+
+TEST(TransitStub, ChargesIntraOrInterByCluster) {
+  const TransitStub m(9, {.clusters = 4, .intra = 2.0, .inter = 30.0});
+  bool saw_intra = false;
+  bool saw_inter = false;
+  for (const auto& [u, v] : sample_links()) {
+    const Time l = m.link_latency(u, v);
+    if (m.cluster_of(u) == m.cluster_of(v)) {
+      EXPECT_EQ(l, 2.0);
+      saw_intra = true;
+    } else {
+      EXPECT_EQ(l, 30.0);
+      saw_inter = true;
+    }
+  }
+  EXPECT_TRUE(saw_intra);
+  EXPECT_TRUE(saw_inter);
+}
+
+TEST(RttMatrix, DeterministicSymmetricSeeded) {
+  expect_pure_and_symmetric(RttMatrix(31), RttMatrix(31));
+  expect_seed_sensitivity(RttMatrix(31), RttMatrix(32));
+}
+
+TEST(RttMatrix, KingStyleLongTail) {
+  const RttMatrix m(77, 1.0);
+  Percentiles p;
+  for (NodeId u = 0; u < 200; ++u) {
+    for (NodeId v = u + 1; v < 200; ++v) {
+      p.add(m.link_latency(u, v));
+    }
+  }
+  EXPECT_NEAR(p.p50(), 1.0, 0.1);       // median at the configured unit
+  EXPECT_GT(p.p99(), 5.0);              // long tail: p99 >> median
+  EXPECT_GT(p.percentile(1.0), 10.0);   // extreme tail past 10x
+  EXPECT_LT(p.percentile(1.0), 25.01);  // ... but bounded by the CDF knot
+
+  // Scaling the median scales every entry proportionally.
+  const RttMatrix scaled(77, 3.0);
+  EXPECT_EQ(scaled.link_latency(1, 2), 3.0 * m.link_latency(1, 2));
+}
+
+TEST(Transport, DefaultsToConstantHop) {
+  const Transport t;
+  EXPECT_EQ(t.link(0, 1), 1.0);
+  EXPECT_EQ(t.path_latency({4, 9, 2, 17}), 3.0);
+  EXPECT_EQ(t.path_latency({4}), 0.0);
+  EXPECT_EQ(t.path_latency({}), 0.0);
+}
+
+TEST(Transport, DeliversAtLinkLatency) {
+  Transport t(std::make_shared<UniformJitter>(3, 0.5, 2.5));
+  sim::Simulator sim;
+  Time arrival = -1.0;
+  t.deliver(sim, 5, 6, [&] { arrival = sim.now(); });
+  sim.run();
+  EXPECT_EQ(arrival, t.link(5, 6));
+
+  // Chained deliveries accumulate like path_latency.
+  Time second = -1.0;
+  t.deliver(sim, 6, 7, [&] { second = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(second, arrival + t.link(6, 7));
+}
+
+TEST(Transport, SwappingTheModelChangesCharges) {
+  Transport t;
+  EXPECT_EQ(t.link(1, 2), 1.0);
+  t.set_model(std::make_shared<ConstantHop>(7.0));
+  EXPECT_EQ(t.link(1, 2), 7.0);
+  EXPECT_EQ(std::string(t.model().name()), "constant");
+}
+
+}  // namespace
+}  // namespace armada::net

@@ -58,6 +58,72 @@ TEST(Simulator, RunUntilStopsAtHorizon) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(Simulator, FifoTieBreakInterleavesWithEarlierTimes) {
+  // Events at the same timestamp run in scheduling order even when they are
+  // scheduled interleaved with events at other times, via schedule_at and
+  // schedule_after alike. The transport relies on this: ConstantHop arrival
+  // order must reproduce the classic BFS/queue order exactly.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(2.0, [&] { order.push_back(20); });
+  sim.schedule_at(1.0, [&] { order.push_back(10); });
+  sim.schedule_after(2.0, [&] { order.push_back(21); });  // also t=2
+  sim.schedule_at(2.0, [&] { order.push_back(22); });
+  sim.schedule_at(1.0, [&] { order.push_back(11); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 21, 22}));
+}
+
+TEST(Simulator, FifoTieBreakCoversEventsScheduledWhileRunning) {
+  // An action scheduling at the *current* time runs after everything already
+  // queued for that time (its sequence number is larger).
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(0);
+    sim.schedule_after(0.0, [&] { order.push_back(2); });
+  });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Simulator, RunUntilIncludesEventsExactlyAtTheHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.schedule_at(2.0 + 1e-9, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);  // horizon is inclusive; later events stay queued
+  EXPECT_FALSE(sim.idle());
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, RunUntilAdvancesTimeOnAnEmptyQueue) {
+  Simulator sim;
+  sim.run_until(7.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+  // A horizon in the past never moves time backwards.
+  sim.run_until(3.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(Simulator, EventsProcessedCountsAcrossRunAndRunUntil) {
+  Simulator sim;
+  for (int i = 1; i <= 6; ++i) {
+    sim.schedule_at(static_cast<Time>(i), [] {});
+  }
+  sim.run_until(3.0);
+  EXPECT_EQ(sim.events_processed(), 3u);
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 6u);
+  // Re-running with an empty queue processes nothing further.
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 6u);
+  EXPECT_TRUE(sim.idle());
+}
+
 TEST(Simulator, RejectsSchedulingIntoThePast) {
   Simulator sim;
   sim.schedule_at(2.0, [] {});
@@ -83,6 +149,24 @@ TEST(MetricSet, AggregatesAndSkipsDegenerateRatios) {
   EXPECT_EQ(m.mesg_ratio().count(), 2u);   // dest_peers >= 1 only
   EXPECT_EQ(m.incre_ratio().count(), 1u);  // dest_peers > 1 only
   EXPECT_DOUBLE_EQ(m.incre_ratio().mean(), 10.0 / 9.0);
+}
+
+TEST(MetricSet, TracksLatencyAndPercentiles) {
+  MetricSet m(10.0);
+  for (int i = 1; i <= 100; ++i) {
+    QueryStats q;
+    q.delay = static_cast<double>(i);
+    q.latency = 2.0 * static_cast<double>(i);
+    q.dest_peers = 1;
+    q.messages = 1;
+    m.add(q);
+  }
+  EXPECT_DOUBLE_EQ(m.latency().mean(), 101.0);
+  EXPECT_DOUBLE_EQ(m.latency().max(), 200.0);
+  EXPECT_DOUBLE_EQ(m.delay_percentiles().p50(), 50.0);
+  EXPECT_DOUBLE_EQ(m.delay_percentiles().p95(), 95.0);
+  EXPECT_DOUBLE_EQ(m.delay_percentiles().p99(), 99.0);
+  EXPECT_DOUBLE_EQ(m.latency_percentiles().p99(), 198.0);
 }
 
 TEST(RangeWorkload, StaysInsideDomain) {

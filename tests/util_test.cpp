@@ -139,6 +139,91 @@ TEST(OnlineStats, MergeEqualsSingleStream) {
   EXPECT_DOUBLE_EQ(left.max(), all.max());
 }
 
+TEST(Percentiles, NearestRankOnKnownDistributions) {
+  // 1..100: the q-th percentile is exactly ceil(100q).
+  Percentiles p;
+  for (int i = 100; i >= 1; --i) {  // insertion order must not matter
+    p.add(static_cast<double>(i));
+  }
+  EXPECT_EQ(p.count(), 100u);
+  EXPECT_DOUBLE_EQ(p.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(p.p95(), 95.0);
+  EXPECT_DOUBLE_EQ(p.p99(), 99.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0.001), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(1.0), 100.0);
+  // Regression: 0.07 * 100 lands one ulp above 7.0; naive ceil returned the
+  // 8th order statistic instead of the nearest-rank 7th.
+  EXPECT_DOUBLE_EQ(p.percentile(0.07), 7.0);
+
+  // A point mass: every percentile is the point.
+  Percentiles point;
+  for (int i = 0; i < 7; ++i) {
+    point.add(3.5);
+  }
+  EXPECT_DOUBLE_EQ(point.p50(), 3.5);
+  EXPECT_DOUBLE_EQ(point.p99(), 3.5);
+}
+
+TEST(Percentiles, SingleSampleAndErrors) {
+  Percentiles p;
+  EXPECT_THROW(p.p50(), CheckError);
+  p.add(42.0);
+  EXPECT_DOUBLE_EQ(p.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(p.p99(), 42.0);
+  EXPECT_THROW(p.percentile(0.0), CheckError);
+  EXPECT_THROW(p.percentile(1.5), CheckError);
+}
+
+TEST(Percentiles, InterleavedAddAndQuery) {
+  // Querying sorts lazily; adding afterwards must keep percentiles correct.
+  Percentiles p;
+  for (int i = 1; i <= 10; ++i) {
+    p.add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(p.p50(), 5.0);
+  for (int i = 11; i <= 100; ++i) {
+    p.add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(p.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(p.p99(), 99.0);
+}
+
+TEST(Percentiles, CappedModeStaysCloseOnUniformStream) {
+  // With a cap the accumulator keeps a deterministic systematic sample;
+  // quantiles of a uniform stream stay within a few percent.
+  Percentiles capped(512);
+  Percentiles exact;
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.next_double();
+    capped.add(x);
+    exact.add(x);
+  }
+  EXPECT_EQ(capped.count(), 20000u);
+  EXPECT_NEAR(capped.p50(), exact.p50(), 0.06);
+  EXPECT_NEAR(capped.p95(), exact.p95(), 0.06);
+  EXPECT_THROW(Percentiles(1), CheckError);
+}
+
+TEST(Percentiles, CappedModeIsIndependentOfQueryTiming) {
+  // Regression: thinning once operated on the lazily-sorted array, so a
+  // mid-stream query changed which samples survived later thinning.
+  Percentiles quiet(64);
+  Percentiles queried(64);
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    quiet.add(x);
+    queried.add(x);
+    if (i == 500) {
+      (void)queried.p50();
+    }
+  }
+  EXPECT_EQ(quiet.p50(), queried.p50());
+  EXPECT_EQ(quiet.p95(), queried.p95());
+  EXPECT_EQ(quiet.p99(), queried.p99());
+}
+
 TEST(Histogram, CountsAndQuantiles) {
   Histogram h;
   for (int i = 1; i <= 100; ++i) {
