@@ -51,35 +51,20 @@ int main() {
     return m;
   };
 
-  struct ModelRow {
-    const char* label;
-    std::function<std::shared_ptr<const net::LatencyModel>()> make;
-  };
-  const std::vector<ModelRow> models = {
-      {"constant", [] { return std::make_shared<net::ConstantHop>(); }},
-      {"jitter",
-       [] { return std::make_shared<net::UniformJitter>(kSeed ^ 0x1111); }},
-      {"transit_stub",
-       [] { return std::make_shared<net::TransitStub>(kSeed ^ 0x2222); }},
-      {"rtt_king",
-       [] { return std::make_shared<net::RttMatrix>(kSeed ^ 0x3333); }},
-  };
-
   Table table({"Model", "N", "PIRA_lat", "PIRA_p95", "PIRA_p99", "DCF_lat",
                "DCF_p95", "DCF_p99", "PIRA_hops", "DCF_hops"});
   for (std::size_t full_n : {1000u, 2000u, 4000u}) {
     const std::size_t n = scaled(full_n);
     ArmadaSetup armada_setup(n, 2 * n, kSeed);
     DcfSetup dcf_setup(n, 2 * n, kSeed);
-    for (const ModelRow& row : models) {
+    for (const auto& model : bench_latency_models(kSeed)) {
       // One shared model instance: both overlays live in the same latency
       // space, so the comparison isolates the overlay structure.
-      const auto model = row.make();
       armada_setup.net().set_latency_model(model);
       dcf_setup.net().set_latency_model(model);
       const auto pira = run_pira(armada_setup, kSeed + 1);
       const auto dcf = run_dcf(dcf_setup, kSeed + 1);
-      table.add_row({row.label, Table::cell(static_cast<std::uint64_t>(n)),
+      table.add_row({model->name(), Table::cell(static_cast<std::uint64_t>(n)),
                      Table::cell(pira.latency().mean()),
                      Table::cell(pira.latency_percentiles().p95()),
                      Table::cell(pira.latency_percentiles().p99()),
@@ -90,12 +75,56 @@ int main() {
                      Table::cell(dcf.delay().mean())});
       const std::vector<std::pair<std::string, double>> params = {
           {"n", static_cast<double>(n)}, {"range_size", kRange}};
-      json_record("latency_models", std::string("PIRA/") + row.label, params,
+      json_record("latency_models", "PIRA/" + model->name(), params,
                   pira);
-      json_record("latency_models", std::string("DCF-CAN/") + row.label,
+      json_record("latency_models", "DCF-CAN/" + model->name(),
                   params, dcf);
     }
   }
   print_tables("Latency models: Armada vs DCF-CAN (range=50)", table);
+
+  // --- proximity-aware next-hop tie-breaking ------------------------------
+  // FISSIONE exact-match routing, identical (issuer, target) workload on
+  // two identically seeded overlays: one canonical, one preferring the
+  // cheapest link among structurally equivalent next hops. The win column
+  // is the mean latency saved; hop counts may also drop (the tie-break
+  // recomputes alignment from scratch, occasionally finding a shortcut).
+  Table prox({"Model", "N", "Lat_off", "Lat_on", "Win%", "Hops_off",
+              "Hops_on"});
+  for (std::size_t full_n : {1000u, 4000u}) {
+    const std::size_t n = scaled(full_n);
+    auto base = fissione::FissioneNetwork::build(n, kSeed);
+    auto tuned = fissione::FissioneNetwork::build(n, kSeed);
+    tuned.set_proximity_next_hop(true);
+    for (const auto& model : bench_latency_models(kSeed)) {
+      base.set_latency_model(model);
+      tuned.set_latency_model(model);
+      sim::MetricSet off(std::log2(static_cast<double>(n)));
+      sim::MetricSet on(std::log2(static_cast<double>(n)));
+      Rng issuers(kSeed ^ 0xfeedu);
+      const auto& peers = base.alive_peers();
+      for (int q = 0; q < scaled_queries(); ++q) {
+        const auto issuer = peers[issuers.next_index(peers.size())];
+        const auto target = base.kautz_hash("prox/" + std::to_string(q));
+        off.add(base.route(issuer, target).stats());
+        on.add(tuned.route(issuer, target).stats());
+      }
+      const double win =
+          off.latency().mean_or(0.0) > 0.0
+              ? 100.0 * (1.0 - on.latency().mean() / off.latency().mean())
+              : 0.0;
+      prox.add_row({model->name(), Table::cell(static_cast<std::uint64_t>(n)),
+                    Table::cell(off.latency().mean()),
+                    Table::cell(on.latency().mean()), Table::cell(win),
+                    Table::cell(off.delay().mean()),
+                    Table::cell(on.delay().mean())});
+      const std::vector<std::pair<std::string, double>> params = {
+          {"n", static_cast<double>(n)}};
+      json_record("latency_models", "route-proximity-off/" + model->name(), params, off);
+      json_record("latency_models", "route-proximity-on/" + model->name(), params, on);
+    }
+  }
+  print_tables("Proximity-aware FISSIONE next-hop tie-breaking "
+               "(exact-match routing)", prox);
   return 0;
 }

@@ -1,16 +1,29 @@
-// Table 1: comparison of general range query schemes (N = 2000).
+// Table 1: comparison of general range query schemes (N = 2000) — extended
+// to the full cross-scheme delay/latency comparison under every transport
+// latency model.
 //
 // The paper's table lists, per scheme: underlying DHT, DHT degree,
 // single/multi-attribute support, average delay, and whether the delay is
-// bounded. We reproduce it empirically on a shared workload: attribute
-// interval [0,1000], 1000 random queries from random peers.
+// bounded. We reproduce it empirically on a shared workload (attribute
+// interval [0,1000], random queries from random peers) and then replay the
+// *identical* workload under each latency model: every scheme routes its
+// hops through its overlay's net::Transport, so hop-count delay columns are
+// model-independent while latency re-prices per link. All overlays share
+// one model instance per row, so the comparison isolates overlay structure.
 //
 // Expected shape (paper): Armada/PIRA's average delay < log2 N ~ 11 and is
 // the only delay-bounded scheme; Skip Graph and SCRAP pay O(logN + n);
 // DCF-CAN pays > O(sqrt N); PHT on a constant-degree DHT pays O(b * logN);
 // Squid pays O(h * logN).
+//
+// Under ConstantHop every scheme's latency must equal its hop-count delay
+// bitwise — audited per query (ARMADA_CHECK), so `ctest -L benchsmoke`
+// fails loudly if any engine's transport pricing drifts from its hop count.
 #include <cmath>
+#include <functional>
+#include <memory>
 
+#include "chord/chord.h"
 #include "common.h"
 #include "kautz/kautz_space.h"
 #include "rq/pht.h"
@@ -18,7 +31,8 @@
 #include "rq/skipgraph_rq.h"
 #include "rq/squid.h"
 #include "skipgraph/skipgraph.h"
-#include "chord/chord.h"
+#include "util/check.h"
+#include "util/hash.h"
 
 namespace {
 
@@ -27,6 +41,8 @@ using namespace armada::bench;
 
 const std::size_t kN = scaled(2000);
 constexpr std::uint64_t kSeed = 77;
+constexpr double kRangeSize = 100.0;               // 10% selectivity
+const std::vector<double> kBoxSide{316.0, 316.0};  // ~10% selectivity in 2-d
 
 std::vector<double> random_keys(std::size_t n, double lo, double hi,
                                 std::uint64_t seed) {
@@ -38,207 +54,330 @@ std::vector<double> random_keys(std::size_t n, double lo, double hi,
   return keys;
 }
 
-struct Row {
-  std::string scheme;
+/// Replay the fixed per-scheme workload: `one()` runs one query and returns
+/// its stats. `audit_constant` additionally checks the ConstantHop
+/// invariant latency == delay bitwise on every query.
+sim::MetricSet run_queries(bool audit_constant,
+                           const std::function<sim::QueryStats()>& one) {
+  sim::MetricSet metrics(std::log2(static_cast<double>(kN)));
+  for (int q = 0; q < scaled_queries(); ++q) {
+    const sim::QueryStats stats = one();
+    if (audit_constant) {
+      ARMADA_CHECK_MSG(stats.latency == stats.delay,
+                       "ConstantHop latency != hop-count delay");
+    }
+    metrics.add(stats);
+  }
+  return metrics;
+}
+
+/// One comparison row: a scheme bound to its overlay, exposing the shared
+/// seam operations the sweep needs — swap the latency model, replay the
+/// fixed workload, report a MetricSet.
+struct Scheme {
+  std::string name;
   std::string dht;
   std::string degree;
-  std::string multi;
-  sim::MetricSet metrics;
+  std::string attrs;
   std::string bounded;
+  std::function<void(std::shared_ptr<const net::LatencyModel>)> set_model;
+  std::function<sim::MetricSet(bool audit_constant)> run;
 };
-
-void add_row(Table& t, const Row& r) {
-  t.add_row({r.scheme, r.dht, r.degree, r.multi,
-             Table::cell(r.metrics.delay().mean()),
-             Table::cell(r.metrics.delay().max(), 0),
-             Table::cell(r.metrics.messages().mean()),
-             Table::cell(r.metrics.dest_peers().mean()), r.bounded});
-}
 
 }  // namespace
 
 int main() {
   const double log_n = std::log2(static_cast<double>(kN));
-  const double range_size = 100.0;  // 10% selectivity, same for all schemes
-  std::printf("N = %zu peers, logN = %.2f, range size = %.0f of [0,1000], "
-              "%d queries\n\n",
-              kN, log_n, range_size, scaled_queries());
+  std::printf(
+      "N = %zu peers, logN = %.2f, range size = %.0f of [0,1000], "
+      "box side = %.0f, %d queries per scheme and model\n\n",
+      kN, log_n, kRangeSize, kBoxSide[0], scaled_queries());
 
-  Table table({"Scheme", "DHT", "Degree", "Attrs", "AvgDelay", "MaxDelay",
-               "AvgMsgs", "Destpeers", "DelayBounded"});
+  const kautz::Box domain{{kDomainLo, kDomainHi}, {kDomainLo, kDomainHi}};
+  std::vector<Scheme> schemes;
 
-  // --- Armada / PIRA over FISSIONE --------------------------------------
+  // --- Armada / PIRA over FISSIONE ----------------------------------------
+  auto pira = std::make_shared<ArmadaSetup>(kN, 2 * kN, kSeed);
+  schemes.push_back(Scheme{
+      "Armada(PIRA)", "FissionE", Table::cell(pira->net().average_degree()),
+      "single+multi", "yes",
+      [pira](std::shared_ptr<const net::LatencyModel> m) {
+        pira->net().set_latency_model(std::move(m));
+      },
+      [pira](bool audit) {
+        sim::RangeWorkload w({kDomainLo, kDomainHi}, kRangeSize,
+                             Rng(kSeed + 1));
+        Rng issuers(kSeed ^ 0xfeedu);
+        const auto& peers = pira->net().alive_peers();
+        return run_queries(audit, [&] {
+          const auto rq = w.next();
+          const auto issuer = peers[issuers.next_index(peers.size())];
+          return pira->index().range_query(issuer, rq.lo, rq.hi).stats;
+        });
+      }});
+
+  // --- DCF-CAN -------------------------------------------------------------
+  auto dcf = std::make_shared<DcfSetup>(kN, 2 * kN, kSeed);
+  schemes.push_back(Scheme{
+      "DCF-CAN", "CAN(d=2)", Table::cell(dcf->net().average_degree()),
+      "single", "no",
+      [dcf](std::shared_ptr<const net::LatencyModel> m) {
+        dcf->net().set_latency_model(std::move(m));
+      },
+      [dcf](bool audit) {
+        sim::RangeWorkload w({kDomainLo, kDomainHi}, kRangeSize,
+                             Rng(kSeed + 1));
+        Rng issuers(kSeed ^ 0xfeedu);
+        return run_queries(audit, [&] {
+          const auto rq = w.next();
+          const auto issuer = static_cast<can::NodeId>(
+              issuers.next_index(dcf->net().num_nodes()));
+          return dcf->dcf().query(issuer, rq.lo, rq.hi).stats;
+        });
+      }});
+
+  // --- native Skip Graph ranges -------------------------------------------
+  struct SkipState {
+    skipgraph::SkipGraph graph;
+    rq::SkipGraphRangeIndex index;
+    SkipState(std::size_t n, std::uint64_t seed)
+        : graph(random_keys(n, kDomainLo, kDomainHi, seed), seed + 2),
+          index(graph, {kDomainLo, kDomainHi}) {}
+  };
+  auto skip = std::make_shared<SkipState>(kN, kSeed);
   {
-    ArmadaSetup setup(kN, 2 * kN, kSeed);
-    Row row{"Armada(PIRA)", "FissionE",
-            Table::cell(setup.net().average_degree()), "single+multi",
-            setup.run(range_size, kSeed + 1), "yes"};
-    add_row(table, row);
-  }
-
-  // --- DCF-CAN -----------------------------------------------------------
-  {
-    DcfSetup setup(kN, 2 * kN, kSeed);
-    Row row{"DCF-CAN", "CAN(d=2)", Table::cell(setup.net().average_degree()),
-            "single", setup.run(range_size, kSeed + 1), "no"};
-    add_row(table, row);
-  }
-
-  // --- Native Skip Graph ranges ------------------------------------------
-  {
-    skipgraph::SkipGraph graph(random_keys(kN, kDomainLo, kDomainHi, kSeed),
-                               kSeed + 2);
-    rq::SkipGraphRangeIndex index(graph, {kDomainLo, kDomainHi});
     Rng obj(kSeed ^ 0x9e3779b97f4a7c15ull);
     for (std::size_t i = 0; i < 2 * kN; ++i) {
-      index.publish(obj.next_double(kDomainLo, kDomainHi));
+      skip->index.publish(obj.next_double(kDomainLo, kDomainHi));
     }
-    sim::MetricSet metrics(log_n);
-    sim::RangeWorkload workload({kDomainLo, kDomainHi}, range_size,
-                                Rng(kSeed + 1));
-    Rng pick(kSeed + 3);
-    for (int q = 0; q < scaled_queries(); ++q) {
-      const auto rqy = workload.next();
-      metrics.add(index
-                      .query(static_cast<skipgraph::NodeId>(
-                                 pick.next_index(graph.num_nodes())),
-                             rqy.lo, rqy.hi)
-                      .stats);
-    }
-    Row row{"SkipGraph", "(native)", Table::cell(graph.average_degree()),
-            "single", metrics, "no (logN+n)"};
-    add_row(table, row);
   }
+  schemes.push_back(Scheme{
+      "SkipGraph", "(native)", Table::cell(skip->graph.average_degree()),
+      "single", "no (logN+n)",
+      [skip](std::shared_ptr<const net::LatencyModel> m) {
+        skip->graph.set_latency_model(std::move(m));
+      },
+      [skip](bool audit) {
+        sim::RangeWorkload w({kDomainLo, kDomainHi}, kRangeSize,
+                             Rng(kSeed + 1));
+        Rng issuers(kSeed ^ 0xfeedu);
+        return run_queries(audit, [&] {
+          const auto rq = w.next();
+          const auto issuer = static_cast<skipgraph::NodeId>(
+              issuers.next_index(skip->graph.num_nodes()));
+          return skip->index.query(issuer, rq.lo, rq.hi).stats;
+        });
+      }});
 
-  // --- PHT over FISSIONE (the constant-degree configuration of Table 1) --
-  {
-    auto net = fissione::FissioneNetwork::build(kN, kSeed);
+  // --- PHT over FISSIONE (the constant-degree configuration of Table 1) ---
+  struct PhtFissioneState {
+    fissione::FissioneNetwork net;
     fissione::PeerId client = 0;
-    rq::Pht pht(rq::Pht::Config{.key_bits = 16, .leaf_capacity = 8,
-                                .domain = {kDomainLo, kDomainHi}},
-                [&net, &client](const std::string& label) {
-                  return net.route(client, net.kautz_hash("pht/" + label)).hops;
-                });
+    rq::Pht pht;
+    explicit PhtFissioneState(std::size_t n)
+        : net(fissione::FissioneNetwork::build(n, kSeed)),
+          pht(rq::Pht::Config{.key_bits = 16, .leaf_capacity = 8,
+                              .domain = {kDomainLo, kDomainHi}},
+              [this](const std::string& label) {
+                return net.route(client, net.kautz_hash("pht/" + label))
+                    .stats();
+              }) {}
+  };
+  auto phtf = std::make_shared<PhtFissioneState>(kN);
+  {
     Rng obj(kSeed ^ 0x9e3779b97f4a7c15ull);
     for (std::size_t i = 0; i < 2 * kN; ++i) {
-      pht.publish(obj.next_double(kDomainLo, kDomainHi));
+      phtf->pht.publish(obj.next_double(kDomainLo, kDomainHi));
     }
-    sim::MetricSet metrics(log_n);
-    sim::RangeWorkload workload({kDomainLo, kDomainHi}, range_size,
-                                Rng(kSeed + 1));
-    for (int q = 0; q < scaled_queries(); ++q) {
-      const auto rqy = workload.next();
-      client = net.random_peer();
-      metrics.add(pht.query(rqy.lo, rqy.hi).stats);
-    }
-    Row row{"PHT", "FissionE", Table::cell(net.average_degree()),
-            "single+multi", metrics, "no (b*logN)"};
-    add_row(table, row);
   }
+  schemes.push_back(Scheme{
+      "PHT", "FissionE", Table::cell(phtf->net.average_degree()),
+      "single+multi", "no (b*logN)",
+      [phtf](std::shared_ptr<const net::LatencyModel> m) {
+        phtf->net.set_latency_model(std::move(m));
+      },
+      [phtf](bool audit) {
+        sim::RangeWorkload w({kDomainLo, kDomainHi}, kRangeSize,
+                             Rng(kSeed + 1));
+        Rng issuers(kSeed ^ 0xfeedu);
+        const auto& peers = phtf->net.alive_peers();
+        return run_queries(audit, [&] {
+          const auto rq = w.next();
+          phtf->client = peers[issuers.next_index(peers.size())];
+          return phtf->pht.query(rq.lo, rq.hi).stats;
+        });
+      }});
 
-  // --- PHT over Chord (for contrast: O(logN)-degree DHT underneath) ------
-  {
-    chord::ChordNetwork net(kN, kSeed);
+  // --- PHT over Chord (for contrast: O(logN)-degree DHT underneath) -------
+  struct PhtChordState {
+    chord::ChordNetwork net;
     chord::NodeId client = 0;
-    rq::Pht pht(rq::Pht::Config{.key_bits = 16, .leaf_capacity = 8,
-                                .domain = {kDomainLo, kDomainHi}},
-                [&net, &client](const std::string& label) {
-                  std::uint64_t h = 1469598103934665603ull;
-                  for (char c : label) {
-                    h ^= static_cast<unsigned char>(c);
-                    h *= 1099511628211ull;
-                  }
-                  return net.route(client, h).hops;
-                });
+    rq::Pht pht;
+    explicit PhtChordState(std::size_t n)
+        : net(n, kSeed),
+          pht(rq::Pht::Config{.key_bits = 16, .leaf_capacity = 8,
+                              .domain = {kDomainLo, kDomainHi}},
+              [this](const std::string& label) {
+                // FNV-1a of the trie label picks the ring position.
+                return net.route(client, fnv1a64(label)).stats;
+              }) {}
+  };
+  auto phtc = std::make_shared<PhtChordState>(kN);
+  {
     Rng obj(kSeed ^ 0x9e3779b97f4a7c15ull);
     for (std::size_t i = 0; i < 2 * kN; ++i) {
-      pht.publish(obj.next_double(kDomainLo, kDomainHi));
+      phtc->pht.publish(obj.next_double(kDomainLo, kDomainHi));
     }
-    sim::MetricSet metrics(log_n);
-    sim::RangeWorkload workload({kDomainLo, kDomainHi}, range_size,
-                                Rng(kSeed + 1));
-    for (int q = 0; q < scaled_queries(); ++q) {
-      const auto rqy = workload.next();
-      client = net.random_node();
-      metrics.add(pht.query(rqy.lo, rqy.hi).stats);
-    }
-    Row row{"PHT", "Chord", Table::cell(net.average_degree()),
-            "single+multi", metrics, "no (b*logN)"};
-    add_row(table, row);
   }
+  schemes.push_back(Scheme{
+      "PHT", "Chord", Table::cell(phtc->net.average_degree()),
+      "single+multi", "no (b*logN)",
+      [phtc](std::shared_ptr<const net::LatencyModel> m) {
+        phtc->net.set_latency_model(std::move(m));
+      },
+      [phtc](bool audit) {
+        sim::RangeWorkload w({kDomainLo, kDomainHi}, kRangeSize,
+                             Rng(kSeed + 1));
+        Rng issuers(kSeed ^ 0xfeedu);
+        return run_queries(audit, [&] {
+          const auto rq = w.next();
+          phtc->client = static_cast<chord::NodeId>(
+              issuers.next_index(phtc->net.num_nodes()));
+          return phtc->pht.query(rq.lo, rq.hi).stats;
+        });
+      }});
 
-  print_tables("Table 1 (single-attribute schemes, range=100)", table);
-
-  // --- Multi-attribute schemes -------------------------------------------
-  Table multi({"Scheme", "DHT", "Degree", "Attrs", "AvgDelay", "MaxDelay",
-               "AvgMsgs", "Destpeers", "DelayBounded"});
-  const std::vector<double> box_side{316.0, 316.0};  // ~10% selectivity
-
+  // --- Armada / MIRA over FISSIONE (multi-attribute) ----------------------
+  struct MiraState {
+    fissione::FissioneNetwork net;
+    core::ArmadaIndex index;
+    MiraState(std::size_t n, const kautz::Box& dom)
+        : net(fissione::FissioneNetwork::build(n, kSeed)),
+          index(core::ArmadaIndex::multi(net, dom)) {}
+  };
+  auto mira = std::make_shared<MiraState>(kN, domain);
   {
-    auto net = fissione::FissioneNetwork::build(kN, kSeed);
-    kautz::Box domain{{kDomainLo, kDomainHi}, {kDomainLo, kDomainHi}};
-    auto index = core::ArmadaIndex::multi(net, domain);
     Rng obj(kSeed ^ 0x5bd1e995u);
     sim::UniformPoints points(domain, obj.split());
     for (std::size_t i = 0; i < 2 * kN; ++i) {
-      index.publish(points.next());
+      mira->index.publish(points.next());
     }
-    sim::MetricSet metrics(log_n);
-    sim::BoxWorkload workload(domain, box_side, Rng(kSeed + 1));
-    for (int q = 0; q < scaled_queries(); ++q) {
-      metrics.add(index.box_query(net.random_peer(), workload.next()).stats);
-    }
-    Row row{"Armada(MIRA)", "FissionE", Table::cell(net.average_degree()),
-            "multi(2)", metrics, "yes"};
-    add_row(multi, row);
   }
+  schemes.push_back(Scheme{
+      "Armada(MIRA)", "FissionE", Table::cell(mira->net.average_degree()),
+      "multi(2)", "yes",
+      [mira](std::shared_ptr<const net::LatencyModel> m) {
+        mira->net.set_latency_model(std::move(m));
+      },
+      [mira, domain](bool audit) {
+        sim::BoxWorkload w(domain, kBoxSide, Rng(kSeed + 1));
+        Rng issuers(kSeed ^ 0xfeedu);
+        const auto& peers = mira->net.alive_peers();
+        return run_queries(audit, [&] {
+          const auto issuer = peers[issuers.next_index(peers.size())];
+          return mira->index.box_query(issuer, w.next()).stats;
+        });
+      }});
 
+  // --- Squid over Chord (multi-attribute) ---------------------------------
+  struct SquidState {
+    chord::ChordNetwork net;
+    rq::Squid squid;
+    explicit SquidState(std::size_t n)
+        : net(n, kSeed), squid(net, rq::Squid::Config{}) {}
+  };
+  auto squid = std::make_shared<SquidState>(kN);
   {
-    chord::ChordNetwork net(kN, kSeed);
-    rq::Squid squid(net, rq::Squid::Config{});
     Rng obj(kSeed ^ 0x5bd1e995u);
-    kautz::Box domain{{kDomainLo, kDomainHi}, {kDomainLo, kDomainHi}};
     sim::UniformPoints points(domain, obj.split());
     for (std::size_t i = 0; i < 2 * kN; ++i) {
-      squid.publish(points.next());
+      squid->squid.publish(points.next());
     }
-    sim::MetricSet metrics(log_n);
-    sim::BoxWorkload workload(domain, box_side, Rng(kSeed + 1));
-    for (int q = 0; q < scaled_queries(); ++q) {
-      metrics.add(squid.query(net.random_node(), workload.next()).stats);
-    }
-    Row row{"Squid", "Chord", Table::cell(net.average_degree()), "multi(2)",
-            metrics, "no (h*logN)"};
-    add_row(multi, row);
   }
+  schemes.push_back(Scheme{
+      "Squid", "Chord", Table::cell(squid->net.average_degree()), "multi(2)",
+      "no (h*logN)",
+      [squid](std::shared_ptr<const net::LatencyModel> m) {
+        squid->net.set_latency_model(std::move(m));
+      },
+      [squid, domain](bool audit) {
+        sim::BoxWorkload w(domain, kBoxSide, Rng(kSeed + 1));
+        Rng issuers(kSeed ^ 0xfeedu);
+        return run_queries(audit, [&] {
+          const auto issuer = static_cast<chord::NodeId>(
+              issuers.next_index(squid->net.num_nodes()));
+          return squid->squid.query(issuer, w.next()).stats;
+        });
+      }});
 
+  // --- SCRAP over Skip Graph (multi-attribute) ----------------------------
+  struct ScrapState {
+    skipgraph::SkipGraph graph;
+    rq::Scrap scrap;
+    ScrapState(std::size_t n, std::uint32_t order)
+        : graph(random_keys(n, 0.0, std::exp2(2.0 * order) - 1.0, kSeed),
+                kSeed + 2),
+          scrap(graph, rq::Scrap::Config{.order = order}) {}
+  };
+  auto scrap = std::make_shared<ScrapState>(kN, 16);
   {
-    const std::uint32_t order = 16;
-    skipgraph::SkipGraph graph(
-        random_keys(kN, 0.0, std::exp2(2.0 * order) - 1.0, kSeed), kSeed + 2);
-    rq::Scrap scrap(graph, rq::Scrap::Config{.order = order});
     Rng obj(kSeed ^ 0x5bd1e995u);
-    kautz::Box domain{{kDomainLo, kDomainHi}, {kDomainLo, kDomainHi}};
     sim::UniformPoints points(domain, obj.split());
     for (std::size_t i = 0; i < 2 * kN; ++i) {
-      scrap.publish(points.next());
+      scrap->scrap.publish(points.next());
     }
-    sim::MetricSet metrics(log_n);
-    sim::BoxWorkload workload(domain, box_side, Rng(kSeed + 1));
-    Rng pick(kSeed + 3);
-    for (int q = 0; q < scaled_queries(); ++q) {
-      metrics.add(scrap
-                      .query(static_cast<skipgraph::NodeId>(
-                                 pick.next_index(graph.num_nodes())),
-                             workload.next())
-                      .stats);
-    }
-    Row row{"SCRAP", "SkipGraph", Table::cell(graph.average_degree()),
-            "multi(2)", metrics, "no (logN+n)"};
-    add_row(multi, row);
   }
+  schemes.push_back(Scheme{
+      "SCRAP", "SkipGraph", Table::cell(scrap->graph.average_degree()),
+      "multi(2)", "no (logN+n)",
+      [scrap](std::shared_ptr<const net::LatencyModel> m) {
+        scrap->graph.set_latency_model(std::move(m));
+      },
+      [scrap, domain](bool audit) {
+        sim::BoxWorkload w(domain, kBoxSide, Rng(kSeed + 1));
+        Rng issuers(kSeed ^ 0xfeedu);
+        return run_queries(audit, [&] {
+          const auto issuer = static_cast<skipgraph::NodeId>(
+              issuers.next_index(scrap->graph.num_nodes()));
+          return scrap->scrap.query(issuer, w.next()).stats;
+        });
+      }});
 
-  print_tables("Table 1 (multi-attribute schemes, box ~10% selectivity)",
-               multi);
+  // --- the sweep: every scheme under every latency model ------------------
+  // JSON series are "<scheme>[-<dht>]/<model>": PIRA, MIRA, DCF-CAN,
+  // SkipGraph, PHT-FissionE, PHT-Chord, Squid, SCRAP.
+  const auto series_name = [](const Scheme& s) {
+    if (s.name == "Armada(PIRA)") return std::string("PIRA");
+    if (s.name == "Armada(MIRA)") return std::string("MIRA");
+    if (s.name == "PHT") return "PHT-" + s.dht;
+    return s.name;
+  };
+
+  Table table({"Model", "Scheme", "DHT", "Degree", "Attrs", "AvgDelay",
+               "MaxDelay", "AvgLatency", "P95Latency", "AvgMsgs", "Destpeers",
+               "DelayBounded"});
+  for (const auto& model : bench_latency_models(kSeed)) {
+    const bool constant = model->name() == "constant";
+    for (const Scheme& s : schemes) {
+      s.set_model(model);
+      const sim::MetricSet m = s.run(constant);
+      table.add_row({model->name(), s.name, s.dht, s.degree, s.attrs,
+                     Table::cell(m.delay().mean()),
+                     Table::cell(m.delay().max(), 0),
+                     Table::cell(m.latency().mean()),
+                     Table::cell(m.latency_percentiles().p95()),
+                     Table::cell(m.messages().mean()),
+                     Table::cell(m.dest_peers().mean()), s.bounded});
+      json_record("table1", series_name(s) + "/" + model->name(),
+                  {{"n", static_cast<double>(kN)},
+                   {"range_size", kRangeSize},
+                   {"box_side", kBoxSide[0]}},
+                  m);
+    }
+  }
+  print_tables(
+      "Table 1 (all schemes x all latency models; single-attr range=100, "
+      "2-d box ~10% selectivity)",
+      table);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "armada/armada.h"
 #include "can/can_network.h"
 #include "fissione/network.h"
+#include "net/latency_model.h"
 #include "rq/dcf_can.h"
 #include "sim/metrics.h"
 #include "sim/workload.h"
@@ -136,6 +138,24 @@ class DcfSetup {
   Rng rng_;
 };
 
+/// One instance of every transport latency model, seeded with the xor
+/// offsets the latency benches have always used (distinct from the
+/// testsupport sweep, which seeds each model verbatim). Row labels come
+/// from LatencyModel::name(). Every overlay in a cross-scheme comparison
+/// should share the *same* instance per row, so all schemes live in one
+/// latency space and differences isolate the overlay structure (models are
+/// pure functions of the seed, so instance sharing is an optimization, not
+/// a semantic requirement).
+inline std::vector<std::shared_ptr<const net::LatencyModel>>
+bench_latency_models(std::uint64_t seed) {
+  return {
+      std::make_shared<net::ConstantHop>(),
+      std::make_shared<net::UniformJitter>(seed ^ 0x1111),
+      std::make_shared<net::TransitStub>(seed ^ 0x2222),
+      std::make_shared<net::RttMatrix>(seed ^ 0x3333),
+  };
+}
+
 inline void print_tables(const std::string& title, const Table& table) {
   std::printf("== %s ==\n%s\nCSV:\n%s\n", title.c_str(),
               table.to_text().c_str(), table.to_csv().c_str());
@@ -177,7 +197,11 @@ class JsonSink {
   JsonSink& operator=(const JsonSink&) = delete;
 
  private:
-  JsonSink() : path_(std::getenv("ARMADA_BENCH_JSON")) {}
+  JsonSink() : path_(std::getenv("ARMADA_BENCH_JSON")) {
+    if (path_ != nullptr && *path_ == '\0') {
+      path_ = nullptr;  // set-but-empty means disabled
+    }
+  }
 
   ~JsonSink() {
     if (!enabled() || records_.empty()) {
@@ -188,9 +212,18 @@ class JsonSink {
       std::fprintf(stderr, "cannot open ARMADA_BENCH_JSON path '%s'\n", path_);
       return;
     }
+    // Several bench binaries may exit concurrently (ctest -j -L benchsmoke)
+    // while appending to one shared path. Assemble the whole payload and
+    // write it unbuffered in one call, so the O_APPEND write lands as a
+    // single contiguous block and concurrent runs cannot interleave
+    // mid-record.
+    std::string payload;
     for (const std::string& r : records_) {
-      std::fprintf(f, "%s\n", r.c_str());
+      payload += r;
+      payload += '\n';
     }
+    std::setvbuf(f, nullptr, _IONBF, 0);
+    std::fwrite(payload.data(), 1, payload.size(), f);
     std::fclose(f);
   }
 

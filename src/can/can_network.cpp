@@ -181,11 +181,11 @@ CanRoute CanNetwork::route(NodeId from, double x, double y) const {
       }
     }
     ARMADA_CHECK_MSG(best != kNoNode, "greedy routing stuck");
-    r.latency += transport_.link(cur, best);
+    overlay::step(r.stats, transport_, cur, best);
     cur = best;
     cur_dist = best_dist;
-    ++r.hops;
-    ARMADA_CHECK_MSG(r.hops <= zones_.size(), "routing loop suspected");
+    ARMADA_CHECK_MSG(r.stats.messages <= zones_.size(),
+                     "routing loop suspected");
   }
   r.final_node = cur;
   return r;

@@ -13,7 +13,8 @@
 #include <memory>
 #include <vector>
 
-#include "net/transport.h"
+#include "net/routed_overlay.h"
+#include "sim/metrics.h"
 #include "util/rng.h"
 
 namespace armada::can {
@@ -40,20 +41,21 @@ struct Zone {
   double distance2(double x, double y) const;
 };
 
+/// Cost of one greedy-routing walk, in the shared query-stats currency:
+/// messages == delay == hop count, latency is the sum of link latencies
+/// along the greedy path under the network's latency model.
 struct CanRoute {
   NodeId final_node = kNoNode;
-  std::uint32_t hops = 0;
-  /// Sum of per-link latencies along the greedy path under the network's
-  /// latency model; equals `hops` under the default ConstantHop model.
-  double latency = 0.0;
+  sim::QueryStats stats;
 };
 
-class CanNetwork {
+class CanNetwork final : public overlay::RoutedOverlay {
  public:
   /// Build an n-node network by joining at uniformly random points.
   CanNetwork(std::size_t n, std::uint64_t seed);
 
   std::size_t num_nodes() const { return zones_.size(); }
+  std::size_t overlay_size() const override { return zones_.size(); }
   const Zone& zone(NodeId id) const;
   const std::vector<NodeId>& neighbors(NodeId id) const;
 
@@ -64,13 +66,6 @@ class CanNetwork {
   CanRoute route(NodeId from, double x, double y) const;
 
   NodeId random_node();
-
-  /// Message-delivery seam shared with the overlays layered on CAN
-  /// (DCF-CAN); defaults to ConstantHop(1.0), i.e. latency == hop count.
-  const net::Transport& transport() const { return transport_; }
-  void set_latency_model(std::shared_ptr<const net::LatencyModel> model) {
-    transport_.set_model(std::move(model));
-  }
 
   /// Structure checks: dyadic tiling, ratio <= 2, neighbor symmetry.
   void check_invariants() const;
@@ -93,7 +88,6 @@ class CanNetwork {
   KdNode* leaf_for(double x, double y) const;
 
   Rng rng_;
-  net::Transport transport_;
   std::unique_ptr<KdNode> root_;
   std::vector<Zone> zones_;                      // by NodeId
   std::vector<std::vector<NodeId>> neighbors_;   // by NodeId

@@ -80,15 +80,16 @@ ChordRoute ChordNetwork::route(NodeId from, Key key) const {
     }
     const NodeId succ = successor_node(cur);
     if (in_ring_range(keys_[cur], keys_[succ], key)) {
+      overlay::step(r.stats, transport_, cur, succ);
       cur = succ;  // final hop to the owner
-      ++r.hops;
       break;
     }
     const NodeId next = closest_preceding_finger(cur, key);
     ARMADA_CHECK_MSG(next != cur, "finger routing stuck");
+    overlay::step(r.stats, transport_, cur, next);
     cur = next;
-    ++r.hops;
-    ARMADA_CHECK_MSG(r.hops <= keys_.size(), "routing loop suspected");
+    ARMADA_CHECK_MSG(r.stats.messages <= keys_.size(),
+                     "routing loop suspected");
   }
   r.owner = cur;
   ARMADA_CHECK(cur == owner_of(key));
@@ -125,7 +126,7 @@ double ChordNetwork::average_route_hops(int samples,
   double total = 0.0;
   for (int i = 0; i < samples; ++i) {
     const NodeId from = static_cast<NodeId>(rng.next_index(keys_.size()));
-    total += route(from, rng.engine()()).hops;
+    total += route(from, rng.engine()()).stats.delay;
   }
   return total / samples;
 }

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/routed_overlay.h"
+#include "sim/metrics.h"
 #include "util/rng.h"
 
 namespace armada::chord {
@@ -22,17 +24,21 @@ inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
 /// the whole ring when a == b.
 bool in_ring_range(Key a, Key b, Key x);
 
+/// Cost of one iterative finger-routing walk, in the shared query-stats
+/// currency: messages == delay == hop count, latency is the sum of link
+/// latencies along the walk under the network's latency model.
 struct ChordRoute {
   NodeId owner = kNoNode;
-  std::uint32_t hops = 0;
+  sim::QueryStats stats;
 };
 
-class ChordNetwork {
+class ChordNetwork final : public overlay::RoutedOverlay {
  public:
   /// n nodes at distinct uniform random ring positions.
   ChordNetwork(std::size_t n, std::uint64_t seed);
 
   std::size_t num_nodes() const { return keys_.size(); }
+  std::size_t overlay_size() const override { return keys_.size(); }
   Key node_key(NodeId id) const;
   NodeId successor_node(NodeId id) const;
   NodeId predecessor_node(NodeId id) const;

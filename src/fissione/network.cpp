@@ -5,6 +5,7 @@
 
 #include "kautz/kautz_space.h"
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace armada::fissione {
 
@@ -286,6 +287,55 @@ void FissioneNetwork::publish(const KautzString& object_id,
   peers_[owner_of(object_id)].store.push_back(StoredObject{object_id, payload});
 }
 
+PeerId FissioneNetwork::proximity_next_hop(PeerId cur,
+                                           const KautzString& object_id,
+                                           const KautzString& target) const {
+  // Remaining shift distance of a peer P toward the object:
+  // rem(P) = |PeerID(P)| - (longest suffix of PeerID(P) prefixing the
+  // object) — zero exactly at the owner. Every neighbor link (out *or* in:
+  // both are maintained locally and carry overlay messages) whose endpoint
+  // strictly reduces rem is a viable next hop, and because rem drops by at
+  // least one per hop the walk still terminates within |PeerID(issuer)|
+  // hops — the paper's delay bound. The canonical prefix-of-target
+  // out-neighbor always reaches rem(cur) - 1 (its suffix extends the
+  // alignment by its own extension symbols), so a viable candidate always
+  // exists. Candidates with equal minimal rem are structurally equivalent;
+  // we break that tie toward the cheapest link under the current latency
+  // model (deterministically: first-listed neighbor on equal latency).
+  // In-neighbors occasionally align *better* than the canonical hop, so the
+  // flag can shorten walks as well as cheapen them.
+  const KautzString& id = peers_[cur].peer_id;
+  const std::size_t cur_rem = id.length() - id.longest_suffix_prefix(object_id);
+  PeerId best = kNoPeer;
+  std::size_t best_rem = 0;
+  sim::Time best_link = 0.0;
+  const auto consider = [&](PeerId n) {
+    const KautzString& nid = peers_[n].peer_id;
+    const std::size_t rem =
+        nid.length() - nid.longest_suffix_prefix(object_id);
+    if (rem >= cur_rem) {
+      return;  // no structural progress over this link
+    }
+    const sim::Time link = transport_.link(cur, n);
+    if (best == kNoPeer || rem < best_rem ||
+        (rem == best_rem && link < best_link)) {
+      best = n;
+      best_rem = rem;
+      best_link = link;
+    }
+  };
+  for (PeerId n : peers_[cur].out_neighbors) {
+    consider(n);
+  }
+  for (PeerId n : peers_[cur].in_neighbors) {
+    consider(n);
+  }
+  ARMADA_CHECK_MSG(best != kNoPeer,
+                   "proximity routing made no progress toward "
+                       << target.to_string());
+  return best;
+}
+
 RouteResult FissioneNetwork::route(PeerId from,
                                    const KautzString& object_id) const {
   ARMADA_CHECK(from < peers_.size() && peers_[from].alive);
@@ -302,10 +352,14 @@ RouteResult FissioneNetwork::route(PeerId from,
     const KautzString target =
         id.drop_front().concat(object_id.suffix(object_id.length() - j));
     PeerId next = kNoPeer;
-    for (PeerId n : peers_[cur].out_neighbors) {
-      if (peers_[n].peer_id.is_prefix_of(target)) {
-        next = n;
-        break;
+    if (config_.proximity_next_hop) {
+      next = proximity_next_hop(cur, object_id, target);
+    } else {
+      for (PeerId n : peers_[cur].out_neighbors) {
+        if (peers_[n].peer_id.is_prefix_of(target)) {
+          next = n;
+          break;
+        }
       }
     }
     ARMADA_CHECK_MSG(next != kNoPeer, "routing stuck at "
@@ -338,11 +392,7 @@ std::vector<std::uint64_t> FissioneNetwork::lookup(
 
 KautzString FissioneNetwork::kautz_hash(std::string_view key) const {
   // FNV-1a to seed, then an LCG stream picks one allowed symbol per step.
-  std::uint64_t h = 1469598103934665603ull;
-  for (char c : key) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
+  std::uint64_t h = fnv1a64(key);
   KautzString out{config_.base};
   for (std::size_t i = 0; i < config_.object_id_length; ++i) {
     h = h * 6364136223846793005ull + 1442695040888963407ull;

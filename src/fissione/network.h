@@ -14,7 +14,7 @@
 #include "fissione/kautz_tree.h"
 #include "fissione/peer.h"
 #include "fissione/types.h"
-#include "net/transport.h"
+#include "net/routed_overlay.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -23,13 +23,21 @@ namespace armada::fissione {
 /// Simulated FISSIONE overlay. Structural changes (join/leave/crash) keep
 /// the per-peer neighbor tables exactly consistent with the zone partition,
 /// mirroring the paper's self-stabilization at quiescence.
-class FissioneNetwork {
+class FissioneNetwork final : public overlay::RoutedOverlay {
  public:
   struct Config {
     std::uint8_t base = 2;
     /// Length of ObjectIDs (the paper uses k = 100; any k comfortably above
     /// the deepest PeerID behaves identically).
     std::size_t object_id_length = 48;
+    /// Proximity-aware next-hop tie-breaking in exact-match routing: among
+    /// the neighbor links (out or in) making maximal shift-routing progress
+    /// — structurally equivalent candidates, same remaining-distance bound —
+    /// prefer the lowest-latency link. Off by default: the canonical
+    /// prefix-of-target next hop is used and every pre-existing figure is
+    /// reproduced bit-for-bit. The delay bound hops <= |PeerID(issuer)|
+    /// holds either way (progress is at least one symbol per hop).
+    bool proximity_next_hop = false;
   };
 
   struct JoinStats {
@@ -59,15 +67,11 @@ class FissioneNetwork {
   PeerId random_peer();
   const KautzTree& tree() const { return tree_; }
   const Config& config() const { return config_; }
+  std::size_t overlay_size() const override { return alive_.size(); }
 
-  // --- transport ----------------------------------------------------------
-  /// Message-delivery seam: every query layer (routing, FRT search, top-k,
-  /// kNN) charges link latencies through this transport. Defaults to
-  /// ConstantHop(1.0), i.e. latency == hop count.
-  const net::Transport& transport() const { return transport_; }
-  void set_latency_model(std::shared_ptr<const net::LatencyModel> model) {
-    transport_.set_model(std::move(model));
-  }
+  /// Toggle proximity-aware next-hop tie-breaking (see Config) at runtime;
+  /// the overlay structure is untouched, only route() choices change.
+  void set_proximity_next_hop(bool on) { config_.proximity_next_hop = on; }
 
   // --- data plane --------------------------------------------------------
   /// Ground-truth owner (tree descent, no messages).
@@ -115,9 +119,15 @@ class FissioneNetwork {
   /// Walk from `start` to a peer none of whose neighbors has a shorter
   /// PeerID (the join balancing rule).
   PeerId walk_to_local_min(PeerId start) const;
+  /// Proximity-aware next hop from `cur` toward `object_id` (Config flag):
+  /// cheapest link among the neighbors — out *and* in — with minimal
+  /// remaining shift distance (in-neighbors occasionally align better,
+  /// shortening the walk). `target` is the canonical shift-routing target
+  /// at `cur`.
+  PeerId proximity_next_hop(PeerId cur, const kautz::KautzString& object_id,
+                            const kautz::KautzString& target) const;
 
   Config config_;
-  net::Transport transport_;
   Rng rng_;
   std::vector<Peer> peers_;
   std::vector<PeerId> free_ids_;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "kautz/kautz_string.h"
+#include "sim/metrics.h"
 
 namespace armada::fissione {
 
@@ -29,6 +30,17 @@ struct RouteResult {
   /// model; equals `hops` under the default ConstantHop model.
   double latency = 0.0;
   std::vector<PeerId> path;  ///< includes source and owner
+
+  /// The walk in the shared query-stats currency (messages == delay ==
+  /// hops, transport-priced latency) — what layers composing FISSIONE
+  /// routing with other schemes consume.
+  sim::QueryStats stats() const {
+    sim::QueryStats s;
+    s.messages = hops;
+    s.delay = hops;
+    s.latency = latency;
+    return s;
+  }
 };
 
 }  // namespace armada::fissione

@@ -90,7 +90,7 @@ core::RangeQueryResult DcfCan::query(NodeId issuer, double lo,
   double my = 0.0;
   cell_center((qr.first + qr.last - 1) / 2, &mx, &my);
   const can::CanRoute route = net_.route(issuer, mx, my);
-  result.stats.messages += route.hops;
+  result.stats.messages += route.stats.messages;
 
   // Phase 2: directed controlled flooding over intersecting zones, run on
   // the discrete-event simulator so each transmission arrives after its
@@ -139,8 +139,8 @@ core::RangeQueryResult DcfCan::query(NodeId issuer, double lo,
       0.0, [&arrive, &route] { arrive(route.final_node, can::kNoNode, 0); });
   sim.run();
 
-  result.stats.delay = static_cast<double>(route.hops + max_depth);
-  result.stats.latency = route.latency + flood_latency;
+  result.stats.delay = route.stats.delay + static_cast<double>(max_depth);
+  result.stats.latency = route.stats.latency + flood_latency;
   return result;
 }
 

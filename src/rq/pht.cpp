@@ -2,9 +2,18 @@
 
 #include <algorithm>
 
+#include "net/routed_overlay.h"
 #include "util/check.h"
 
 namespace armada::rq {
+
+sim::QueryStats Pht::flat_cost(std::uint32_t hops) {
+  sim::QueryStats cost;
+  cost.messages = hops;
+  cost.delay = hops;
+  cost.latency = hops;
+  return cost;
+}
 
 Pht::Pht(Config config, LookupFn lookup)
     : config_(config), lookup_(std::move(lookup)) {
@@ -86,13 +95,11 @@ double Pht::value(std::uint64_t handle) const {
   return values_[handle];
 }
 
-std::pair<std::uint64_t, double> Pht::visit(
-    const std::string& label, std::uint64_t klo, std::uint64_t khi,
-    core::RangeQueryResult& out) const {
+sim::QueryStats Pht::visit(const std::string& label, std::uint64_t klo,
+                           std::uint64_t khi,
+                           core::RangeQueryResult& out) const {
   // One DHT routing to read this trie node.
-  const std::uint32_t hops = lookup_(label);
-  std::uint64_t messages = hops;
-  double delay = hops;
+  sim::QueryStats cost = lookup_(label);
 
   const TrieNode& node = nodes_.at(label);
   if (node.leaf) {
@@ -103,27 +110,25 @@ std::pair<std::uint64_t, double> Pht::visit(
         ++out.stats.results;
       }
     }
-    return {messages, delay};
+    return cost;
   }
-  double deepest = 0.0;
+  // Both qualifying children are visited concurrently: messages sum,
+  // delay/latency take the deepest branch chain.
+  sim::QueryStats fan;
   for (const char* c : {"0", "1"}) {
     const std::string child = label + c;
     if (label_min(child) <= khi && label_max(child) >= klo) {
-      const auto [m, d] = visit(child, klo, khi, out);
-      messages += m;
-      deepest = std::max(deepest, d);
+      overlay::fan_in(fan, visit(child, klo, khi, out));
     }
   }
-  return {messages, delay + deepest};
+  overlay::chain(cost, fan);
+  return cost;
 }
 
 core::RangeQueryResult Pht::query(double lo, double hi) const {
   ARMADA_CHECK(lo <= hi);
   core::RangeQueryResult result;
-  const auto [messages, delay] =
-      visit("", key_of(lo), key_of(hi), result);
-  result.stats.messages = messages;
-  result.stats.delay = delay;
+  overlay::chain(result.stats, visit("", key_of(lo), key_of(hi), result));
   return result;
 }
 
@@ -145,7 +150,8 @@ Pht::PointLookup Pht::lookup(double value) const {
     const std::uint32_t mid = (lo + hi) / 2;
     const std::string label = key_bits.substr(0, mid);
     ++result.probes;
-    result.messages += lookup_(label);
+    // Probes are issued sequentially by the client: costs chain.
+    overlay::chain(result.stats, lookup_(label));
     const auto it = nodes_.find(label);
     if (it == nodes_.end()) {
       ARMADA_CHECK(mid > 0);

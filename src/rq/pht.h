@@ -31,9 +31,17 @@ class Pht {
     kautz::Interval domain{0.0, 1000.0};
   };
 
-  /// Routing cost (hops) of one DHT lookup of the given trie-node label,
-  /// issued by the querying client.
-  using LookupFn = std::function<std::uint32_t(const std::string& label)>;
+  /// Cost of one DHT lookup of the given trie-node label, issued by the
+  /// querying client, in the shared query-stats currency: messages and
+  /// delay are the routing hop count, latency is the transport-priced
+  /// arrival time on the caller's DHT. Chord-backed callers return
+  /// `route(...).stats`; FISSIONE-backed callers convert a RouteResult via
+  /// their own hops/latency; unit-cost tests use flat_cost().
+  using LookupFn = std::function<sim::QueryStats(const std::string& label)>;
+
+  /// A model-free lookup cost: `hops` messages, delay and latency all equal
+  /// (one time unit per hop) — the paper's cost for a DHT get.
+  static sim::QueryStats flat_cost(std::uint32_t hops);
 
   Pht(Config config, LookupFn lookup);
 
@@ -53,7 +61,8 @@ class Pht {
   struct PointLookup {
     std::vector<std::uint64_t> handles;  ///< objects with the same key
     std::uint32_t probes = 0;            ///< DHT gets issued
-    std::uint64_t messages = 0;          ///< total routing hops
+    /// Sequential probe chain: messages/delay/latency sum over the probes.
+    sim::QueryStats stats;
   };
   PointLookup lookup(double value) const;
 
@@ -72,10 +81,10 @@ class Pht {
   std::uint64_t label_min(const std::string& label) const;
   std::uint64_t label_max(const std::string& label) const;
   void split_leaf(const std::string& label);
-  // Returns (messages, branch delay).
-  std::pair<std::uint64_t, double> visit(const std::string& label,
-                                         std::uint64_t klo, std::uint64_t khi,
-                                         core::RangeQueryResult& out) const;
+  // Cost fragment of one subtrie visit: this node's DHT lookup chained with
+  // the concurrent fan over its children (delay/latency max over branches).
+  sim::QueryStats visit(const std::string& label, std::uint64_t klo,
+                        std::uint64_t khi, core::RangeQueryResult& out) const;
 
   Config config_;
   LookupFn lookup_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/routed_overlay.h"
 #include "util/check.h"
 
 namespace armada::rq {
@@ -81,25 +82,26 @@ core::RangeQueryResult Scrap::query(NodeId issuer,
     }
   };
 
-  double max_delay = 0.0;
+  // Segments are dispatched concurrently: messages sum across segments,
+  // delay/latency take the max over segment branches.
+  sim::QueryStats fan;
   for (const sfc::IndexRange& seg : segments) {
     // Search the segment start, then walk successors across it.
     const auto s = graph_.search(issuer, static_cast<double>(seg.first));
-    result.stats.messages += s.hops;
-    double delay = s.hops;
+    sim::QueryStats branch = s.stats;
     NodeId cur = s.node;
     visit(cur, seg);
-    cur = graph_.next(cur);
-    while (cur != skipgraph::kNoNode &&
-           graph_.key(cur) < static_cast<double>(seg.last)) {
-      ++result.stats.messages;
-      delay += 1.0;
+    NodeId nxt = graph_.next(cur);
+    while (nxt != skipgraph::kNoNode &&
+           graph_.key(nxt) < static_cast<double>(seg.last)) {
+      overlay::step(branch, graph_.transport(), cur, nxt);
+      cur = nxt;
       visit(cur, seg);
-      cur = graph_.next(cur);
+      nxt = graph_.next(cur);
     }
-    max_delay = std::max(max_delay, delay);
+    overlay::fan_in(fan, branch);
   }
-  result.stats.delay = max_delay;
+  overlay::chain(result.stats, fan);
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "rq/skipgraph_rq.h"
 
+#include "net/routed_overlay.h"
 #include "util/check.h"
 
 namespace armada::rq {
@@ -35,12 +36,12 @@ core::RangeQueryResult SkipGraphRangeIndex::query(NodeId issuer, double lo,
 
   // O(log N) search to the start of the range...
   const skipgraph::SkipSearch s = graph_.search(issuer, lo);
-  result.stats.messages += s.hops;
-  double delay = s.hops;
+  sim::QueryStats walk = s.stats;
 
-  // ...then a sequential successor walk across the answer. The search
-  // endpoint owns [its key, next key) — always a destination, even when the
-  // whole query lies below the first peer key.
+  // ...then a sequential successor walk across the answer, each step priced
+  // through the graph's transport. The search endpoint owns
+  // [its key, next key) — always a destination, even when the whole query
+  // lies below the first peer key.
   auto visit = [&](NodeId node) {
     result.destinations.push_back(node);
     ++result.stats.dest_peers;
@@ -51,15 +52,16 @@ core::RangeQueryResult SkipGraphRangeIndex::query(NodeId issuer, double lo,
       }
     }
   };
-  visit(s.node);
-  NodeId cur = graph_.next(s.node);
-  while (cur != skipgraph::kNoNode && graph_.key(cur) <= hi) {
-    ++result.stats.messages;
-    delay += 1.0;  // each walk step is one sequential hop
+  NodeId cur = s.node;
+  visit(cur);
+  NodeId nxt = graph_.next(cur);
+  while (nxt != skipgraph::kNoNode && graph_.key(nxt) <= hi) {
+    overlay::step(walk, graph_.transport(), cur, nxt);
+    cur = nxt;
     visit(cur);
-    cur = graph_.next(cur);
+    nxt = graph_.next(cur);
   }
-  result.stats.delay = delay;
+  overlay::chain(result.stats, walk);
   return result;
 }
 

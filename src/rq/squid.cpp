@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/routed_overlay.h"
 #include "util/check.h"
 
 namespace armada::rq {
@@ -51,14 +52,14 @@ const std::vector<double>& Squid::point(std::uint64_t handle) const {
   return points_[handle];
 }
 
-std::pair<std::uint64_t, double> Squid::collect_segment(
-    NodeId entry, std::uint64_t first, std::uint64_t last,
-    const kautz::Box& box, std::vector<char>& visited,
-    core::RangeQueryResult& out) const {
+sim::QueryStats Squid::collect_segment(NodeId entry, std::uint64_t first,
+                                       std::uint64_t last,
+                                       const kautz::Box& box,
+                                       std::vector<char>& visited,
+                                       core::RangeQueryResult& out) const {
   // `entry` owns ring_key(first); successors own the rest of the segment.
   // The node owning the segment's tail has key >= the segment end.
-  std::uint64_t messages = 0;
-  double walk = 0.0;
+  sim::QueryStats walk;
   NodeId cur = entry;
   const Key last_key = ring_key(last - 1);
   while (true) {
@@ -86,19 +87,19 @@ std::pair<std::uint64_t, double> Squid::collect_segment(
                              net_.node_key(cur), last_key)) {
       break;  // cur owns the end of the segment
     }
-    cur = net_.successor_node(cur);
-    ++messages;
-    walk += 1.0;
+    const NodeId succ = net_.successor_node(cur);
+    overlay::step(walk, net_.transport(), cur, succ);
+    cur = succ;
   }
-  return {messages, walk};
+  return walk;
 }
 
-Squid::VisitResult Squid::refine(NodeId from, Cell corner,
-                                 std::uint32_t side_bits, std::uint64_t x_lo,
-                                 std::uint64_t x_hi, std::uint64_t y_lo,
-                                 std::uint64_t y_hi, const kautz::Box& box,
-                                 std::vector<char>& visited,
-                                 core::RangeQueryResult& out) const {
+sim::QueryStats Squid::refine(NodeId from, Cell corner,
+                              std::uint32_t side_bits, std::uint64_t x_lo,
+                              std::uint64_t x_hi, std::uint64_t y_lo,
+                              std::uint64_t y_hi, const kautz::Box& box,
+                              std::vector<char>& visited,
+                              core::RangeQueryResult& out) const {
   const std::uint64_t size = 1ull << side_bits;
   const std::uint64_t sx_hi = corner.x + size - 1;
   const std::uint64_t sy_hi = corner.y + size - 1;
@@ -110,32 +111,26 @@ Squid::VisitResult Squid::refine(NodeId from, Cell corner,
   const sfc::IndexRange range =
       sfc::hilbert_square_range(config_.order, corner, side_bits);
   const chord::ChordRoute route = net_.route(from, ring_key(range.first));
-  VisitResult r;
-  r.messages += route.hops;
-  r.delay += route.hops;
+  sim::QueryStats r = route.stats;
 
   const bool covered = corner.x >= x_lo && sx_hi <= x_hi && corner.y >= y_lo &&
                        sy_hi <= y_hi;
   if (covered || side_bits == config_.min_side_bits) {
-    const auto [m, walk] = collect_segment(route.owner, range.first,
-                                           range.last, box, visited, out);
-    r.messages += m;
-    r.delay += walk;
+    overlay::chain(r, collect_segment(route.owner, range.first, range.last,
+                                      box, visited, out));
     return r;
   }
 
-  // Refine: the owner dispatches the four sub-clusters.
+  // Refine: the owner dispatches the four sub-clusters concurrently.
   const std::uint64_t half = size / 2;
-  double deepest = 0.0;
+  sim::QueryStats fan;
   for (const Cell sub :
        {corner, Cell{corner.x + half, corner.y}, Cell{corner.x, corner.y + half},
         Cell{corner.x + half, corner.y + half}}) {
-    const VisitResult sr = refine(route.owner, sub, side_bits - 1, x_lo, x_hi,
-                                  y_lo, y_hi, box, visited, out);
-    r.messages += sr.messages;
-    deepest = std::max(deepest, sr.delay);
+    overlay::fan_in(fan, refine(route.owner, sub, side_bits - 1, x_lo, x_hi,
+                                y_lo, y_hi, box, visited, out));
   }
-  r.delay += deepest;
+  overlay::chain(r, fan);
   return r;
 }
 
@@ -146,10 +141,9 @@ core::RangeQueryResult Squid::query(NodeId issuer,
   const Cell lo = cell_of({box[0].lo, box[1].lo});
   const Cell hi = cell_of({box[0].hi, box[1].hi});
   std::vector<char> visited(net_.num_nodes(), 0);
-  const VisitResult r = refine(issuer, Cell{0, 0}, config_.order, lo.x, hi.x,
-                               lo.y, hi.y, box, visited, result);
-  result.stats.messages = r.messages;
-  result.stats.delay = r.delay;
+  overlay::chain(result.stats,
+                 refine(issuer, Cell{0, 0}, config_.order, lo.x, hi.x, lo.y,
+                        hi.y, box, visited, result));
   return result;
 }
 

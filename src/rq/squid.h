@@ -40,21 +40,22 @@ class Squid {
 
  private:
   chord::Key ring_key(std::uint64_t hilbert_index) const;
-  // Walk the ring owners of curve segment [first, last); returns
-  // (messages, walk length in hops).
-  std::pair<std::uint64_t, double> collect_segment(
-      chord::NodeId entry, std::uint64_t first, std::uint64_t last,
-      const kautz::Box& box, std::vector<char>& visited,
-      core::RangeQueryResult& out) const;
-  struct VisitResult {
-    std::uint64_t messages = 0;
-    double delay = 0.0;
-  };
-  VisitResult refine(chord::NodeId from, sfc::Cell corner,
-                     std::uint32_t side_bits, std::uint64_t x_lo,
-                     std::uint64_t x_hi, std::uint64_t y_lo, std::uint64_t y_hi,
-                     const kautz::Box& box, std::vector<char>& visited,
-                     core::RangeQueryResult& out) const;
+  // Walk the ring owners of curve segment [first, last); returns the walk's
+  // cost fragment (messages == delay == successor hops, latency priced per
+  // link through the Chord transport).
+  sim::QueryStats collect_segment(chord::NodeId entry, std::uint64_t first,
+                                  std::uint64_t last, const kautz::Box& box,
+                                  std::vector<char>& visited,
+                                  core::RangeQueryResult& out) const;
+  // Cost fragment of one cluster visit: the Chord routing into the cluster,
+  // then either the segment walk or the concurrent fan over sub-clusters
+  // (delay/latency take the max over branches).
+  sim::QueryStats refine(chord::NodeId from, sfc::Cell corner,
+                         std::uint32_t side_bits, std::uint64_t x_lo,
+                         std::uint64_t x_hi, std::uint64_t y_lo,
+                         std::uint64_t y_hi, const kautz::Box& box,
+                         std::vector<char>& visited,
+                         core::RangeQueryResult& out) const;
 
   const chord::ChordNetwork& net_;
   Config config_;

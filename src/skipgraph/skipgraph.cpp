@@ -80,13 +80,13 @@ SkipSearch SkipGraph::search(NodeId from, double target) const {
     const auto& row = links_[l - 1];
     if (keys_[cur] <= target) {
       while (row[cur].right != kNoNode && keys_[row[cur].right] <= target) {
+        overlay::step(r.stats, transport_, cur, row[cur].right);
         cur = row[cur].right;
-        ++r.hops;
       }
     } else {
       while (keys_[cur] > target && row[cur].left != kNoNode) {
+        overlay::step(r.stats, transport_, cur, row[cur].left);
         cur = row[cur].left;
-        ++r.hops;
       }
     }
   }

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/routed_overlay.h"
+#include "sim/metrics.h"
 #include "util/rng.h"
 
 namespace armada::skipgraph {
@@ -18,17 +20,21 @@ namespace armada::skipgraph {
 using NodeId = std::uint32_t;
 inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
 
+/// Cost of one skip-graph search walk, in the shared query-stats currency:
+/// messages == delay == hop count, latency is the sum of link latencies
+/// along the walk under the graph's latency model.
 struct SkipSearch {
   NodeId node = kNoNode;  ///< greatest-key node with key <= target, or first
-  std::uint32_t hops = 0;
+  sim::QueryStats stats;
 };
 
-class SkipGraph {
+class SkipGraph final : public overlay::RoutedOverlay {
  public:
   /// Build over the given keys (any order; duplicates rejected).
   SkipGraph(std::vector<double> keys, std::uint64_t seed);
 
   std::size_t num_nodes() const { return keys_.size(); }
+  std::size_t overlay_size() const override { return keys_.size(); }
   double key(NodeId id) const;
   /// Level-0 successor / predecessor (kNoNode at the ends).
   NodeId next(NodeId id) const;

@@ -1,0 +1,20 @@
+// FNV-1a: the repo's standard seeding hash for mapping names/labels onto
+// key spaces (Kautz_hash naming, PHT trie-node placement on Chord).
+// Deterministic across builds and platforms — golden tests depend on it.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace armada {
+
+inline std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace armada

@@ -76,7 +76,7 @@ TEST(SkipGraphRange, DelayGrowsWithAnswerSize) {
 TEST(Pht, TrieInvariantsAndExactRange) {
   Pht pht(Pht::Config{.key_bits = 12, .leaf_capacity = 4,
                       .domain = {0.0, 1000.0}},
-          [](const std::string&) { return 3u; });
+          [](const std::string&) { return Pht::flat_cost(3); });
   Rng rng(15);
   std::vector<double> values;
   for (int i = 0; i < 600; ++i) {
@@ -110,7 +110,7 @@ TEST(Pht, DelayScalesWithTrieDepthTimesRouting) {
   auto build = [](std::uint32_t cost) {
     return Pht(Pht::Config{.key_bits = 12, .leaf_capacity = 4,
                            .domain = {0.0, 1000.0}},
-               [cost](const std::string&) { return cost; });
+               [cost](const std::string&) { return Pht::flat_cost(cost); });
   };
   Pht unit = build(1);
   Pht costly = build(7);
@@ -132,7 +132,7 @@ TEST(Pht, BinarySearchLookupFindsKeysCheaply) {
                       .domain = {0.0, 1000.0}},
           [&gets](const std::string&) {
             ++gets;
-            return 2u;
+            return Pht::flat_cost(2);
           });
   Rng rng(55);
   std::vector<double> values;
@@ -149,7 +149,8 @@ TEST(Pht, BinarySearchLookupFindsKeysCheaply) {
               r.handles.end());
     // O(log D) probes: D = 16 -> at most ~5 probes.
     EXPECT_LE(r.probes, 5u);
-    EXPECT_EQ(r.messages, 2u * r.probes);
+    EXPECT_EQ(r.stats.messages, 2u * r.probes);
+    EXPECT_EQ(r.stats.latency, r.stats.delay);  // flat cost: one unit per hop
   }
   EXPECT_GT(gets, 0u);
 }
@@ -157,7 +158,7 @@ TEST(Pht, BinarySearchLookupFindsKeysCheaply) {
 TEST(Pht, LookupMissingValueReturnsEmpty) {
   Pht pht(Pht::Config{.key_bits = 12, .leaf_capacity = 4,
                       .domain = {0.0, 1000.0}},
-          [](const std::string&) { return 1u; });
+          [](const std::string&) { return Pht::flat_cost(1); });
   pht.publish(10.0);
   const auto r = pht.lookup(990.0);
   EXPECT_TRUE(r.handles.empty());

@@ -91,7 +91,7 @@ TEST(CanNetwork, RoutingScalesAsSqrtN) {
       const CanRoute r =
           net.route(static_cast<NodeId>(rng.next_index(net.num_nodes())),
                     rng.next_double(), rng.next_double());
-      total += r.hops;
+      total += r.stats.delay;
     }
     (rep == 0 ? mean_small : mean_large) = total / trials;
   }

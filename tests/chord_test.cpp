@@ -45,8 +45,11 @@ TEST(Chord, RoutingReachesOwnerInLogHops) {
     const Key k = rng.engine()();
     const ChordRoute r = net.route(from, k);
     EXPECT_EQ(r.owner, net.owner_of(k));
-    EXPECT_LE(r.hops, 2 * log_n + 5);
-    total += r.hops;
+    EXPECT_LE(r.stats.delay, 2 * log_n + 5);
+    // Walk currency: one message per hop; ConstantHop prices latency == delay.
+    EXPECT_EQ(r.stats.delay, static_cast<double>(r.stats.messages));
+    EXPECT_EQ(r.stats.latency, r.stats.delay);
+    total += r.stats.delay;
   }
   // Classic expectation: ~ (1/2) log2 N average.
   EXPECT_LT(total / 300.0, log_n);
@@ -57,7 +60,8 @@ TEST(Chord, RouteToOwnKeyIsFree) {
   ChordNetwork net(50, 13);
   const ChordRoute r = net.route(7, net.node_key(7));
   EXPECT_EQ(r.owner, 7u);
-  EXPECT_EQ(r.hops, 0u);
+  EXPECT_EQ(r.stats.delay, 0.0);
+  EXPECT_EQ(r.stats.messages, 0u);
 }
 
 TEST(Chord, SuccessorPredecessorAreInverse) {

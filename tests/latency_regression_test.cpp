@@ -26,18 +26,9 @@
 namespace armada {
 namespace {
 
+using testsupport::all_latency_models;
 using testsupport::kPaperDomain;
 using testsupport::make_single_index;
-
-std::vector<std::shared_ptr<const net::LatencyModel>> all_models(
-    std::uint64_t seed) {
-  return {
-      std::make_shared<net::ConstantHop>(),
-      std::make_shared<net::UniformJitter>(seed),
-      std::make_shared<net::TransitStub>(seed),
-      std::make_shared<net::RttMatrix>(seed),
-  };
-}
 
 TEST(ConstantHopRegression, FissioneRouteLatencyEqualsHops) {
   auto fx = make_single_index(120, 7001);
@@ -142,15 +133,15 @@ TEST(LatencyModelDeterminism, TwoIndependentNetworksAgree) {
   constexpr std::uint64_t kNetSeed = 8101;
   constexpr std::uint64_t kModelSeed = 8202;
 
-  for (std::size_t mi = 0; mi < all_models(kModelSeed).size(); ++mi) {
+  for (std::size_t mi = 0; mi < all_latency_models(kModelSeed).size(); ++mi) {
     // Two fully independent builds: networks, indexes, objects and models
     // are constructed twice from the same seeds.
     auto fx1 = make_single_index(kN, kNetSeed);
     auto fx2 = make_single_index(kN, kNetSeed);
     testsupport::publish_uniform_values(fx1->index, 300, kNetSeed + 1);
     testsupport::publish_uniform_values(fx2->index, 300, kNetSeed + 1);
-    const auto model1 = all_models(kModelSeed)[mi];
-    const auto model2 = all_models(kModelSeed)[mi];
+    const auto model1 = all_latency_models(kModelSeed)[mi];
+    const auto model2 = all_latency_models(kModelSeed)[mi];
     fx1->net.set_latency_model(model1);
     fx2->net.set_latency_model(model2);
 
@@ -181,7 +172,7 @@ TEST(LatencyModelDeterminism, TwoIndependentNetworksAgree) {
 
 TEST(LatencyModelDeterminism, DcfFloodAgreesAcrossBuilds) {
   constexpr std::uint64_t kModelSeed = 8303;
-  for (std::size_t mi = 0; mi < all_models(kModelSeed).size(); ++mi) {
+  for (std::size_t mi = 0; mi < all_latency_models(kModelSeed).size(); ++mi) {
     can::CanNetwork net1(120, 8304);
     can::CanNetwork net2(120, 8304);
     rq::DcfCan dcf1(net1, rq::DcfCan::Config{});
@@ -192,8 +183,8 @@ TEST(LatencyModelDeterminism, DcfFloodAgreesAcrossBuilds) {
       dcf1.publish(pub1.next_double(0.0, 1000.0));
       dcf2.publish(pub2.next_double(0.0, 1000.0));
     }
-    net1.set_latency_model(all_models(kModelSeed)[mi]);
-    net2.set_latency_model(all_models(kModelSeed)[mi]);
+    net1.set_latency_model(all_latency_models(kModelSeed)[mi]);
+    net2.set_latency_model(all_latency_models(kModelSeed)[mi]);
 
     Rng rng1(78);
     Rng rng2(78);
@@ -210,6 +201,244 @@ TEST(LatencyModelDeterminism, DcfFloodAgreesAcrossBuilds) {
       EXPECT_EQ(r1.stats.delay, r2.stats.delay);
       EXPECT_EQ(r1.stats.messages, r2.stats.messages);
     }
+  }
+}
+
+// --- refactored baselines: pre-refactor golden hop counts ------------------
+// Captured from the seed hop-count implementations (before the baseline
+// engines were rewired through net::Transport), with the identical fixture
+// construction and workload streams. Under the default ConstantHop model the
+// refactored engines must reproduce these totals bitwise, and every query's
+// transport-priced latency must equal its hop-count delay exactly.
+constexpr double kGoldenSquidDelay = 1140.0;
+constexpr std::uint64_t kGoldenSquidMessages = 10323;
+constexpr double kGoldenScrapDelay = 237.0;
+constexpr std::uint64_t kGoldenScrapMessages = 2410;
+constexpr double kGoldenSkipRangeDelay = 531.0;
+constexpr std::uint64_t kGoldenSkipRangeMessages = 531;
+constexpr double kGoldenPhtDelay = 1173.0;
+constexpr std::uint64_t kGoldenPhtMessages = 1904;
+constexpr std::uint64_t kGoldenChordHops = 933;
+constexpr std::uint64_t kGoldenSkipSearchHops = 1291;
+
+TEST(ConstantHopRegression, GoldenSquidDelayTotals) {
+  auto fx = testsupport::make_squid(120, 300, 6001);
+  double delay = 0.0;
+  std::uint64_t messages = 0;
+  Rng rng(6101);
+  for (int q = 0; q < 30; ++q) {
+    const auto issuer =
+        static_cast<chord::NodeId>(rng.next_index(fx->net.num_nodes()));
+    kautz::Box box(2);
+    for (auto& iv : box) {
+      iv.lo = rng.next_double(0.0, 800.0);
+      iv.hi = iv.lo + rng.next_double(0.0, 200.0);
+    }
+    const auto r = fx->squid.query(issuer, box);
+    EXPECT_EQ(r.stats.latency, r.stats.delay);
+    delay += r.stats.delay;
+    messages += r.stats.messages;
+  }
+  EXPECT_EQ(delay, kGoldenSquidDelay);
+  EXPECT_EQ(messages, kGoldenSquidMessages);
+}
+
+TEST(ConstantHopRegression, GoldenScrapDelayTotals) {
+  auto fx = testsupport::make_scrap(120, 300, 6002);
+  double delay = 0.0;
+  std::uint64_t messages = 0;
+  Rng rng(6102);
+  for (int q = 0; q < 30; ++q) {
+    const auto issuer =
+        static_cast<skipgraph::NodeId>(rng.next_index(fx->graph.num_nodes()));
+    kautz::Box box(2);
+    for (auto& iv : box) {
+      iv.lo = rng.next_double(0.0, 800.0);
+      iv.hi = iv.lo + rng.next_double(0.0, 200.0);
+    }
+    const auto r = fx->scrap.query(issuer, box);
+    EXPECT_EQ(r.stats.latency, r.stats.delay);
+    delay += r.stats.delay;
+    messages += r.stats.messages;
+  }
+  EXPECT_EQ(delay, kGoldenScrapDelay);
+  EXPECT_EQ(messages, kGoldenScrapMessages);
+}
+
+TEST(ConstantHopRegression, GoldenSkipGraphRangeDelayTotals) {
+  auto fx = testsupport::make_skip_range(150, 400, 6004);
+  double delay = 0.0;
+  std::uint64_t messages = 0;
+  Rng rng(6103);
+  for (int q = 0; q < 40; ++q) {
+    const auto issuer =
+        static_cast<skipgraph::NodeId>(rng.next_index(fx->graph.num_nodes()));
+    const double lo = rng.next_double(0.0, 900.0);
+    const double hi = lo + rng.next_double(0.0, 100.0);
+    const auto r = fx->index.query(issuer, lo, hi);
+    EXPECT_EQ(r.stats.latency, r.stats.delay);
+    delay += r.stats.delay;
+    messages += r.stats.messages;
+  }
+  EXPECT_EQ(delay, kGoldenSkipRangeDelay);
+  EXPECT_EQ(messages, kGoldenSkipRangeMessages);
+}
+
+TEST(ConstantHopRegression, GoldenPhtOverChordDelayTotals) {
+  auto fx = testsupport::make_pht_chord(120, 300, 6006);
+  double delay = 0.0;
+  std::uint64_t messages = 0;
+  Rng rng(6104);
+  for (int q = 0; q < 40; ++q) {
+    fx->client =
+        static_cast<chord::NodeId>(rng.next_index(fx->net.num_nodes()));
+    const double lo = rng.next_double(0.0, 900.0);
+    const double hi = lo + rng.next_double(0.0, 100.0);
+    const auto r = fx->pht.query(lo, hi);
+    EXPECT_EQ(r.stats.latency, r.stats.delay);
+    delay += r.stats.delay;
+    messages += r.stats.messages;
+  }
+  EXPECT_EQ(delay, kGoldenPhtDelay);
+  EXPECT_EQ(messages, kGoldenPhtMessages);
+}
+
+TEST(ConstantHopRegression, GoldenRawWalkHopTotals) {
+  chord::ChordNetwork chord_net(200, 6008);
+  std::uint64_t chord_hops = 0;
+  Rng rng(6105);
+  for (int q = 0; q < 200; ++q) {
+    const auto from =
+        static_cast<chord::NodeId>(rng.next_index(chord_net.num_nodes()));
+    const auto r = chord_net.route(from, rng.engine()());
+    EXPECT_EQ(r.stats.latency, r.stats.delay);
+    chord_hops += r.stats.messages;
+  }
+  EXPECT_EQ(chord_hops, kGoldenChordHops);
+
+  skipgraph::SkipGraph graph(
+      testsupport::random_keys(200, 6009, 0.0, 1000.0), 6010);
+  std::uint64_t search_hops = 0;
+  Rng srng(6106);
+  for (int q = 0; q < 200; ++q) {
+    const auto from =
+        static_cast<skipgraph::NodeId>(srng.next_index(graph.num_nodes()));
+    const auto r = graph.search(from, srng.next_double(0.0, 1000.0));
+    EXPECT_EQ(r.stats.latency, r.stats.delay);
+    search_hops += r.stats.messages;
+  }
+  EXPECT_EQ(search_hops, kGoldenSkipSearchHops);
+}
+
+// --- baselines under heterogeneous models ----------------------------------
+
+TEST(LatencyModels, BaselineModelsChangeLatencyNotDelay) {
+  // Re-pricing links must never change a baseline's hop-count delay,
+  // message count, destinations or matches — only its latency. This is what
+  // makes the cross-scheme Table 1 comparison meaningful under every model.
+  constexpr std::uint64_t kModelSeed = 8601;
+  auto squid = testsupport::make_squid(100, 250, 8602);
+  auto scrap = testsupport::make_scrap(100, 250, 8603);
+  auto skipr = testsupport::make_skip_range(100, 250, 8604);
+
+  const kautz::Box box{{100.0, 420.0}, {250.0, 580.0}};
+  const auto base_squid = squid->squid.query(5, box);
+  const auto base_scrap = scrap->scrap.query(5, box);
+  const auto base_skip = skipr->index.query(5, 200.0, 300.0);
+
+  for (const auto& model : all_latency_models(kModelSeed)) {
+    squid->net.set_latency_model(model);
+    scrap->graph.set_latency_model(model);
+    skipr->graph.set_latency_model(model);
+    const auto rs = squid->squid.query(5, box);
+    const auto rc = scrap->scrap.query(5, box);
+    const auto rk = skipr->index.query(5, 200.0, 300.0);
+    EXPECT_EQ(rs.stats.delay, base_squid.stats.delay);
+    EXPECT_EQ(rs.stats.messages, base_squid.stats.messages);
+    EXPECT_EQ(rs.destinations, base_squid.destinations);
+    EXPECT_EQ(rc.stats.delay, base_scrap.stats.delay);
+    EXPECT_EQ(rc.stats.messages, base_scrap.stats.messages);
+    EXPECT_EQ(rc.matches, base_scrap.matches);
+    EXPECT_EQ(rk.stats.delay, base_skip.stats.delay);
+    EXPECT_EQ(rk.stats.messages, base_skip.stats.messages);
+    EXPECT_EQ(rk.destinations, base_skip.destinations);
+  }
+}
+
+TEST(LatencyModelDeterminism, BaselinesAgreeAcrossBuilds) {
+  constexpr std::uint64_t kModelSeed = 8701;
+  for (std::size_t mi = 0; mi < all_latency_models(kModelSeed).size(); ++mi) {
+    auto fx1 = testsupport::make_squid(80, 200, 8702);
+    auto fx2 = testsupport::make_squid(80, 200, 8702);
+    fx1->net.set_latency_model(all_latency_models(kModelSeed)[mi]);
+    fx2->net.set_latency_model(all_latency_models(kModelSeed)[mi]);
+    Rng rng1(81);
+    Rng rng2(81);
+    for (int i = 0; i < 20; ++i) {
+      kautz::Box b1(2);
+      kautz::Box b2(2);
+      for (std::size_t d = 0; d < 2; ++d) {
+        b1[d].lo = rng1.next_double(0.0, 800.0);
+        b1[d].hi = b1[d].lo + rng1.next_double(0.0, 200.0);
+        b2[d].lo = rng2.next_double(0.0, 800.0);
+        b2[d].hi = b2[d].lo + rng2.next_double(0.0, 200.0);
+      }
+      const auto r1 = fx1->squid.query(3, b1);
+      const auto r2 = fx2->squid.query(3, b2);
+      EXPECT_EQ(r1.stats.latency, r2.stats.latency);
+      EXPECT_EQ(r1.stats.delay, r2.stats.delay);
+      EXPECT_EQ(r1.stats.messages, r2.stats.messages);
+    }
+  }
+}
+
+// --- proximity-aware FISSIONE next-hop tie-breaking ------------------------
+
+TEST(ProximityRouting, ReachesOwnerWithinBoundAndNeverSlower) {
+  // Two identical overlays, one with proximity-aware tie-breaking: routing
+  // must still deliver to the owner within the paper's hop bound
+  // (hops <= |PeerID(issuer)|), and under a clustered LAN/WAN model the
+  // tie-break should not lose latency in aggregate.
+  auto base = make_single_index(200, 8801);
+  auto prox = make_single_index(200, 8801);
+  const auto model = std::make_shared<net::TransitStub>(8802);
+  base->net.set_latency_model(model);
+  prox->net.set_latency_model(model);
+  prox->net.set_proximity_next_hop(true);
+
+  double base_latency = 0.0;
+  double prox_latency = 0.0;
+  Rng rng(8803);
+  for (int i = 0; i < 120; ++i) {
+    const auto issuer = base->random_issuer(rng);
+    const auto target = base->net.kautz_hash("prox" + std::to_string(i));
+    const auto rb = base->net.route(issuer, target);
+    const auto rp = prox->net.route(issuer, target);
+    // Same overlay structure, same owner.
+    EXPECT_EQ(rb.owner, rp.owner);
+    EXPECT_LE(rp.hops, prox->net.peer(issuer).peer_id.length());
+    EXPECT_EQ(rp.path.size(), static_cast<std::size_t>(rp.hops) + 1);
+    base_latency += rb.latency;
+    prox_latency += rp.latency;
+  }
+  // The tie-break is greedy per hop, so a strict aggregate win is not
+  // guaranteed by construction — allow a small tolerance so legitimate
+  // changes to join order or neighbor ordering can't flip the suite. The
+  // measured win on this workload is ~6-9% (see bench_latency_models).
+  EXPECT_LE(prox_latency, base_latency * 1.05);
+}
+
+TEST(ProximityRouting, OffByDefaultKeepsCanonicalPath) {
+  auto a = make_single_index(150, 8804);
+  auto b = make_single_index(150, 8804);
+  b->net.set_proximity_next_hop(true);
+  b->net.set_proximity_next_hop(false);  // toggling back restores default
+  Rng rng(8805);
+  for (int i = 0; i < 40; ++i) {
+    const auto issuer = a->random_issuer(rng);
+    const auto target = a->net.kautz_hash("off" + std::to_string(i));
+    EXPECT_EQ(a->net.route(issuer, target).path,
+              b->net.route(issuer, target).path);
   }
 }
 

@@ -3,8 +3,13 @@
 #include <memory>
 #include <vector>
 
+#include "can/can_network.h"
+#include "chord/chord.h"
+#include "fissione/network.h"
 #include "net/latency_model.h"
+#include "net/routed_overlay.h"
 #include "net/transport.h"
+#include "skipgraph/skipgraph.h"
 #include "util/check.h"
 #include "util/stats.h"
 
@@ -152,6 +157,51 @@ TEST(Transport, SwappingTheModelChangesCharges) {
   t.set_model(std::make_shared<ConstantHop>(7.0));
   EXPECT_EQ(t.link(1, 2), 7.0);
   EXPECT_EQ(std::string(t.model().name()), "constant");
+}
+
+// Every DHT in the repo is reachable through the overlay::RoutedOverlay
+// seam: one loop can re-price and inspect all of them without knowing the
+// concrete type — the contract the cross-scheme benches rely on.
+TEST(RoutedOverlay, OneSeamSpansEveryOverlay) {
+  fissione::FissioneNetwork fnet = fissione::FissioneNetwork::build(40, 5);
+  can::CanNetwork cnet(40, 5);
+  chord::ChordNetwork rnet(40, 5);
+  skipgraph::SkipGraph graph({1.0, 2.0, 5.0, 9.0, 12.0}, 5);
+
+  const std::vector<overlay::RoutedOverlay*> overlays{&fnet, &cnet, &rnet,
+                                                      &graph};
+  const std::vector<std::size_t> sizes{40, 40, 40, 5};
+  for (std::size_t i = 0; i < overlays.size(); ++i) {
+    overlay::RoutedOverlay& o = *overlays[i];
+    EXPECT_EQ(o.overlay_size(), sizes[i]);
+    // Default transport: ConstantHop(1.0)...
+    EXPECT_EQ(o.transport().link(0, 1), 1.0);
+    // ... swappable generically through the seam.
+    o.set_latency_model(std::make_shared<ConstantHop>(3.0));
+    EXPECT_EQ(o.transport().link(0, 1), 3.0);
+    o.set_latency_model(std::make_shared<ConstantHop>());
+  }
+
+  // The walk-cost algebra composes fragments the way the engines do.
+  sim::QueryStats walk;
+  overlay::step(walk, rnet.transport(), 0, 1);
+  overlay::step(walk, rnet.transport(), 1, 2);
+  EXPECT_EQ(walk.messages, 2u);
+  EXPECT_EQ(walk.delay, 2.0);
+  EXPECT_EQ(walk.latency, 2.0);
+  sim::QueryStats fan;
+  overlay::fan_in(fan, walk);
+  sim::QueryStats other;
+  overlay::step(other, rnet.transport(), 2, 3);
+  overlay::fan_in(fan, other);
+  EXPECT_EQ(fan.messages, 3u);  // messages sum across branches
+  EXPECT_EQ(fan.delay, 2.0);    // delay is the deepest branch
+  sim::QueryStats head;
+  overlay::chain(head, fan);
+  overlay::chain(head, other);
+  EXPECT_EQ(head.messages, 4u);
+  EXPECT_EQ(head.delay, 3.0);
+  EXPECT_EQ(head.latency, 3.0);
 }
 
 }  // namespace

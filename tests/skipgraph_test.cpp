@@ -54,7 +54,7 @@ TEST(SkipGraph, SearchCostLogarithmic) {
     for (int i = 0; i < 400; ++i) {
       total += g.search(static_cast<NodeId>(rng.next_index(n)),
                         rng.next_double(0.0, 1000.0))
-                   .hops;
+                   .stats.delay;
     }
     (rep == 0 ? small_mean : large_mean) = total / 400.0;
   }

@@ -11,10 +11,18 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "armada/armada.h"
+#include "chord/chord.h"
 #include "fissione/network.h"
 #include "kautz/partition_tree.h"
+#include "net/latency_model.h"
+#include "rq/pht.h"
+#include "rq/scrap.h"
+#include "rq/skipgraph_rq.h"
+#include "rq/squid.h"
+#include "skipgraph/skipgraph.h"
 #include "util/rng.h"
 
 namespace armada::testsupport {
@@ -56,5 +64,76 @@ std::unique_ptr<SingleIndexFixture> make_single_index(
 std::unique_ptr<MultiIndexFixture> make_multi_index(std::size_t n,
                                                     std::uint64_t seed,
                                                     kautz::Box domain);
+
+/// One instance of every transport latency model, seeded deterministically —
+/// the sweep the latency regression/determinism suites iterate over. Note:
+/// each seeded model takes `seed` verbatim here, whereas the bench-side
+/// bench::all_latency_models derives per-model seeds with xor offsets — the
+/// two sweeps do not produce identical link latencies for equal seeds.
+std::vector<std::shared_ptr<const net::LatencyModel>> all_latency_models(
+    std::uint64_t seed);
+
+// --- baseline-scheme fixtures ----------------------------------------------
+// Each bundles a baseline DHT with the range-query engine layered on it and
+// a seeded published workload, exactly as the cross-scheme comparisons use
+// them. Like the Armada fixtures above, engines hold references into their
+// networks, so the bundles are heap-pinned and neither copyable nor movable.
+
+/// Chord ring + Squid index with `objects` published 2-d points (paper
+/// domain on both attributes).
+struct SquidFixture {
+  SquidFixture(std::size_t n, std::size_t objects, std::uint64_t seed);
+  SquidFixture(const SquidFixture&) = delete;
+  SquidFixture& operator=(const SquidFixture&) = delete;
+
+  chord::ChordNetwork net;
+  rq::Squid squid;
+};
+
+/// Skip graph over curve-position keys + SCRAP index with `objects`
+/// published 2-d points.
+struct ScrapFixture {
+  ScrapFixture(std::size_t n, std::size_t objects, std::uint64_t seed);
+  ScrapFixture(const ScrapFixture&) = delete;
+  ScrapFixture& operator=(const ScrapFixture&) = delete;
+
+  skipgraph::SkipGraph graph;
+  rq::Scrap scrap;
+};
+
+/// Skip graph keyed in the paper domain + native range index with `objects`
+/// published values.
+struct SkipRangeFixture {
+  SkipRangeFixture(std::size_t n, std::size_t objects, std::uint64_t seed);
+  SkipRangeFixture(const SkipRangeFixture&) = delete;
+  SkipRangeFixture& operator=(const SkipRangeFixture&) = delete;
+
+  skipgraph::SkipGraph graph;
+  rq::SkipGraphRangeIndex index;
+};
+
+/// PHT whose trie-node lookups route on a Chord ring from `client` (set it
+/// before each query to model the issuing peer), with `objects` published
+/// values.
+struct PhtChordFixture {
+  PhtChordFixture(std::size_t n, std::size_t objects, std::uint64_t seed);
+  PhtChordFixture(const PhtChordFixture&) = delete;
+  PhtChordFixture& operator=(const PhtChordFixture&) = delete;
+
+  chord::ChordNetwork net;
+  chord::NodeId client = 0;
+  rq::Pht pht;
+};
+
+std::unique_ptr<SquidFixture> make_squid(std::size_t n, std::size_t objects,
+                                         std::uint64_t seed);
+std::unique_ptr<ScrapFixture> make_scrap(std::size_t n, std::size_t objects,
+                                         std::uint64_t seed);
+std::unique_ptr<SkipRangeFixture> make_skip_range(std::size_t n,
+                                                  std::size_t objects,
+                                                  std::uint64_t seed);
+std::unique_ptr<PhtChordFixture> make_pht_chord(std::size_t n,
+                                                std::size_t objects,
+                                                std::uint64_t seed);
 
 }  // namespace armada::testsupport
