@@ -5,6 +5,14 @@
 // its successor node. Fingers follow the classic rule
 // finger[i] = successor(key + 2^i); greedy routing forwards to the closest
 // preceding finger and reaches any key in O(log N) hops.
+//
+// Membership: nodes join at fresh random ring positions and leave/crash with
+// their keyspace absorbed by the successor. NodeIds are stable (dead ids are
+// never reused); the alive set lives in a sorted ring index. Structural
+// repair commutes instantly — finger entries whose owner changed are
+// repointed in place — and the optional MembershipReport captures exactly
+// which nodes were rewired so a timed churn driver (chord::ChurnDriver) can
+// price the successor/finger repair protocol as transport deliveries.
 #pragma once
 
 #include <cstdint>
@@ -34,21 +42,61 @@ struct ChordRoute {
 
 class ChordNetwork final : public overlay::RoutedOverlay {
  public:
+  /// What a membership event would put on the wire (see chord::ChurnDriver):
+  /// filled optionally by join/leave/crash; capturing it never changes the
+  /// structural outcome or the RNG stream.
+  struct MembershipReport {
+    NodeId node = kNoNode;         ///< joiner, or the departed node
+    NodeId successor = kNoNode;    ///< ring successor after the change
+    NodeId predecessor = kNoNode;  ///< ring predecessor after the change
+    /// Alive nodes (excluding `node`) with at least one repointed finger.
+    std::vector<NodeId> rewired;
+    /// Distinct finger targets the joiner had to look up (join only).
+    std::vector<NodeId> finger_targets;
+    /// Join placement lookup: the route to the joiner's successor.
+    std::uint32_t placement_hops = 0;
+    double placement_latency = 0.0;
+  };
+
   /// n nodes at distinct uniform random ring positions.
   ChordNetwork(std::size_t n, std::uint64_t seed);
 
-  std::size_t num_nodes() const { return keys_.size(); }
-  std::size_t overlay_size() const override { return keys_.size(); }
+  /// Alive nodes.
+  std::size_t num_nodes() const { return ring_.size(); }
+  std::size_t overlay_size() const override { return ring_.size(); }
+  /// One past the largest NodeId ever issued (dead ids included). Size
+  /// NodeId-indexed tables with THIS, not num_nodes(): after churn the
+  /// alive count is smaller than the id range.
+  std::size_t node_id_bound() const { return keys_.size(); }
+  bool is_alive(NodeId id) const {
+    return id < alive_.size() && alive_[id];
+  }
   Key node_key(NodeId id) const;
   NodeId successor_node(NodeId id) const;
   NodeId predecessor_node(NodeId id) const;
+  /// Alive node ids in ring (key) order.
+  const std::vector<NodeId>& ring() const { return ring_; }
 
-  /// Ground-truth owner of `key` (binary search over sorted positions).
+  // --- membership -------------------------------------------------------
+  /// Join at a fresh random position; returns the new node's id.
+  NodeId join(MembershipReport* report = nullptr);
+  /// Graceful departure: keyspace handed to the successor.
+  void leave(NodeId node, MembershipReport* report = nullptr);
+  /// Ungraceful failure: same structural healing, but a timed driver prices
+  /// it only after a detection timeout.
+  void crash(NodeId node, MembershipReport* report = nullptr);
+
+  /// Ground-truth owner of `key` (binary search over the alive ring).
   NodeId owner_of(Key key) const;
 
-  /// Iterative finger routing from `from` to the owner of `key`.
-  ChordRoute route(NodeId from, Key key) const;
+  /// Iterative finger routing from `from` to the owner of `key`. The
+  /// hot-path overload stays allocation-free; pass `path_out` (filled with
+  /// source..owner) only when the walk itself is needed — e.g. the churn
+  /// driver's stale-route replay.
+  ChordRoute route(NodeId from, Key key) const { return route(from, key, nullptr); }
+  ChordRoute route(NodeId from, Key key, std::vector<NodeId>* path_out) const;
 
+  /// Uniformly chosen alive node.
   NodeId random_node();
 
   /// Finger-table correctness, ring ordering, successor consistency.
@@ -59,10 +107,17 @@ class ChordNetwork final : public overlay::RoutedOverlay {
 
  private:
   NodeId closest_preceding_finger(NodeId node, Key key) const;
+  /// Remove `node` from the ring, repointing fingers to its successor.
+  void remove_node(NodeId node, MembershipReport* report);
+  /// Recompute ring_pos_ for ring_ entries from `from` onward.
+  void reindex_ring(std::size_t from);
 
   Rng rng_;
-  std::vector<Key> keys_;                        // by NodeId, sorted
-  std::vector<std::vector<NodeId>> fingers_;     // by NodeId, 64 entries
+  std::vector<Key> keys_;                     // by NodeId; dead ids retained
+  std::vector<bool> alive_;                   // by NodeId
+  std::vector<NodeId> ring_;                  // alive ids, sorted by key
+  std::vector<std::size_t> ring_pos_;         // by NodeId, index into ring_
+  std::vector<std::vector<NodeId>> fingers_;  // by NodeId, 64 entries
 };
 
 }  // namespace armada::chord

@@ -1,0 +1,148 @@
+#include "chord/churn_driver.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace armada::chord {
+
+ChurnDriver::ChurnDriver(ChordNetwork& net, sim::Simulator& sim, Config config)
+    : net_(net), sim_(sim), config_(config) {
+  ARMADA_CHECK(config_.crash_detect_delay >= 0.0);
+  ARMADA_CHECK_MSG(config_.min_nodes > 2, "floor must keep a 3-node ring");
+}
+
+void ChurnDriver::schedule(const sim::ChurnEvent& event) {
+  sim_.schedule_at(event.at, [this, kind = event.kind] { execute(kind); });
+}
+
+void ChurnDriver::schedule(const std::vector<sim::ChurnEvent>& events) {
+  for (const sim::ChurnEvent& e : events) {
+    schedule(e);
+  }
+}
+
+void ChurnDriver::execute(sim::ChurnEventKind kind) {
+  const sim::Time start = sim_.now();
+  ChordNetwork::MembershipReport report;
+  switch (kind) {
+    case sim::ChurnEventKind::kJoin:
+      net_.join(&report);
+      ++stats_.joins;
+      break;
+    case sim::ChurnEventKind::kLeave:
+      if (net_.num_nodes() <= config_.min_nodes) {
+        ++stats_.skipped_events;
+        return;
+      }
+      net_.leave(net_.random_node(), &report);
+      ++stats_.leaves;
+      break;
+    case sim::ChurnEventKind::kCrash:
+      if (net_.num_nodes() <= config_.min_nodes) {
+        ++stats_.skipped_events;
+        return;
+      }
+      net_.crash(net_.random_node(), &report);
+      ++stats_.crashes;
+      break;
+  }
+  apply_repair(report, kind, start);
+}
+
+void ChurnDriver::apply_repair(const ChordNetwork::MembershipReport& report,
+                               sim::ChurnEventKind kind, sim::Time start) {
+  const net::Transport& transport = net_.transport();
+  const bool crashed = kind == sim::ChurnEventKind::kCrash;
+  const bool join = kind == sim::ChurnEventKind::kJoin;
+  const sim::Time base =
+      start + (crashed ? priced(config_.crash_detect_delay) : 0.0);
+  sim::Time completion = base;
+
+  // Repair radiates from the joiner, or — once the departure is noticed —
+  // from the successor inheriting the keyspace.
+  const NodeId origin = join ? report.node : report.successor;
+  auto send = [&](NodeId from, NodeId to) {
+    ++stats_.repair_messages;
+    const sim::Time arrival =
+        base + (from == to ? 0.0 : priced(transport.link(from, to)));
+    sim_.schedule_at(arrival, [] {});  // the delivery event itself
+    completion = std::max(completion, arrival);
+    return arrival;
+  };
+
+  // Placement lookup (join): sequential messages that gate the repair.
+  stats_.repair_messages += report.placement_hops;
+  completion = std::max(completion, base + priced(report.placement_latency));
+
+  // A graceful departure hands its keyspace to the successor before going.
+  if (kind == sim::ChurnEventKind::kLeave && report.node != kNoNode &&
+      report.successor != kNoNode) {
+    windows_.touch(report.successor, send(report.node, report.successor));
+  }
+
+  // Ring neighbors learn of the change first (join hello / leave goodbye /
+  // crash healing probe).
+  if (report.successor != kNoNode && report.successor != origin) {
+    windows_.touch(report.successor, send(origin, report.successor));
+  }
+  if (report.predecessor != kNoNode && report.predecessor != origin &&
+      report.predecessor != report.successor) {
+    windows_.touch(report.predecessor, send(origin, report.predecessor));
+  }
+
+  // The joiner builds its finger table: one lookup per distinct target; it
+  // is not fully wired until the last answer returns.
+  if (join) {
+    sim::Time wired = base;
+    for (NodeId target : report.finger_targets) {
+      wired = std::max(wired, send(report.node, target));
+    }
+    windows_.touch(report.node, wired);
+  }
+
+  // Finger updates to every rewired node.
+  for (NodeId n : report.rewired) {
+    if (n == origin) {
+      windows_.touch(n, base);
+      continue;
+    }
+    windows_.touch(n, send(origin, n));
+  }
+
+  const sim::Time repair_latency = completion - start;
+  stats_.repair_latency_total += repair_latency;
+  stats_.repair_latency_max =
+      std::max(stats_.repair_latency_max, repair_latency);
+}
+
+std::vector<NodeId> ChurnDriver::stale_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId n : net_.ring()) {
+    if (is_stale(n)) {
+      out.push_back(n);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ChurnDriver::StaleRoute ChurnDriver::route(NodeId from, Key key) {
+  StaleRoute out;
+  out.route = net_.route(from, key, &out.path);
+  const net::Transport& transport = net_.transport();
+  const sim::WalkReplay replay = sim::replay_walk(
+      out.path, sim_.now(), config_.max_detours, windows_,
+      [&transport](NodeId u, NodeId v) { return transport.link(u, v); });
+  out.stats = replay.stats;
+  out.stale = replay.stale;
+  out.detours = replay.detours;
+  out.failed = replay.failed;
+  if (out.failed) {
+    out.route.owner = kNoNode;
+  }
+  stats_.record_query(out.stale, out.detours, out.failed, 0);
+  return out;
+}
+
+}  // namespace armada::chord

@@ -1,0 +1,177 @@
+#include "fissione/churn_driver.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace armada::fissione {
+
+ChurnDriver::ChurnDriver(FissioneNetwork& net, sim::Simulator& sim,
+                         Config config)
+    : net_(net), sim_(sim), config_(config) {
+  ARMADA_CHECK(config_.crash_detect_delay >= 0.0);
+  ARMADA_CHECK_MSG(config_.min_peers > net_.config().base + 1u,
+                   "floor must stay above the bootstrap size");
+}
+
+void ChurnDriver::schedule(const sim::ChurnEvent& event) {
+  sim_.schedule_at(event.at, [this, kind = event.kind] { execute(kind); });
+}
+
+void ChurnDriver::schedule(const std::vector<sim::ChurnEvent>& events) {
+  for (const sim::ChurnEvent& e : events) {
+    schedule(e);
+  }
+}
+
+void ChurnDriver::execute(sim::ChurnEventKind kind) {
+  const sim::Time start = sim_.now();
+  FissioneNetwork::MembershipReport report;
+  switch (kind) {
+    case sim::ChurnEventKind::kJoin:
+      net_.join(&report);
+      // PeerIds are recycled: a window left over from a departed peer must
+      // not leak onto the fresh joiner reusing its id.
+      windows_.clear(report.joiner);
+      ++stats_.joins;
+      break;
+    case sim::ChurnEventKind::kLeave:
+      if (net_.num_peers() <= config_.min_peers) {
+        ++stats_.skipped_events;
+        return;
+      }
+      net_.leave(net_.random_peer(), &report);
+      ++stats_.leaves;
+      break;
+    case sim::ChurnEventKind::kCrash:
+      if (net_.num_peers() <= config_.min_peers) {
+        ++stats_.skipped_events;
+        return;
+      }
+      net_.crash(net_.random_peer(), &report);
+      ++stats_.crashes;
+      break;
+  }
+  apply_repair(report, kind == sim::ChurnEventKind::kCrash, start);
+}
+
+void ChurnDriver::apply_repair(const FissioneNetwork::MembershipReport& report,
+                               bool crashed, sim::Time start) {
+  const net::Transport& transport = net_.transport();
+  // Healing a crash only starts once the failure is detected; a join or
+  // graceful leave repairs immediately.
+  const sim::Time base =
+      start + (crashed ? priced(config_.crash_detect_delay) : 0.0);
+  sim::Time completion = base;
+
+  // Placement traffic (join): already-delivered sequential messages, so
+  // they gate when the repair broadcast can begin, not each other.
+  stats_.repair_messages += report.placement_hops;
+  completion = std::max(completion, base + priced(report.placement_latency));
+
+  // Neighbor-table updates: one delivery origin -> p per rewired peer; p is
+  // stale until it arrives. The origin rewires itself locally, so its
+  // window only spans the (crash) detection gap.
+  for (PeerId p : report.rewired) {
+    if (p == report.origin) {
+      windows_.touch(p, base);
+      continue;
+    }
+    const sim::Time arrival = base + priced(transport.link(report.origin, p));
+    ++stats_.repair_messages;
+    sim_.schedule_at(arrival, [] {});  // the delivery event itself
+    windows_.touch(p, arrival);
+    completion = std::max(completion, arrival);
+  }
+
+  // Object handoffs: one batched transfer per (from, to); the payloads are
+  // in flight — unavailable to queries — until the transfer lands, and both
+  // endpoints stay stale while their stores are mid-change.
+  for (const auto& h : report.handoffs) {
+    const sim::Time arrival = base + priced(transport.link(h.from, h.to));
+    ++stats_.repair_messages;
+    stats_.objects_handed_off += h.payloads.size();
+    for (std::uint64_t payload : h.payloads) {
+      sim::Time& landing = in_flight_[payload];
+      landing = std::max(landing, arrival);
+    }
+    sim_.schedule_at(arrival, [this] {
+      // Purge transfers that have landed by now; re-handed-off objects keep
+      // their (later) arrival.
+      const sim::Time now = sim_.now();
+      for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+        it = it->second <= now ? in_flight_.erase(it) : std::next(it);
+      }
+    });
+    windows_.touch(h.to, arrival);
+    // The sender may have departed (leave handoffs); only alive senders get
+    // a window.
+    if (net_.is_alive(h.from)) {
+      windows_.touch(h.from, arrival);
+    }
+    completion = std::max(completion, arrival);
+  }
+
+  stats_.objects_dropped += report.objects_dropped;
+  // Peak counts objects actually on the wire: entries that land at this
+  // very instant (zero-delay schedules) are never in flight.
+  stats_.objects_in_flight_peak =
+      std::max(stats_.objects_in_flight_peak,
+               static_cast<std::uint64_t>(objects_in_flight()));
+  const sim::Time repair_latency = completion - start;
+  stats_.repair_latency_total += repair_latency;
+  stats_.repair_latency_max = std::max(stats_.repair_latency_max,
+                                       repair_latency);
+}
+
+std::vector<PeerId> ChurnDriver::stale_peers() const {
+  std::vector<PeerId> out;
+  for (PeerId p : net_.alive_peers()) {
+    if (is_stale(p)) {
+      out.push_back(p);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool ChurnDriver::is_in_flight(std::uint64_t payload) const {
+  const auto it = in_flight_.find(payload);
+  return it != in_flight_.end() && it->second > sim_.now();
+}
+
+std::size_t ChurnDriver::objects_in_flight() const {
+  std::size_t n = 0;
+  for (const auto& [payload, arrival] : in_flight_) {
+    if (arrival > sim_.now()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void ChurnDriver::record_query(bool stale, std::uint64_t detours, bool failed,
+                               std::uint64_t missed) {
+  stats_.record_query(stale, detours, failed, missed);
+}
+
+ChurnDriver::StaleRoute ChurnDriver::route(PeerId from,
+                                           const kautz::KautzString& object_id) {
+  StaleRoute out;
+  out.route = net_.route(from, object_id);
+  const net::Transport& transport = net_.transport();
+  const sim::WalkReplay replay = sim::replay_walk(
+      out.route.path, sim_.now(), config_.max_detours, windows_,
+      [&transport](PeerId u, PeerId v) { return transport.link(u, v); });
+  out.stats = replay.stats;
+  out.stale = replay.stale;
+  out.detours = replay.detours;
+  out.failed = replay.failed;
+  if (out.failed) {
+    out.route.owner = kNoPeer;
+  }
+  record_query(out.stale, out.detours, out.failed, 0);
+  return out;
+}
+
+}  // namespace armada::fissione

@@ -109,10 +109,12 @@ std::vector<PeerId> FissioneNetwork::compute_out_neighbors(PeerId id) const {
   return out;
 }
 
-void FissioneNetwork::refresh_neighbors(std::vector<PeerId> affected) {
+std::vector<PeerId> FissioneNetwork::refresh_neighbors(
+    std::vector<PeerId> affected) {
   std::sort(affected.begin(), affected.end());
   affected.erase(std::unique(affected.begin(), affected.end()),
                  affected.end());
+  std::vector<PeerId> refreshed;
   for (PeerId p : affected) {
     if (p >= peers_.size() || !peers_[p].alive) {
       continue;
@@ -126,10 +128,13 @@ void FissioneNetwork::refresh_neighbors(std::vector<PeerId> affected) {
     for (PeerId t : peers_[p].out_neighbors) {
       peers_[t].in_neighbors.push_back(p);
     }
+    refreshed.push_back(p);
   }
+  return refreshed;
 }
 
-PeerId FissioneNetwork::walk_to_local_min(PeerId start) const {
+PeerId FissioneNetwork::walk_to_local_min(PeerId start, std::uint32_t* hops,
+                                          double* latency) const {
   PeerId cur = start;
   for (;;) {
     PeerId best = cur;
@@ -149,11 +154,17 @@ PeerId FissioneNetwork::walk_to_local_min(PeerId start) const {
     if (best == cur) {
       return cur;
     }
+    if (hops != nullptr) {
+      ++*hops;
+    }
+    if (latency != nullptr) {
+      *latency += transport_.link(cur, best);
+    }
     cur = best;
   }
 }
 
-PeerId FissioneNetwork::split_peer(PeerId victim) {
+PeerId FissioneNetwork::split_peer(PeerId victim, MembershipReport* report) {
   // Collect whose out-lists can change: the victim's in-neighbors plus the
   // two peers at the split site.
   std::vector<PeerId> affected = peers_[victim].in_neighbors;
@@ -169,29 +180,62 @@ PeerId FissioneNetwork::split_peer(PeerId victim) {
 
   // Redistribute the victim's objects between the two halves.
   std::vector<StoredObject> keep;
+  std::vector<std::uint64_t> moved;
   for (StoredObject& obj : peers_[victim].store) {
     if (peers_[victim].peer_id.is_prefix_of(obj.object_id)) {
       keep.push_back(std::move(obj));
     } else {
+      moved.push_back(obj.payload);
       peers_[joiner].store.push_back(std::move(obj));
     }
   }
   peers_[victim].store = std::move(keep);
 
   affected.push_back(joiner);
-  refresh_neighbors(std::move(affected));
+  std::vector<PeerId> rewired = refresh_neighbors(std::move(affected));
+  if (report != nullptr) {
+    report->origin = joiner;
+    report->joiner = joiner;
+    report->rewired = std::move(rewired);
+    if (!moved.empty()) {
+      report->handoffs.push_back(
+          MembershipReport::Handoff{victim, joiner, std::move(moved)});
+    }
+  }
   return joiner;
 }
 
-FissioneNetwork::JoinStats FissioneNetwork::join() {
+FissioneNetwork::JoinStats FissioneNetwork::join(MembershipReport* report) {
   const KautzString target = random_object_id();
   const RouteResult route_result = route(random_peer(), target);
-  const PeerId site = walk_to_local_min(route_result.owner);
-  const PeerId joiner = split_peer(site);
+  std::uint32_t walk_hops = 0;
+  double walk_latency = 0.0;
+  const PeerId site =
+      walk_to_local_min(route_result.owner, &walk_hops, &walk_latency);
+  const PeerId joiner = split_peer(site, report);
+  if (report != nullptr) {
+    report->placement_hops = route_result.hops + walk_hops;
+    report->placement_latency = route_result.latency + walk_latency;
+  }
   return JoinStats{joiner, route_result.hops};
 }
 
-std::size_t FissioneNetwork::remove_peer(PeerId leaving, bool transfer) {
+namespace {
+
+std::vector<std::uint64_t> store_payloads(
+    const std::vector<StoredObject>& store) {
+  std::vector<std::uint64_t> payloads;
+  payloads.reserve(store.size());
+  for (const StoredObject& obj : store) {
+    payloads.push_back(obj.payload);
+  }
+  return payloads;
+}
+
+}  // namespace
+
+std::size_t FissioneNetwork::remove_peer(PeerId leaving, bool transfer,
+                                         MembershipReport* report) {
   ARMADA_CHECK(leaving < peers_.size() && peers_[leaving].alive);
   ARMADA_CHECK_MSG(num_peers() > config_.base + 1u,
                    "cannot drop below the bootstrap size");
@@ -201,12 +245,22 @@ std::size_t FissioneNetwork::remove_peer(PeerId leaving, bool transfer) {
     dropped = peers_[leaving].store.size();
     peers_[leaving].store.clear();
   }
+  if (report != nullptr) {
+    report->objects_dropped = dropped;
+  }
 
   auto drop_from_alive = [this](PeerId p) {
     const std::size_t pos = alive_pos_[p];
     alive_[pos] = alive_.back();
     alive_pos_[alive_[pos]] = pos;
     alive_.pop_back();
+  };
+  auto record_handoff = [report](PeerId from, PeerId to,
+                                 std::vector<std::uint64_t> payloads) {
+    if (report != nullptr && !payloads.empty()) {
+      report->handoffs.push_back(
+          MembershipReport::Handoff{from, to, std::move(payloads)});
+    }
   };
 
   // A local sibling merge is only safe at maximum depth: merging a pair at
@@ -222,6 +276,7 @@ std::size_t FissioneNetwork::remove_peer(PeerId leaving, bool transfer) {
                     peers_[sibling].in_neighbors.end());
     affected.push_back(sibling);
 
+    record_handoff(leaving, sibling, store_payloads(peers_[leaving].store));
     for (StoredObject& obj : peers_[leaving].store) {
       peers_[sibling].store.push_back(std::move(obj));
     }
@@ -232,7 +287,11 @@ std::size_t FissioneNetwork::remove_peer(PeerId leaving, bool transfer) {
     peers_[sibling].peer_id = tree_.label_of(sibling);
     drop_from_alive(leaving);
     release_peer(leaving);
-    refresh_neighbors(std::move(affected));
+    std::vector<PeerId> rewired = refresh_neighbors(std::move(affected));
+    if (report != nullptr) {
+      report->origin = sibling;
+      report->rewired = std::move(rewired);
+    }
     return dropped;
   }
 
@@ -251,6 +310,7 @@ std::size_t FissioneNetwork::remove_peer(PeerId leaving, bool transfer) {
   affected.push_back(a);
   affected.push_back(b);
 
+  record_handoff(a, b, store_payloads(peers_[a].store));
   for (StoredObject& obj : peers_[a].store) {
     peers_[b].store.push_back(std::move(obj));
   }
@@ -261,20 +321,27 @@ std::size_t FissioneNetwork::remove_peer(PeerId leaving, bool transfer) {
   // Relocate A into the departed zone.
   tree_.replace_leaf_peer(leaving, a);
   peers_[a].peer_id = tree_.label_of(a);
+  record_handoff(leaving, a, store_payloads(peers_[leaving].store));
   peers_[a].store = std::move(peers_[leaving].store);
   for (PeerId t : peers_[leaving].out_neighbors) {
     erase_value(peers_[t].in_neighbors, leaving);
   }
   drop_from_alive(leaving);
   release_peer(leaving);
-  refresh_neighbors(std::move(affected));
+  std::vector<PeerId> rewired = refresh_neighbors(std::move(affected));
+  if (report != nullptr) {
+    report->origin = a;
+    report->rewired = std::move(rewired);
+  }
   return dropped;
 }
 
-void FissioneNetwork::leave(PeerId peer) { remove_peer(peer, true); }
+void FissioneNetwork::leave(PeerId peer, MembershipReport* report) {
+  remove_peer(peer, true, report);
+}
 
-std::size_t FissioneNetwork::crash(PeerId peer) {
-  return remove_peer(peer, false);
+std::size_t FissioneNetwork::crash(PeerId peer, MembershipReport* report) {
+  return remove_peer(peer, false, report);
 }
 
 PeerId FissioneNetwork::owner_of(const KautzString& object_id) const {

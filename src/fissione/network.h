@@ -45,6 +45,35 @@ class FissioneNetwork final : public overlay::RoutedOverlay {
     std::uint32_t placement_hops = 0;  ///< routing cost to find the split site
   };
 
+  /// What a membership event would put on the wire: the repair plan a timed
+  /// churn driver prices through the Transport. Filled (optionally) by
+  /// join/leave/crash; capturing it never changes the structural outcome or
+  /// the network's RNG stream, so reporting and non-reporting call sites
+  /// evolve identical overlays.
+  struct MembershipReport {
+    /// One batched object transfer between two peers.
+    struct Handoff {
+      PeerId from = kNoPeer;
+      PeerId to = kNoPeer;
+      std::vector<std::uint64_t> payloads;  ///< handles of the moved objects
+    };
+
+    /// Peer the repair radiates from: the joiner (join), the absorbing or
+    /// relocated peer (leave/crash).
+    PeerId origin = kNoPeer;
+    PeerId joiner = kNoPeer;  ///< join only
+    /// Alive peers whose neighbor tables were recomputed; each one owes a
+    /// table-update delivery before it is fully wired again.
+    std::vector<PeerId> rewired;
+    std::vector<Handoff> handoffs;
+    std::size_t objects_dropped = 0;  ///< crash only
+    /// Join placement traffic: the exact-match route to the split region
+    /// plus the local-minimum balancing walk, in hops and transport-priced
+    /// latency.
+    std::uint32_t placement_hops = 0;
+    double placement_latency = 0.0;
+  };
+
   FissioneNetwork(Config config, std::uint64_t seed);
 
   /// Convenience: build a network of `n` peers (n >= base+1).
@@ -53,15 +82,21 @@ class FissioneNetwork final : public overlay::RoutedOverlay {
   static FissioneNetwork build(std::size_t n, std::uint64_t seed);
 
   // --- membership -------------------------------------------------------
-  JoinStats join();
+  // Structural changes commute instantly (the zero-delay degenerate case);
+  // pass a MembershipReport to learn what a timed repair protocol would
+  // deliver over the transport (see fissione::ChurnDriver).
+  JoinStats join(MembershipReport* report = nullptr);
   /// Graceful departure: the peer's zone and objects are taken over.
-  void leave(PeerId peer);
+  void leave(PeerId peer, MembershipReport* report = nullptr);
   /// Ungraceful failure: zone is healed but the peer's objects are lost.
   /// Returns the number of lost objects.
-  std::size_t crash(PeerId peer);
+  std::size_t crash(PeerId peer, MembershipReport* report = nullptr);
 
   // --- accessors ---------------------------------------------------------
   std::size_t num_peers() const { return alive_.size(); }
+  bool is_alive(PeerId id) const {
+    return id < peers_.size() && peers_[id].alive;
+  }
   const Peer& peer(PeerId id) const;
   const std::vector<PeerId>& alive_peers() const { return alive_; }
   PeerId random_peer();
@@ -109,16 +144,20 @@ class FissioneNetwork final : public overlay::RoutedOverlay {
   void release_peer(PeerId id);
   std::vector<PeerId> compute_out_neighbors(PeerId id) const;
   /// Recompute out-lists of `affected` (dedup, skips dead peers) and patch
-  /// in-list transposes.
-  void refresh_neighbors(std::vector<PeerId> affected);
+  /// in-list transposes. Returns the peers actually refreshed — the rewired
+  /// set a timed repair protocol must update.
+  std::vector<PeerId> refresh_neighbors(std::vector<PeerId> affected);
   /// Split the zone of `victim`, assigning the new half to a fresh peer.
-  PeerId split_peer(PeerId victim);
+  PeerId split_peer(PeerId victim, MembershipReport* report);
   /// Remove `leaving` from the overlay; `transfer_objects` selects graceful
   /// departure vs crash. Returns number of dropped objects.
-  std::size_t remove_peer(PeerId leaving, bool transfer_objects);
+  std::size_t remove_peer(PeerId leaving, bool transfer_objects,
+                          MembershipReport* report);
   /// Walk from `start` to a peer none of whose neighbors has a shorter
-  /// PeerID (the join balancing rule).
-  PeerId walk_to_local_min(PeerId start) const;
+  /// PeerID (the join balancing rule). The walk is a sequence of overlay
+  /// messages; `hops`/`latency`, when given, accumulate its cost.
+  PeerId walk_to_local_min(PeerId start, std::uint32_t* hops = nullptr,
+                           double* latency = nullptr) const;
   /// Proximity-aware next hop from `cur` toward `object_id` (Config flag):
   /// cheapest link among the neighbors — out *and* in — with minimal
   /// remaining shift distance (in-neighbors occasionally align better,

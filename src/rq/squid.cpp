@@ -12,7 +12,7 @@ using chord::NodeId;
 using sfc::Cell;
 
 Squid::Squid(const chord::ChordNetwork& net, Config config)
-    : net_(net), config_(config), store_(net.num_nodes()) {
+    : net_(net), config_(config), store_(net.node_id_bound()) {
   ARMADA_CHECK(config_.order >= 1 && config_.order <= 31);
   ARMADA_CHECK(config_.min_side_bits <= config_.order);
   ARMADA_CHECK(config_.domain.size() == 2);
@@ -140,7 +140,7 @@ core::RangeQueryResult Squid::query(NodeId issuer,
   core::RangeQueryResult result;
   const Cell lo = cell_of({box[0].lo, box[1].lo});
   const Cell hi = cell_of({box[0].hi, box[1].hi});
-  std::vector<char> visited(net_.num_nodes(), 0);
+  std::vector<char> visited(net_.node_id_bound(), 0);
   overlay::chain(result.stats,
                  refine(issuer, Cell{0, 0}, config_.order, lo.x, hi.x, lo.y,
                         hi.y, box, visited, result));

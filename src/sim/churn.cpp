@@ -1,0 +1,58 @@
+#include "sim/churn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace armada::sim {
+
+ChurnProcess::ChurnProcess(Config config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  ARMADA_CHECK(config_.join_rate >= 0.0);
+  ARMADA_CHECK(config_.leave_rate >= 0.0);
+  ARMADA_CHECK(config_.crash_rate >= 0.0);
+  ARMADA_CHECK(config_.horizon >= config_.start);
+}
+
+std::vector<ChurnEvent> ChurnProcess::events() const {
+  const double total =
+      config_.join_rate + config_.leave_rate + config_.crash_rate;
+  std::vector<ChurnEvent> out;
+  if (total <= 0.0) {
+    return out;
+  }
+  // Merged Poisson process: exponential inter-arrival gaps at the summed
+  // rate, each event's kind drawn proportionally to the per-kind rates.
+  Rng rng(seed_);
+  Time t = config_.start;
+  for (;;) {
+    const double u = rng.next_double();
+    t += -std::log1p(-u) / total;
+    if (!(t < config_.horizon)) {
+      break;
+    }
+    const double pick = rng.next_double() * total;
+    ChurnEventKind kind = ChurnEventKind::kCrash;
+    if (pick < config_.join_rate) {
+      kind = ChurnEventKind::kJoin;
+    } else if (pick < config_.join_rate + config_.leave_rate) {
+      kind = ChurnEventKind::kLeave;
+    }
+    out.push_back(ChurnEvent{t, kind});
+  }
+  return out;
+}
+
+std::vector<ChurnEvent> ChurnProcess::from_trace(std::vector<ChurnEvent> trace) {
+  for (const ChurnEvent& e : trace) {
+    ARMADA_CHECK_MSG(e.at >= 0.0, "churn trace has a negative timestamp");
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.at < b.at;
+                   });
+  return trace;
+}
+
+}  // namespace armada::sim

@@ -1,15 +1,26 @@
 // Long-running randomized integration test: interleaves membership churn,
 // publishes, and every query type Armada supports, verifying each answer
 // against ground truth and every structural invariant along the way.
+//
+// Two modes, both honoring ARMADA_FUZZ_SEED:
+//  * instant churn — membership commutes immediately (the seed behaviour);
+//  * timed churn — a seeded ChurnProcess schedule runs through the
+//    Simulator with transport-priced repair, and queries race the repair
+//    protocol inside stale-route windows.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "armada/armada.h"
+#include "armada/churn_harness.h"
+#include "fissione/churn_driver.h"
 #include "fissione/network.h"
+#include "net/latency_model.h"
+#include "sim/churn.h"
 #include "support/test_networks.h"
 #include "util/rng.h"
 
@@ -121,6 +132,85 @@ TEST_P(IntegrationFuzz, EverythingStaysCorrectUnderInterleavedChurn) {
     }
   }
   net.check_invariants();
+}
+
+TEST_P(IntegrationFuzz, TimedChurnAnswersStaySubsetOfLiveTruth) {
+  const std::uint64_t seed = GetParam();
+  auto fx = testsupport::make_single_index(100, seed * 92821 + 31);
+  auto& net = fx->net;
+  auto& index = fx->index;
+  net.set_latency_model(std::make_shared<net::TransitStub>(seed + 5));
+
+  sim::Simulator sim;
+  fissione::ChurnDriver driver(net, sim);
+  core::ChurnHarness harness(index, driver);
+
+  auto rng = std::make_shared<Rng>(seed * 48271 + 7);
+  for (int i = 0; i < 220; ++i) {
+    index.publish(rng->next_double(0.0, 1000.0));
+  }
+
+  // Membership change racing queries for 60 units of simulated time.
+  sim::ChurnProcess::Config churn_cfg;
+  churn_cfg.join_rate = 0.5;
+  churn_cfg.leave_rate = 0.35;
+  churn_cfg.crash_rate = 0.15;
+  churn_cfg.horizon = 60.0;
+  driver.schedule(sim::ChurnProcess(churn_cfg, seed ^ 0xc0ffee).events());
+
+  int exact_answers = 0;
+  for (int q = 0; q < 90; ++q) {
+    sim.schedule_at(0.1 + 0.66 * q, [&net, &index, &harness, rng,
+                                     &exact_answers] {
+      // Occasionally publish mid-churn, so handoffs race fresh objects too.
+      if (rng->next_bool(0.15)) {
+        index.publish(rng->next_double(0.0, 1000.0));
+      }
+      const double lo = rng->next_double(0.0, 900.0);
+      const double hi = lo + rng->next_double(0.0, 100.0);
+      const auto& alive = net.alive_peers();
+      const auto issuer = alive[rng->next_index(alive.size())];
+      const auto out = harness.range_query(issuer, lo, hi);
+
+      // Live ground truth at this instant: what the surviving peers store
+      // (crashes already dropped their objects; handoffs already landed in
+      // the destination store even while the transfer is still in flight).
+      std::vector<std::uint64_t> expected;
+      for (auto p : alive) {
+        for (const auto& obj : net.peer(p).store) {
+          const double v = index.attributes(obj.payload)[0];
+          if (v >= lo && v <= hi) {
+            expected.push_back(obj.payload);
+          }
+        }
+      }
+      std::sort(expected.begin(), expected.end());
+
+      // The answer is always a subset of the live truth — never a dropped
+      // or stale object — and misses only what is on the wire.
+      EXPECT_TRUE(std::includes(expected.begin(), expected.end(),
+                                out.matches.begin(), out.matches.end()))
+          << "answer contains objects outside the live ground truth";
+      EXPECT_EQ(out.matches.size() + out.missed,
+                out.failed ? out.missed : expected.size());
+      if (!out.stale && !out.failed && out.missed == 0) {
+        EXPECT_EQ(out.matches, expected);
+        ++exact_answers;
+      }
+    });
+  }
+  sim.run();
+
+  net.check_invariants();
+  EXPECT_LE(net.max_neighbor_length_gap(), 1u);
+  const sim::ChurnStats& stats = driver.stats();
+  EXPECT_EQ(stats.queries, 90u);
+  EXPECT_GT(stats.events(), 0u);
+  EXPECT_GT(stats.repair_latency_max, 0.0);
+  // The schedule is dense enough that some queries race repair and some
+  // land in quiet gaps; both outcomes must occur.
+  EXPECT_GT(stats.stale_queries, 0u);
+  EXPECT_GT(exact_answers, 0);
 }
 
 // Default seeds are fixed so CI is deterministic. To reproduce a failure or
