@@ -23,6 +23,7 @@
 #include "armada/churn_harness.h"
 #include "chord/churn_driver.h"
 #include "fissione/churn_driver.h"
+#include "net/queueing.h"
 #include "sim/churn.h"
 
 namespace {
@@ -35,7 +36,37 @@ constexpr double kRange = 100.0;
 constexpr double kChurnSpan = 30.0;   // churn window per round
 constexpr double kRoundSpan = 100.0;  // window + repair tail + query phase
 constexpr int kRounds = 4;            // rounds 1.. churn; round 0 is static
-constexpr double kRates[] = {0.0, 0.5, 2.0};  // events per unit time
+/// Sentinel rate: heavy-tailed (Pareto) session lifetimes instead of a
+/// Poisson event mix, with the repair-batching queueing network installed
+/// so same-link repair updates coalesce into shared departures.
+constexpr double kHeavyTailed = -1.0;
+constexpr double kRates[] = {0.0, 0.5, 2.0, kHeavyTailed};
+
+/// The heavy cell's queueing network: service stays unlimited (bench_
+/// congestion owns the service-pressure axis) so the effect isolated here
+/// is per-link repair batching — 0.25 coalescing window, 128-byte repair
+/// messages against a 4 KiB/time link.
+net::QueueingConfig repair_batching_config() {
+  net::QueueingConfig cfg;
+  cfg.link_bandwidth = 4096.0;
+  cfg.default_message_bytes = 128;
+  cfg.coalesce_window = 0.25;
+  return cfg;
+}
+
+/// Bamboo-style heavy-tailed sessions for one round: Pareto lifetimes
+/// (alpha 1.2, minimum 3 time units) over a Poisson session-start stream.
+std::vector<sim::ChurnEvent> heavy_round(double start, std::uint64_t seed) {
+  sim::ChurnProcess::LifetimeConfig cfg;
+  cfg.tail = sim::ChurnProcess::LifetimeConfig::Tail::kPareto;
+  cfg.shape = 1.2;
+  cfg.scale = 3.0;
+  cfg.arrival_rate = 1.0;
+  cfg.crash_fraction = 0.1;
+  cfg.start = start;
+  cfg.horizon = start + kChurnSpan;
+  return sim::ChurnProcess::lifetimes(cfg, seed);
+}
 
 std::vector<sim::ChurnEvent> poisson_round(double rate, double start,
                                            std::uint64_t seed) {
@@ -65,6 +96,9 @@ std::string rate_label(double rate) {
   if (rate == 0.0) {
     return "instant";
   }
+  if (rate == kHeavyTailed) {
+    return "heavy";
+  }
   char buf[32];
   std::snprintf(buf, sizeof(buf), "rate%g", rate);
   return buf;
@@ -73,6 +107,10 @@ std::string rate_label(double rate) {
 struct RoundDelta {
   sim::ChurnStats churn;  // stats delta for this round
   sim::MetricSet queries;
+  /// Wire-side delta (all traffic through the queueing network this round);
+  /// all-zero for the cells that run without queueing. departures_saved()
+  /// is the message-count reduction repair batching bought.
+  net::CongestionStats wire;
   std::uint64_t wrong = 0;
   std::uint64_t probes = 0;
 };
@@ -109,7 +147,12 @@ void record_round(const std::string& overlay, const std::string& model,
        {"objects_missed", static_cast<double>(r.churn.objects_missed)},
        {"objects_handed_off",
         static_cast<double>(r.churn.objects_handed_off)},
-       {"objects_dropped", static_cast<double>(r.churn.objects_dropped)}});
+       {"objects_dropped", static_cast<double>(r.churn.objects_dropped)},
+       {"wire_messages", static_cast<double>(r.wire.messages)},
+       {"wire_departures", static_cast<double>(r.wire.batches)},
+       {"departures_saved", static_cast<double>(r.wire.departures_saved())},
+       {"wire_bytes", static_cast<double>(r.wire.bytes_on_wire)},
+       {"batch_occupancy_mean", r.wire.batch_occupancy_mean()}});
 }
 
 void add_row(Table& table, const std::string& overlay,
@@ -128,7 +171,8 @@ void add_row(Table& table, const std::string& overlay,
                      r.churn.stale_queries)),
                  Table::cell(static_cast<std::uint64_t>(r.churn.detours)),
                  Table::cell(static_cast<std::uint64_t>(
-                     r.churn.incomplete_queries))});
+                     r.churn.incomplete_queries)),
+                 Table::cell(r.wire.departures_saved())});
 }
 
 void run_fissione(Table& table, std::shared_ptr<const net::LatencyModel> model,
@@ -136,6 +180,10 @@ void run_fissione(Table& table, std::shared_ptr<const net::LatencyModel> model,
   const std::size_t kN = scaled(1000);
   auto net = fissione::FissioneNetwork::build(kN, kSeed);
   net.set_latency_model(model);
+  const bool heavy = rate == kHeavyTailed;
+  if (heavy) {
+    net.install_queueing(repair_batching_config());
+  }
   auto index = core::ArmadaIndex::single(net, {kDomainLo, kDomainHi});
   Rng pub(kSeed + 1);
   for (std::size_t i = 0; i < 2 * kN; ++i) {
@@ -150,14 +198,20 @@ void run_fissione(Table& table, std::shared_ptr<const net::LatencyModel> model,
   Rng probe_rng(kSeed + 2);
 
   for (int round = 0; round < kRounds; ++round) {
-    const double t0 = round * kRoundSpan;
+    // Congested replays can stretch a round past its nominal span (queued
+    // deliveries drain after the churn window); the next round starts at
+    // whichever is later. Uncongested cells keep the fixed boundaries.
+    const double t0 = std::max(round * kRoundSpan, sim.now());
     const sim::ChurnStats before = driver.stats();
+    const net::CongestionStats wire_before = net.congestion();
     RoundDelta r{sim::ChurnStats{},
-                 sim::MetricSet(std::log2(static_cast<double>(kN))), 0, 0};
+                 sim::MetricSet(std::log2(static_cast<double>(kN))),
+                 net::CongestionStats{}, 0, 0};
     if (round > 0) {
       const auto events =
-          rate == 0.0 ? instant_batch(net.num_peers(), t0)
-                      : poisson_round(rate, t0, kSeed + 7u * round);
+          rate == 0.0    ? instant_batch(net.num_peers(), t0)
+          : heavy        ? heavy_round(t0, kSeed + 7u * round)
+                         : poisson_round(rate, t0, kSeed + 7u * round);
       for (const sim::ChurnEvent& e : events) {
         driver.schedule(e);
         // Probe fired right after the event, inside its stale window: a
@@ -219,6 +273,8 @@ void run_fissione(Table& table, std::shared_ptr<const net::LatencyModel> model,
     }
 
     r.churn = delta(driver.stats(), before);
+    r.wire = net.congestion();
+    r.wire -= wire_before;
     add_row(table, "fissione", model->name(), rate, round, net.num_peers(), r);
     record_round("fissione", model->name(), rate, round, net.num_peers(), r);
   }
@@ -229,6 +285,10 @@ void run_chord(Table& table, std::shared_ptr<const net::LatencyModel> model,
   const std::size_t kN = scaled(1000);
   chord::ChordNetwork net(kN, kSeed);
   net.set_latency_model(model);
+  const bool heavy = rate == kHeavyTailed;
+  if (heavy) {
+    net.install_queueing(repair_batching_config());
+  }
 
   sim::Simulator sim;
   chord::ChurnDriver::Config dcfg;
@@ -237,14 +297,20 @@ void run_chord(Table& table, std::shared_ptr<const net::LatencyModel> model,
   Rng probe_rng(kSeed + 4);
 
   for (int round = 0; round < kRounds; ++round) {
-    const double t0 = round * kRoundSpan;
+    // Congested replays can stretch a round past its nominal span (queued
+    // deliveries drain after the churn window); the next round starts at
+    // whichever is later. Uncongested cells keep the fixed boundaries.
+    const double t0 = std::max(round * kRoundSpan, sim.now());
     const sim::ChurnStats before = driver.stats();
+    const net::CongestionStats wire_before = net.congestion();
     RoundDelta r{sim::ChurnStats{},
-                 sim::MetricSet(std::log2(static_cast<double>(kN))), 0, 0};
+                 sim::MetricSet(std::log2(static_cast<double>(kN))),
+                 net::CongestionStats{}, 0, 0};
     if (round > 0) {
       const auto events =
-          rate == 0.0 ? instant_batch(net.num_nodes(), t0)
-                      : poisson_round(rate, t0, kSeed + 11u * round);
+          rate == 0.0    ? instant_batch(net.num_nodes(), t0)
+          : heavy        ? heavy_round(t0, kSeed + 11u * round)
+                         : poisson_round(rate, t0, kSeed + 11u * round);
       for (const sim::ChurnEvent& e : events) {
         driver.schedule(e);
         sim.schedule_at(e.at, [&] {
@@ -270,6 +336,8 @@ void run_chord(Table& table, std::shared_ptr<const net::LatencyModel> model,
     }
 
     r.churn = delta(driver.stats(), before);
+    r.wire = net.congestion();
+    r.wire -= wire_before;
     add_row(table, "chord", model->name(), rate, round, net.num_nodes(), r);
     record_round("chord", model->name(), rate, round, net.num_nodes(), r);
   }
@@ -280,7 +348,7 @@ void run_chord(Table& table, std::shared_ptr<const net::LatencyModel> model,
 int main() {
   Table table({"Overlay", "Model", "Rate", "Round", "N", "AvgDelay",
                "AvgLatency", "Wrong", "RepairMsgs", "RepairLatMean", "StaleQ",
-               "Detours", "Incomplete"});
+               "Detours", "Incomplete", "SavedDep"});
   for (const auto& model : bench_latency_models(kSeed)) {
     for (double rate : kRates) {
       run_fissione(table, model, rate);
@@ -289,7 +357,8 @@ int main() {
   }
   print_tables(
       "Timed churn x query interleave (rate x latency model; rate 'instant' "
-      "is the zero-delay batch schedule)",
+      "is the zero-delay batch schedule, 'heavy' is Pareto session lifetimes "
+      "with per-link repair batching)",
       table);
   return 0;
 }

@@ -11,7 +11,7 @@ double AggregateResult::mean() const {
   return sum / static_cast<double>(count);
 }
 
-Aggregate::Aggregate(const fissione::FissioneNetwork& net,
+Aggregate::Aggregate(fissione::FissioneNetwork& net,
                      const kautz::PartitionTree& tree)
     : net_(net), pira_(net, tree) {}
 

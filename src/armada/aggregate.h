@@ -31,7 +31,7 @@ struct AggregateResult {
 
 class Aggregate {
  public:
-  Aggregate(const fissione::FissioneNetwork& net,
+  Aggregate(fissione::FissioneNetwork& net,
             const kautz::PartitionTree& tree);
 
   using ValueFn = std::function<double(const fissione::StoredObject&)>;

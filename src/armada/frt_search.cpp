@@ -62,9 +62,12 @@ RangeQueryResult FrtSearch::run(
         const KautzString aligned = cid.suffix(aligned_len + m);
         if (cls->viable(aligned)) {
           ++result->stats.messages;
+          net::Transport& transport = self->net_.transport();
+          result->stats.bytes_on_wire += transport.default_message_bytes();
           const Step step = *this;
-          self->net_.transport().deliver(
-              *sim, b, c, [step, c, aligned_len, m, hops] {
+          transport.deliver(
+              *sim, b, c, [step, c, aligned_len, m, hops](sim::Time qd) {
+                step.result->stats.queue_delay += qd;
                 step(c, aligned_len + m, hops + 1);
               });
         }

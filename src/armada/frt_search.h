@@ -39,7 +39,9 @@ struct FrtSearchClass {
 /// local scan at each destination peer.
 class FrtSearch {
  public:
-  explicit FrtSearch(const fissione::FissioneNetwork& net) : net_(net) {}
+  /// The network reference is mutable solely for the transport's queueing
+  /// delivery path; the overlay structure is never modified.
+  explicit FrtSearch(fissione::FissioneNetwork& net) : net_(net) {}
 
   RangeQueryResult run(
       fissione::PeerId issuer, const std::vector<FrtSearchClass>& classes,
@@ -52,7 +54,7 @@ class FrtSearch {
                                      const kautz::KautzString& com_t);
 
  private:
-  const fissione::FissioneNetwork& net_;
+  fissione::FissioneNetwork& net_;
 };
 
 }  // namespace armada::core

@@ -9,7 +9,7 @@ using kautz::Box;
 using kautz::KautzRegion;
 using kautz::KautzString;
 
-Mira::Mira(const fissione::FissioneNetwork& net,
+Mira::Mira(fissione::FissioneNetwork& net,
            const kautz::PartitionTree& tree)
     : net_(net), tree_(tree) {
   ARMADA_CHECK(tree_.base() == net_.config().base);

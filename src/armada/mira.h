@@ -21,7 +21,7 @@ namespace armada::core {
 class Mira {
  public:
   /// `tree` is the multi-attribute naming tree (k == net ObjectID length).
-  Mira(const fissione::FissioneNetwork& net, const kautz::PartitionTree& tree);
+  Mira(fissione::FissioneNetwork& net, const kautz::PartitionTree& tree);
 
   using ObjectFilter = std::function<bool(const fissione::StoredObject&)>;
 
@@ -34,7 +34,7 @@ class Mira {
       const kautz::Box& box) const;
 
  private:
-  const fissione::FissioneNetwork& net_;
+  fissione::FissioneNetwork& net_;  ///< mutable only for the queueing transport path
   kautz::PartitionTree tree_;  // by value: small and immutable
 };
 

@@ -8,7 +8,7 @@ using fissione::PeerId;
 using kautz::KautzRegion;
 using kautz::KautzString;
 
-Pira::Pira(const fissione::FissioneNetwork& net,
+Pira::Pira(fissione::FissioneNetwork& net,
            const kautz::PartitionTree& tree)
     : net_(net), tree_(tree) {
   ARMADA_CHECK(tree_.num_attributes() == 1);

@@ -20,7 +20,7 @@ namespace armada::core {
 class Pira {
  public:
   /// `tree` must be single-attribute with k == net ObjectID length.
-  Pira(const fissione::FissioneNetwork& net, const kautz::PartitionTree& tree);
+  Pira(fissione::FissioneNetwork& net, const kautz::PartitionTree& tree);
 
   /// Predicate applied to stored objects at destination peers (the local
   /// scan); typically an exact attribute check by the application layer.
@@ -41,7 +41,7 @@ class Pira {
       const kautz::KautzRegion& region) const;
 
  private:
-  const fissione::FissioneNetwork& net_;
+  fissione::FissioneNetwork& net_;  ///< mutable only for the queueing transport path
   kautz::PartitionTree tree_;  // by value: small and immutable
 };
 

@@ -52,7 +52,12 @@ void ChurnDriver::execute(sim::ChurnEventKind kind) {
 
 void ChurnDriver::apply_repair(const ChordNetwork::MembershipReport& report,
                                sim::ChurnEventKind kind, sim::Time start) {
-  const net::Transport& transport = net_.transport();
+  net::Transport& transport = net_.transport();
+  // Repair travels the queueing network when one is installed (see
+  // fissione::ChurnDriver::apply_repair): same-link updates inside the
+  // coalescing window share a departure. The arithmetic path stays bitwise
+  // for the uninstalled / zero-delay cases.
+  const bool queued = !config_.zero_delay && transport.queueing_active();
   const bool crashed = kind == sim::ChurnEventKind::kCrash;
   const bool join = kind == sim::ChurnEventKind::kJoin;
   const sim::Time base =
@@ -64,9 +69,14 @@ void ChurnDriver::apply_repair(const ChordNetwork::MembershipReport& report,
   const NodeId origin = join ? report.node : report.successor;
   auto send = [&](NodeId from, NodeId to) {
     ++stats_.repair_messages;
-    const sim::Time arrival =
-        base + (from == to ? 0.0 : priced(transport.link(from, to)));
-    sim_.schedule_at(arrival, [] {});  // the delivery event itself
+    sim::Time arrival;
+    if (queued && from != to) {
+      arrival = transport.deliver(sim_, from, to,
+                                  transport.default_message_bytes(), {}, base);
+    } else {
+      arrival = base + (from == to ? 0.0 : priced(transport.link(from, to)));
+      sim_.schedule_at(arrival, [] {});  // the delivery event itself
+    }
     completion = std::max(completion, arrival);
     return arrival;
   };
@@ -130,10 +140,10 @@ std::vector<NodeId> ChurnDriver::stale_nodes() const {
 ChurnDriver::StaleRoute ChurnDriver::route(NodeId from, Key key) {
   StaleRoute out;
   out.route = net_.route(from, key, &out.path);
-  const net::Transport& transport = net_.transport();
-  const sim::WalkReplay replay = sim::replay_walk(
-      out.path, sim_.now(), config_.max_detours, windows_,
-      [&transport](NodeId u, NodeId v) { return transport.link(u, v); });
+  net::Transport& transport = net_.transport();
+  const sim::WalkReplay replay = sim::replay_walk_priced(
+      out.path, sim_.now(), config_.max_detours, windows_, transport, sim_,
+      !config_.zero_delay && transport.queueing_active());
   out.stats = replay.stats;
   out.stale = replay.stale;
   out.detours = replay.detours;

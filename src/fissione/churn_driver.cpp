@@ -57,12 +57,40 @@ void ChurnDriver::execute(sim::ChurnEventKind kind) {
 
 void ChurnDriver::apply_repair(const FissioneNetwork::MembershipReport& report,
                                bool crashed, sim::Time start) {
-  const net::Transport& transport = net_.transport();
+  net::Transport& transport = net_.transport();
+  // Repair travels the queueing network when one is installed: updates to
+  // the same peer inside the coalescing window share a departure, and
+  // repair competes with query traffic for the same node queues. The
+  // arithmetic path below stays bitwise for the uninstalled / zero-delay
+  // cases.
+  const bool queued = !config_.zero_delay && transport.queueing_active();
   // Healing a crash only starts once the failure is detected; a join or
   // graceful leave repairs immediately.
   const sim::Time base =
       start + (crashed ? priced(config_.crash_detect_delay) : 0.0);
   sim::Time completion = base;
+
+  // One repair delivery a -> b; returns its arrival instant (the queueing
+  // engine reserves synchronously, so coalesced arrivals are exact).
+  auto send = [&](PeerId a, PeerId b, std::uint32_t bytes,
+                  std::function<void()> on_arrival) {
+    ++stats_.repair_messages;
+    if (queued) {
+      return transport.deliver(
+          sim_, a, b, bytes,
+          on_arrival ? net::Transport::QueuedArrival(
+                           [cb = std::move(on_arrival)](sim::Time) { cb(); })
+                     : net::Transport::QueuedArrival(),
+          base);
+    }
+    const sim::Time arrival = base + priced(transport.link(a, b));
+    if (on_arrival) {
+      sim_.schedule_at(arrival, std::move(on_arrival));
+    } else {
+      sim_.schedule_at(arrival, [] {});  // the delivery event itself
+    }
+    return arrival;
+  };
 
   // Placement traffic (join): already-delivered sequential messages, so
   // they gate when the repair broadcast can begin, not each other.
@@ -77,9 +105,8 @@ void ChurnDriver::apply_repair(const FissioneNetwork::MembershipReport& report,
       windows_.touch(p, base);
       continue;
     }
-    const sim::Time arrival = base + priced(transport.link(report.origin, p));
-    ++stats_.repair_messages;
-    sim_.schedule_at(arrival, [] {});  // the delivery event itself
+    const sim::Time arrival =
+        send(report.origin, p, transport.default_message_bytes(), nullptr);
     windows_.touch(p, arrival);
     completion = std::max(completion, arrival);
   }
@@ -88,14 +115,12 @@ void ChurnDriver::apply_repair(const FissioneNetwork::MembershipReport& report,
   // in flight — unavailable to queries — until the transfer lands, and both
   // endpoints stay stale while their stores are mid-change.
   for (const auto& h : report.handoffs) {
-    const sim::Time arrival = base + priced(transport.link(h.from, h.to));
-    ++stats_.repair_messages;
+    const std::uint32_t bytes =
+        transport.default_message_bytes() +
+        config_.handoff_object_bytes *
+            static_cast<std::uint32_t>(h.payloads.size());
     stats_.objects_handed_off += h.payloads.size();
-    for (std::uint64_t payload : h.payloads) {
-      sim::Time& landing = in_flight_[payload];
-      landing = std::max(landing, arrival);
-    }
-    sim_.schedule_at(arrival, [this] {
+    const sim::Time arrival = send(h.from, h.to, bytes, [this] {
       // Purge transfers that have landed by now; re-handed-off objects keep
       // their (later) arrival.
       const sim::Time now = sim_.now();
@@ -103,6 +128,10 @@ void ChurnDriver::apply_repair(const FissioneNetwork::MembershipReport& report,
         it = it->second <= now ? in_flight_.erase(it) : std::next(it);
       }
     });
+    for (std::uint64_t payload : h.payloads) {
+      sim::Time& landing = in_flight_[payload];
+      landing = std::max(landing, arrival);
+    }
     windows_.touch(h.to, arrival);
     // The sender may have departed (leave handoffs); only alive senders get
     // a window.
@@ -159,10 +188,10 @@ ChurnDriver::StaleRoute ChurnDriver::route(PeerId from,
                                            const kautz::KautzString& object_id) {
   StaleRoute out;
   out.route = net_.route(from, object_id);
-  const net::Transport& transport = net_.transport();
-  const sim::WalkReplay replay = sim::replay_walk(
-      out.route.path, sim_.now(), config_.max_detours, windows_,
-      [&transport](PeerId u, PeerId v) { return transport.link(u, v); });
+  net::Transport& transport = net_.transport();
+  const sim::WalkReplay replay = sim::replay_walk_priced(
+      out.route.path, sim_.now(), config_.max_detours, windows_, transport,
+      sim_, !config_.zero_delay && transport.queueing_active());
   out.stats = replay.stats;
   out.stale = replay.stale;
   out.detours = replay.detours;

@@ -41,6 +41,10 @@ class ChurnDriver {
     std::uint32_t max_detours = 3;
     /// Leave/crash events are skipped (counted in stats) below this size.
     std::size_t min_peers = 8;
+    /// Per-object surcharge on a handoff transfer's byte size when repair
+    /// is priced through an installed queueing network (the base message
+    /// costs the config's default size).
+    std::uint32_t handoff_object_bytes = 32;
     /// Degenerate schedule: repair completes instantly, every stale window
     /// is empty, and the overlay evolves exactly as under direct
     /// join/leave/crash calls.

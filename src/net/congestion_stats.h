@@ -1,0 +1,98 @@
+// CongestionStats: the network-side result currency of the queueing
+// subsystem — the congestion analogue of sim::QueryStats (query plane) and
+// sim::ChurnStats (repair plane).
+//
+// One instance aggregates everything a transport's queueing network
+// observed: messages and the link departures (batches) that carried them,
+// payload bytes on the wire, the queueing delay each message accrued beyond
+// pure propagation, per-node backlog peaks, accumulated service busy time,
+// and a batch-occupancy histogram. Every overlay surfaces its transport's
+// instance through overlay::RoutedOverlay::congestion(), so benches read
+// hot-node and hot-link pressure in the same way for all four DHTs.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace armada::net {
+
+struct CongestionStats {
+  /// Histogram buckets for batch occupancy: sizes 1..7, last bucket >= 8.
+  static constexpr std::size_t kOccupancyBuckets = 8;
+
+  // --- traffic ---------------------------------------------------------------
+  /// Messages that entered the queueing path.
+  std::uint64_t messages = 0;
+  /// Link departures actually scheduled; coalescing makes this smaller than
+  /// `messages` (messages - batches departures were saved by batching).
+  std::uint64_t batches = 0;
+  /// Payload bytes that crossed links.
+  std::uint64_t bytes_on_wire = 0;
+
+  // --- queueing delay --------------------------------------------------------
+  /// Sum over messages of (delivery time - send time - propagation): the
+  /// time spent waiting for or holding node servers, the coalescing window,
+  /// and link transmission. Exactly zero for every message under a
+  /// zero-queue config.
+  double queue_delay_total = 0.0;
+  double queue_delay_max = 0.0;
+
+  // --- node pressure ---------------------------------------------------------
+  /// Deepest egress/ingress backlog (outstanding service reservations)
+  /// observed at any single node.
+  std::uint64_t egress_depth_peak = 0;
+  std::uint64_t ingress_depth_peak = 0;
+  /// Total simulated time node servers spent serving messages, summed over
+  /// nodes. Divide by (elapsed time x node count) for mean utilization.
+  double egress_busy_total = 0.0;
+  double ingress_busy_total = 0.0;
+
+  /// batch_occupancy[i] counts batches that departed (or are currently
+  /// open) with i+1 messages; the last bucket absorbs sizes >= 8. The
+  /// histogram is maintained incrementally, so it is valid at any instant.
+  std::array<std::uint64_t, kOccupancyBuckets> batch_occupancy{};
+
+  double queue_delay_mean() const {
+    return messages == 0 ? 0.0
+                         : queue_delay_total / static_cast<double>(messages);
+  }
+  /// Mean messages per departure (1.0 when nothing coalesced).
+  double batch_occupancy_mean() const {
+    return batches == 0
+               ? 0.0
+               : static_cast<double>(messages) / static_cast<double>(batches);
+  }
+  /// Departures saved by coalescing.
+  std::uint64_t departures_saved() const { return messages - batches; }
+  /// Mean fraction of time a node's server (egress + ingress combined) was
+  /// busy over `elapsed` simulated time across `nodes` nodes.
+  double service_utilization(double elapsed, std::size_t nodes) const {
+    const double capacity = elapsed * 2.0 * static_cast<double>(nodes);
+    return capacity <= 0.0 ? 0.0
+                           : (egress_busy_total + ingress_busy_total) / capacity;
+  }
+
+  /// Interval accounting: subtract an earlier snapshot of the same transport
+  /// to get the delta for a round/window. Every *monotone* additive counter
+  /// participates (add new fields HERE, not at call sites). The peaks, the
+  /// max, and the occupancy histogram stay cumulative: maxima have no
+  /// per-interval difference, and histogram buckets shrink when an open
+  /// batch grows into the next bucket, so differencing them could
+  /// underflow. Use messages/batches of the delta for per-interval batch
+  /// occupancy.
+  CongestionStats& operator-=(const CongestionStats& snapshot) {
+    messages -= snapshot.messages;
+    batches -= snapshot.batches;
+    bytes_on_wire -= snapshot.bytes_on_wire;
+    queue_delay_total -= snapshot.queue_delay_total;
+    egress_busy_total -= snapshot.egress_busy_total;
+    ingress_busy_total -= snapshot.ingress_busy_total;
+    return *this;
+  }
+
+  friend bool operator==(const CongestionStats&,
+                         const CongestionStats&) = default;
+};
+
+}  // namespace armada::net

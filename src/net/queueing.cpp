@@ -1,0 +1,182 @@
+#include "net/queueing.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace armada::net {
+
+Queueing::Queueing(QueueingConfig config) : config_(config) {
+  ARMADA_CHECK(config_.service_rate > 0.0);
+  ARMADA_CHECK(config_.link_bandwidth > 0.0);
+  ARMADA_CHECK(config_.coalesce_window >= 0.0);
+}
+
+std::uint64_t Queueing::sent() const {
+  return current_ < states_.size() ? states_[current_].sent : 0;
+}
+
+std::uint64_t Queueing::delivered() const {
+  return current_ < states_.size() ? states_[current_].live->delivered : 0;
+}
+
+Queueing::SimState& Queueing::state_for(const sim::Simulator& sim) {
+  SimState* found = nullptr;
+  SimState* lru_drained = nullptr;
+  SimState* lru_any = nullptr;
+  for (SimState& state : states_) {
+    if (state.sim_id == sim.id()) {
+      found = &state;
+      break;
+    }
+    // A drained state (every reservation delivered) is inert: all its
+    // busy-until marks lie in the past, so evicting it is equivalent to a
+    // clean slate. Prefer those victims, so a live simulator with pending
+    // reservations — the shared churn/congestion simulator — is never
+    // reset underneath its own traffic by a burst of per-query
+    // simulators.
+    const bool drained = state.sent == state.live->delivered;
+    if (drained && (lru_drained == nullptr ||
+                    state.touched < lru_drained->touched)) {
+      lru_drained = &state;
+    }
+    if (lru_any == nullptr || state.touched < lru_any->touched) {
+      lru_any = &state;
+    }
+  }
+  if (found == nullptr) {
+    if (states_.size() < kMaxSimStates) {
+      states_.emplace_back();
+      found = &states_.back();
+    } else {
+      found = lru_drained != nullptr ? lru_drained : lru_any;
+      // Pending deliveries of a forced eviction keep their orphaned Live
+      // counter.
+      *found = SimState{};
+    }
+    found->sim_id = sim.id();
+    found->live = std::make_shared<Live>();
+  }
+  found->touched = ++touch_counter_;
+  current_ = static_cast<std::size_t>(found - states_.data());
+  return *found;
+}
+
+Queueing::NodeState& Queueing::node(SimState& state, NodeId id) {
+  if (id >= state.nodes.size()) {
+    state.nodes.resize(id + 1);
+  }
+  return state.nodes[id];
+}
+
+Queueing::LinkState& Queueing::link(SimState& state, NodeId from, NodeId to) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(from) << 32) | static_cast<std::uint64_t>(to);
+  return state.links[key];
+}
+
+void Queueing::push_backlog(std::deque<sim::Time>& backlog, sim::Time now,
+                            sim::Time until, std::uint64_t* peak) {
+  while (!backlog.empty() && backlog.front() <= now) {
+    backlog.pop_front();
+  }
+  backlog.push_back(until);
+  *peak = std::max(*peak, static_cast<std::uint64_t>(backlog.size()));
+}
+
+sim::Time Queueing::send(sim::Simulator& sim, NodeId from, NodeId to,
+                         std::uint32_t bytes, sim::Time propagation,
+                         std::function<void(sim::Time)> on_arrival,
+                         sim::Time not_before) {
+  SimState& state = state_for(sim);
+  const sim::Time now = std::max(sim.now(), not_before);
+  const sim::Time service = config_.service_rate == kUnlimitedRate
+                                ? 0.0
+                                : 1.0 / config_.service_rate;
+
+  // Egress service reservation at the sender. A zero service time is a
+  // structural no-op: the message is ready the instant it is enqueued.
+  sim::Time ready = now;
+  if (service > 0.0) {
+    NodeState& src = node(state, from);
+    ready = std::max(now, src.egress_busy_until) + service;
+    src.egress_busy_until = ready;
+    stats_.egress_busy_total += service;
+    push_backlog(src.egress_backlog, now, ready, &stats_.egress_depth_peak);
+  }
+
+  // Link coalescing: join the open batch when one is still pending for this
+  // link and the message is ready before it departs — but never wait
+  // longer than one window (a batch reserved with a far-future not_before,
+  // e.g. crash repair behind its detection timeout, must not capture
+  // ready-now traffic). Otherwise open a new batch that departs a full
+  // window after this message is ready. A zero window disables batching
+  // (each message is its own departure).
+  LinkState& wire = link(state, from, to);
+  sim::Time departure = ready;
+  if (config_.coalesce_window > 0.0 && wire.batch_occupancy > 0 &&
+      wire.batch_departure >= ready &&
+      wire.batch_departure <= ready + config_.coalesce_window) {
+    departure = wire.batch_departure;
+    // Shift this batch one occupancy bucket up (the last bucket saturates).
+    const std::uint32_t occ = ++wire.batch_occupancy;
+    const std::size_t last = CongestionStats::kOccupancyBuckets - 1;
+    const std::size_t old_bucket = std::min<std::size_t>(occ - 2, last);
+    const std::size_t new_bucket = std::min<std::size_t>(occ - 1, last);
+    if (new_bucket != old_bucket) {
+      --stats_.batch_occupancy[old_bucket];
+      ++stats_.batch_occupancy[new_bucket];
+    }
+  } else {
+    if (config_.coalesce_window > 0.0) {
+      departure = ready + config_.coalesce_window;
+    }
+    wire.batch_departure = departure;
+    wire.batch_occupancy = 1;
+    ++stats_.batches;
+    ++stats_.batch_occupancy[0];
+  }
+
+  // Transmission: bytes serialize behind earlier traffic on this link.
+  sim::Time arrival = departure + propagation;
+  if (config_.link_bandwidth != kUnlimitedRate && bytes > 0) {
+    const sim::Time tx =
+        static_cast<sim::Time>(bytes) / config_.link_bandwidth;
+    const sim::Time wire_start = std::max(departure, wire.wire_busy_until);
+    wire.wire_busy_until = wire_start + tx;
+    arrival = wire_start + tx + propagation;
+  }
+  stats_.bytes_on_wire += bytes;
+
+  // Ingress service reservation at the receiver.
+  sim::Time delivered_at = arrival;
+  if (service > 0.0) {
+    NodeState& dst = node(state, to);
+    delivered_at = std::max(arrival, dst.ingress_busy_until) + service;
+    dst.ingress_busy_until = delivered_at;
+    stats_.ingress_busy_total += service;
+    push_backlog(dst.ingress_backlog, now, delivered_at,
+                 &stats_.ingress_depth_peak);
+  }
+
+  ++stats_.messages;
+  ++state.sent;
+  // Excess over the pure-propagation delivery instant. Formed as a single
+  // subtraction against the identically-computed uncongested arrival so the
+  // zero-queue degenerate yields exactly 0.0, not floating-point residue.
+  const sim::Time queue_delay = delivered_at - (now + propagation);
+  stats_.queue_delay_total += queue_delay;
+  stats_.queue_delay_max = std::max(stats_.queue_delay_max, queue_delay);
+
+  sim.schedule_at(delivered_at,
+                  [live = state.live, cb = std::move(on_arrival), queue_delay] {
+                    ++live->delivered;
+                    if (cb) {
+                      cb(queue_delay);
+                    }
+                  });
+  return delivered_at;
+}
+
+}  // namespace armada::net

@@ -1,0 +1,159 @@
+// Congestion-aware queueing network under the Transport.
+//
+// The paper (and PRs 2-4) price a hop as pure propagation delay, which
+// silently assumes an uncongested network. This module makes offered load
+// cost something: each node owns FIFO egress/ingress service queues with a
+// configurable service rate, messages carry a byte size priced against
+// per-link bandwidth, and a per-link *coalescing window* batches departures
+// (messages leaving node u for node v inside the window ride one scheduled
+// departure).
+//
+// Scheduling discipline: *virtual-time reservations* (cf. VirtualClock
+// packet scheduling). A send reserves every resource on the message's path
+// — egress server, batch departure slot, link transmission slot, ingress
+// server — at enqueue time, in send order, and the final delivery instant
+// is therefore known synchronously (Queueing::send returns it). This keeps
+// the engine deterministic, keeps per-link FIFO exact, and lets callers
+// that need arrival times up front (churn drivers opening stale windows)
+// integrate without callback gymnastics. The one approximation: a node's
+// ingress server allocates capacity in reservation order, which equals
+// arrival order per link but may differ from global arrival order across
+// links under extreme skew.
+//
+// The zero-queue configuration (unlimited rates, zero window, zero-size
+// messages) degenerates structurally to the stateless path: every
+// reservation is a no-op and send() schedules exactly one event at
+// now + propagation — the same event, at the same time, in the same
+// scheduling order as Transport's stateless deliver — so every
+// pre-existing golden is reproduced bitwise.
+//
+// Queue state is scoped per sim::Simulator (tracked by Simulator::id()):
+// the first send on a new simulator sees empty queues, while the cumulative
+// CongestionStats keep aggregating across simulators. A bounded set of
+// recent simulators' states is retained (kMaxSimStates, LRU-evicted), so a
+// long-lived shared simulator keeps its backlog and open batches intact
+// while ephemeral per-query simulators (FrtSearch, the DCF-CAN flood spin
+// one up per query) come and go — those model *intra-query* contention,
+// and drivers sharing one simulator (churn repair, bench_congestion's
+// open-loop injector) model competition between concurrent traffic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/congestion_stats.h"
+#include "net/latency_model.h"
+#include "sim/event_queue.h"
+
+namespace armada::net {
+
+/// Service/bandwidth value meaning "no limit".
+inline constexpr double kUnlimitedRate =
+    std::numeric_limits<double>::infinity();
+
+/// Knobs of the queueing network. The default-constructed config is the
+/// zero-queue configuration: unlimited service and bandwidth, no
+/// coalescing, zero-size messages — bitwise the stateless transport.
+struct QueueingConfig {
+  /// Messages per unit time each node's egress server (and, independently,
+  /// its ingress server) can process. One message therefore holds a server
+  /// for 1/service_rate time.
+  double service_rate = kUnlimitedRate;
+  /// Bytes per unit time a directed link can carry; messages on the same
+  /// link serialize behind each other's transmission times.
+  double link_bandwidth = kUnlimitedRate;
+  /// Departures for the same directed link within this window ride one
+  /// scheduled departure (the batch leaves window time after it opened).
+  sim::Time coalesce_window = 0.0;
+  /// Byte size charged to a message when the sender does not specify one.
+  std::uint32_t default_message_bytes = 0;
+
+  bool zero_queue() const {
+    return service_rate == kUnlimitedRate &&
+           link_bandwidth == kUnlimitedRate && coalesce_window == 0.0;
+  }
+};
+
+/// The per-transport queueing engine. Owned (behind Transport) by every
+/// overlay once install_queueing() ran; all mutating traffic goes through
+/// send().
+class Queueing {
+ public:
+  explicit Queueing(QueueingConfig config);
+
+  const QueueingConfig& config() const { return config_; }
+  const CongestionStats& stats() const { return stats_; }
+
+  /// Messages sent on the most recently served simulator whose delivery
+  /// event has not yet run. sent() == delivered() + in_flight() at every
+  /// event boundary (message conservation); all zero before any send.
+  std::uint64_t sent() const;
+  std::uint64_t delivered() const;
+  std::uint64_t in_flight() const { return sent() - delivered(); }
+
+  /// Reserve the path u -> v for one `bytes`-sized message enqueued at
+  /// max(sim.now(), not_before), schedule `on_arrival` (may be empty) at
+  /// the delivery instant, and return that instant. `propagation` is the
+  /// link's pure propagation latency (the caller prices it through its
+  /// LatencyModel). The queueing delay reported to the callback — and
+  /// accumulated in stats() — is delivery - enqueue - propagation.
+  sim::Time send(sim::Simulator& sim, NodeId from, NodeId to,
+                 std::uint32_t bytes, sim::Time propagation,
+                 std::function<void(sim::Time queue_delay)> on_arrival,
+                 sim::Time not_before = 0.0);
+
+ private:
+  struct NodeState {
+    sim::Time egress_busy_until = 0.0;
+    sim::Time ingress_busy_until = 0.0;
+    /// Completion instants of outstanding reservations (FIFO backlog).
+    std::deque<sim::Time> egress_backlog;
+    std::deque<sim::Time> ingress_backlog;
+  };
+  struct LinkState {
+    sim::Time wire_busy_until = 0.0;
+    sim::Time batch_departure = 0.0;
+    std::uint32_t batch_occupancy = 0;  ///< 0 = no open batch
+  };
+  /// Delivery events outlive state eviction (and possibly this engine's
+  /// simulator binding), so the delivered counter they bump lives behind a
+  /// shared handle; eviction orphans the old counter.
+  struct Live {
+    std::uint64_t delivered = 0;
+  };
+  /// The dynamic queue state of one simulator. States are retained for the
+  /// kMaxSimStates most recently served simulators: the shared simulator
+  /// of a churn/congestion run keeps its backlog and open batches while
+  /// per-query throwaway simulators cycle through the remaining slots.
+  struct SimState {
+    std::uint64_t sim_id = 0;
+    std::uint64_t touched = 0;  ///< LRU stamp
+    std::uint64_t sent = 0;
+    std::shared_ptr<Live> live;
+    std::vector<NodeState> nodes;
+    std::unordered_map<std::uint64_t, LinkState> links;
+  };
+  static constexpr std::size_t kMaxSimStates = 4;
+
+  /// The state bound to `sim`, creating (and LRU-evicting) as needed.
+  SimState& state_for(const sim::Simulator& sim);
+  static NodeState& node(SimState& state, NodeId id);
+  static LinkState& link(SimState& state, NodeId from, NodeId to);
+  /// Record one more outstanding reservation completing at `until` and
+  /// update the corresponding backlog peak.
+  void push_backlog(std::deque<sim::Time>& backlog, sim::Time now,
+                    sim::Time until, std::uint64_t* peak);
+
+  QueueingConfig config_;
+  CongestionStats stats_;
+  std::vector<SimState> states_;
+  std::size_t current_ = static_cast<std::size_t>(-1);  ///< index into states_
+  std::uint64_t touch_counter_ = 0;
+};
+
+}  // namespace armada::net

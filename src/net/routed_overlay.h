@@ -40,11 +40,28 @@ class RoutedOverlay {
   /// latencies through this transport. Defaults to ConstantHop(1.0), i.e.
   /// latency == hop count.
   const net::Transport& transport() const { return transport_; }
+  /// Mutable seam for the stateful (queueing) delivery path.
+  net::Transport& transport() { return transport_; }
 
   /// Swap the latency model; subsequent queries report latencies under the
   /// new model while hop-count delays stay untouched.
   void set_latency_model(std::shared_ptr<const net::LatencyModel> model) {
     transport_.set_model(std::move(model));
+  }
+
+  /// Install a queueing network under the transport (see net/queueing.h):
+  /// per-node service queues, sized messages against link bandwidth, and
+  /// per-link departure coalescing. The zero-queue default config leaves
+  /// every delivery instant bitwise unchanged.
+  void install_queueing(const net::QueueingConfig& config) {
+    transport_.install_queueing(config);
+  }
+  void uninstall_queueing() { transport_.uninstall_queueing(); }
+  bool queueing_active() const { return transport_.queueing_active(); }
+  /// Congestion-side result currency of this overlay's traffic (all-zero
+  /// while no queueing network is installed).
+  const net::CongestionStats& congestion() const {
+    return transport_.congestion();
   }
 
  protected:
@@ -81,16 +98,20 @@ inline void chain(sim::QueryStats& head, const sim::QueryStats& tail) {
   head.messages += tail.messages;
   head.delay += tail.delay;
   head.latency += tail.latency;
+  head.queue_delay += tail.queue_delay;
+  head.bytes_on_wire += tail.bytes_on_wire;
 }
 
 /// Concurrent composition: fold `branch` into a fan whose branches are all
-/// dispatched at the same instant. Messages sum; delay and latency are the
-/// latest branch arrival — exactly the value an event-driven simulation of
-/// the fan would report.
+/// dispatched at the same instant. Messages, bytes and per-message queueing
+/// delay sum; delay and latency are the latest branch arrival — exactly the
+/// value an event-driven simulation of the fan would report.
 inline void fan_in(sim::QueryStats& fan, const sim::QueryStats& branch) {
   fan.messages += branch.messages;
   fan.delay = fan.delay > branch.delay ? fan.delay : branch.delay;
   fan.latency = fan.latency > branch.latency ? fan.latency : branch.latency;
+  fan.queue_delay += branch.queue_delay;
+  fan.bytes_on_wire += branch.bytes_on_wire;
 }
 
 }  // namespace armada::overlay

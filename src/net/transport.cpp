@@ -1,5 +1,7 @@
 #include "net/transport.h"
 
+#include <utility>
+
 #include "util/check.h"
 
 namespace armada::net {
@@ -26,7 +28,79 @@ Time Transport::path_latency(const std::vector<NodeId>& path) const {
 
 void Transport::deliver(sim::Simulator& sim, NodeId from, NodeId to,
                         std::function<void()> on_arrival) const {
+  ARMADA_CHECK_MSG(!queueing_active(),
+                   "stateless deliver would bypass the installed queueing "
+                   "network; use the sized overload");
   sim.schedule_after(link(from, to), std::move(on_arrival));
+}
+
+Time Transport::deliver(sim::Simulator& sim, NodeId from, NodeId to,
+                        std::uint32_t bytes, QueuedArrival on_arrival,
+                        Time not_before) {
+  if (queueing_ != nullptr) {
+    return queueing_->send(sim, from, to, bytes, link(from, to),
+                           std::move(on_arrival), not_before);
+  }
+  // Fast path: the same single event, at the same instant, in the same
+  // scheduling order as the stateless overload — goldens stay bitwise.
+  const Time at = std::max(sim.now(), not_before) + link(from, to);
+  sim.schedule_at(at, [cb = std::move(on_arrival)] {
+    if (cb) {
+      cb(0.0);
+    }
+  });
+  return at;
+}
+
+Time Transport::deliver(sim::Simulator& sim, NodeId from, NodeId to,
+                        QueuedArrival on_arrival) {
+  return deliver(sim, from, to, default_message_bytes(),
+                 std::move(on_arrival));
+}
+
+void Transport::deliver_walk(sim::Simulator& sim, std::vector<NodeId> path,
+                             std::uint32_t bytes,
+                             std::function<void(const sim::QueryStats&)> done) {
+  struct Walk {
+    Transport* transport;
+    sim::Simulator* sim;
+    std::vector<NodeId> path;
+    std::uint32_t bytes;
+    std::function<void(const sim::QueryStats&)> done;
+    sim::Time start = 0.0;
+    sim::QueryStats stats;
+
+    void hop(std::shared_ptr<Walk> self, std::size_t i) {
+      if (i + 1 >= path.size()) {
+        done(stats);
+        return;
+      }
+      ++stats.messages;
+      stats.delay += 1.0;
+      stats.bytes_on_wire += bytes;
+      transport->deliver(*sim, path[i], path[i + 1], bytes,
+                         [self, i](sim::Time queue_delay) {
+                           self->stats.queue_delay += queue_delay;
+                           self->stats.latency = self->sim->now() - self->start;
+                           self->hop(self, i + 1);
+                         });
+    }
+  };
+  auto walk = std::make_shared<Walk>(Walk{this, &sim, std::move(path), bytes,
+                                          std::move(done), sim.now(),
+                                          sim::QueryStats{}});
+  walk->hop(walk, 0);
+}
+
+void Transport::install_queueing(const QueueingConfig& config) {
+  queueing_ = std::make_shared<Queueing>(config);
+}
+
+void Transport::uninstall_queueing() { queueing_.reset(); }
+
+const CongestionStats& Transport::congestion() const {
+  static const CongestionStats kNone;
+  return queueing_ == nullptr ? kNone : queueing_->stats();
 }
 
 }  // namespace armada::net

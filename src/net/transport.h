@@ -1,5 +1,5 @@
 // Transport: message delivery between overlay nodes with model-driven link
-// latencies.
+// latencies and, optionally, a congestion-aware queueing network.
 //
 // This is the seam between overlay logic and the network: overlays hand a
 // message (a callback) to the transport, which charges the link latency and
@@ -9,19 +9,37 @@
 // `link` costs hop by hop as they go. The default model is
 // ConstantHop(1.0), under which arrival times equal hop counts and every
 // pre-existing delay figure is reproduced bit-for-bit.
+//
+// Two delivery paths, split by constness so they cannot be confused:
+//
+//  * The `const` stateless path prices a message as pure propagation and
+//    CHECK-fails when an active (non-zero-queue) queueing config is
+//    installed — overlays cannot accidentally bypass the queues.
+//  * The sized path routes through the installed net::Queueing engine:
+//    egress/ingress service queues, per-link bandwidth and batching (see
+//    queueing.h). Without an installed config — or under the zero-queue
+//    config — it degenerates to exactly the stateless schedule, so goldens
+//    stay bitwise.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "net/latency_model.h"
+#include "net/queueing.h"
 #include "sim/event_queue.h"
+#include "sim/metrics.h"
 
 namespace armada::net {
 
 class Transport {
  public:
+  /// Arrival continuation of the queueing path; receives the message's
+  /// queueing delay (delivery - send - propagation; 0 on the fast path).
+  using QueuedArrival = std::function<void(Time queue_delay)>;
+
   /// Default transport: ConstantHop(1.0), i.e. latency == hop count.
   Transport();
   explicit Transport(std::shared_ptr<const LatencyModel> model);
@@ -38,15 +56,62 @@ class Transport {
   /// exact-match routing: source first, owner last).
   Time path_latency(const std::vector<NodeId>& path) const;
 
-  /// Deliver a message: schedules `on_arrival` on `sim` at
+  /// Stateless delivery: schedules `on_arrival` on `sim` at
   /// now() + link(from, to). Concurrent deliveries interleave by arrival
   /// time, so "query latency" falls out as the latest arrival at any
-  /// destination.
+  /// destination. CHECK-fails when an active queueing config is installed
+  /// (use the sized overload, which feeds the queues).
   void deliver(sim::Simulator& sim, NodeId from, NodeId to,
                std::function<void()> on_arrival) const;
 
+  /// Queueing-aware delivery of a `bytes`-sized message enqueued at
+  /// max(now(), not_before); returns the delivery instant. With no
+  /// queueing installed the message costs link(from, to) and the returned
+  /// instant equals the stateless schedule bitwise; with a config installed
+  /// it is priced through the service queues, link bandwidth and the
+  /// per-link coalescer. `on_arrival` may be empty.
+  Time deliver(sim::Simulator& sim, NodeId from, NodeId to,
+               std::uint32_t bytes, QueuedArrival on_arrival,
+               Time not_before = 0.0);
+  /// Same, with the installed config's default message size (0 bytes when
+  /// no queueing is installed).
+  Time deliver(sim::Simulator& sim, NodeId from, NodeId to,
+               QueuedArrival on_arrival);
+
+  /// Deliver a recorded walk (source..owner) hop by hop through the sized
+  /// path: each hop departs when the previous one was delivered. `done`
+  /// receives the walk's cost fragment — messages == delay == hop count,
+  /// latency = last delivery - start, plus the accumulated queue_delay and
+  /// bytes_on_wire — when the final hop lands (immediately for an empty or
+  /// single-node path).
+  void deliver_walk(sim::Simulator& sim, std::vector<NodeId> path,
+                    std::uint32_t bytes,
+                    std::function<void(const sim::QueryStats&)> done);
+
+  // --- queueing network ------------------------------------------------------
+  /// Install (or replace) the queueing network; congestion stats restart
+  /// from zero. Copies of this transport share the engine.
+  void install_queueing(const QueueingConfig& config);
+  void uninstall_queueing();
+  bool queueing_installed() const { return queueing_ != nullptr; }
+  /// True when messages must take the sized path to be priced correctly:
+  /// an installed config that is not the zero-queue degenerate.
+  bool queueing_active() const {
+    return queueing_ != nullptr && !queueing_->config().zero_queue();
+  }
+  /// The installed engine (null when none) — introspection for tests.
+  const Queueing* queueing() const { return queueing_.get(); }
+  /// Aggregated congestion currency (all-zero when nothing is installed).
+  const CongestionStats& congestion() const;
+  /// The installed config's default message size; 0 without queueing.
+  std::uint32_t default_message_bytes() const {
+    return queueing_ == nullptr ? 0u
+                                : queueing_->config().default_message_bytes;
+  }
+
  private:
   std::shared_ptr<const LatencyModel> model_;
+  std::shared_ptr<Queueing> queueing_;
 };
 
 }  // namespace armada::net

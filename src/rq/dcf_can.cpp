@@ -12,7 +12,7 @@ using can::NodeId;
 using sfc::Cell;
 using sfc::IndexRange;
 
-DcfCan::DcfCan(const can::CanNetwork& net, Config config)
+DcfCan::DcfCan(can::CanNetwork& net, Config config)
     : net_(net), config_(config), store_(net.num_nodes()) {
   ARMADA_CHECK(config_.order >= 1 && config_.order <= 31);
   ARMADA_CHECK(config_.domain.lo < config_.domain.hi);
@@ -121,17 +121,25 @@ core::RangeQueryResult DcfCan::query(NodeId issuer, double lo,
             ++result.stats.results;
           }
         }
+        net::Transport& transport = net_.transport();
         for (NodeId n : net_.neighbors(z)) {
           if (n == from || !zone_intersects(n, qr)) {
             continue;
           }
           ++result.stats.messages;  // transmitted even if the receiver drops
+          result.stats.bytes_on_wire += transport.default_message_bytes();
           // visited[] is monotone, so a receiver already visited at send
-          // time is guaranteed to drop the arrival; skip the no-op event.
-          if (!visited[n]) {
-            net_.transport().deliver(sim, z, n, [&arrive, n, z, depth] {
-              arrive(n, z, depth + 1);
-            });
+          // time is guaranteed to drop the arrival. On the propagation-only
+          // path that event is a no-op and is skipped; with an active
+          // queueing network the transmission still consumes egress
+          // service, link bandwidth and a batch slot, so it must be sent
+          // (arrive() drops it as a duplicate).
+          if (!visited[n] || transport.queueing_active()) {
+            transport.deliver(sim, z, n,
+                              [&result, &arrive, n, z, depth](sim::Time qd) {
+                                result.stats.queue_delay += qd;
+                                arrive(n, z, depth + 1);
+                              });
           }
         }
       };

@@ -29,7 +29,9 @@ class DcfCan {
     kautz::Interval domain{0.0, 1000.0};
   };
 
-  DcfCan(const can::CanNetwork& net, Config config);
+  /// The network reference is mutable solely for the transport's queueing
+  /// delivery path; the overlay structure is never modified.
+  DcfCan(can::CanNetwork& net, Config config);
 
   /// Publish a value; returns its handle.
   std::uint64_t publish(double value);
@@ -51,7 +53,7 @@ class DcfCan {
   bool zone_intersects(can::NodeId id, const sfc::IndexRange& r) const;
   void cell_center(std::uint64_t index, double* x, double* y) const;
 
-  const can::CanNetwork& net_;
+  can::CanNetwork& net_;
   Config config_;
   std::vector<std::vector<sfc::IndexRange>> zone_ranges_;
   std::vector<std::vector<std::pair<double, std::uint64_t>>> store_;

@@ -44,6 +44,56 @@ std::vector<ChurnEvent> ChurnProcess::events() const {
   return out;
 }
 
+std::vector<ChurnEvent> ChurnProcess::lifetimes(const LifetimeConfig& config,
+                                                std::uint64_t seed) {
+  ARMADA_CHECK(config.shape > 0.0);
+  ARMADA_CHECK(config.scale > 0.0);
+  ARMADA_CHECK(config.arrival_rate >= 0.0);
+  ARMADA_CHECK(config.crash_fraction >= 0.0 && config.crash_fraction <= 1.0);
+  ARMADA_CHECK(config.horizon >= config.start);
+
+  std::vector<ChurnEvent> out;
+  if (config.arrival_rate <= 0.0) {
+    return out;
+  }
+  Rng rng(seed);
+  Time t = config.start;
+  for (;;) {
+    // Session starts form a Poisson stream, like the merged event process.
+    const double u = rng.next_double();
+    t += -std::log1p(-u) / config.arrival_rate;
+    if (!(t < config.horizon)) {
+      break;
+    }
+    out.push_back(ChurnEvent{t, ChurnEventKind::kJoin});
+    // Inverse-transform sample of the session lifetime.
+    const double v = rng.next_double();
+    double lifetime = 0.0;
+    switch (config.tail) {
+      case LifetimeConfig::Tail::kPareto:
+        lifetime = config.scale * std::pow(1.0 - v, -1.0 / config.shape);
+        break;
+      case LifetimeConfig::Tail::kWeibull:
+        lifetime =
+            config.scale * std::pow(-std::log1p(-v), 1.0 / config.shape);
+        break;
+    }
+    const Time end = t + lifetime;
+    // Keep the RNG stream independent of whether the departure lands inside
+    // the horizon: the crash draw always happens.
+    const bool crash = rng.next_double() < config.crash_fraction;
+    if (end < config.horizon) {
+      out.push_back(ChurnEvent{end, crash ? ChurnEventKind::kCrash
+                                          : ChurnEventKind::kLeave});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
 std::vector<ChurnEvent> ChurnProcess::from_trace(std::vector<ChurnEvent> trace) {
   for (const ChurnEvent& e : trace) {
     ARMADA_CHECK_MSG(e.at >= 0.0, "churn trace has a negative timestamp");

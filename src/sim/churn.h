@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -162,6 +164,22 @@ struct WalkReplay {
   bool failed = false;  ///< detour budget exhausted; walk abandoned
 };
 
+/// Invoke a walk-replay link functor for one transmission departing at
+/// `at`. Pure latency functors take (u, v); a queueing-transport functor
+/// takes (u, v, at) so it can reserve capacity at the transmission's actual
+/// departure instant. For pure functors the two-argument form called once
+/// per transmission is indistinguishable from the historical
+/// once-per-iteration call.
+template <typename Node, typename LinkFn>
+Time replay_link_cost(LinkFn&& link, Node u, Node v, Time at) {
+  if constexpr (std::is_invocable_v<LinkFn&, Node, Node, Time>) {
+    return link(u, v, at);
+  } else {
+    (void)at;
+    return link(u, v);
+  }
+}
+
 /// Replay a recorded walk (source..owner) at its own arrival times: a hop
 /// leaving a node whose window is still open first chases a dead or
 /// not-yet-wired pointer and detours — one extra message, one extra hop of
@@ -183,25 +201,72 @@ WalkReplay replay_walk(const std::vector<Node>& path, Time start,
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     const Node u = path[i];
     const Node v = path[i + 1];
-    const Time cost = link(u, v);
     if (windows.stale_at(static_cast<std::uint32_t>(u), at)) {
       out.stale = true;
       ++out.detours;
+      const Time detour_cost = replay_link_cost(link, u, v, at);
       ++out.stats.messages;
       out.stats.delay += 1.0;
-      out.stats.latency += cost;
-      at += cost;
+      out.stats.latency += detour_cost;
+      at += detour_cost;
       if (out.detours > max_detours) {
         out.failed = true;
         break;
       }
     }
+    const Time cost = replay_link_cost(link, u, v, at);
     ++out.stats.messages;
     out.stats.delay += 1.0;
     out.stats.latency += cost;
     at += cost;
   }
   return out;
+}
+
+/// replay_walk through a queueing transport: every transmission reserves
+/// queue capacity at its departure instant (stale detours included), so
+/// replayed queries compete with concurrent traffic for the same node
+/// servers and links. The walk's stats gain the accumulated queue_delay
+/// and the bytes its messages put on the wire. TransportT is
+/// net::Transport (templated to keep sim/ free of a net/ dependency);
+/// SimT is the simulator shared with that transport's other traffic.
+template <typename Node, typename TransportT, typename SimT>
+WalkReplay replay_walk_queued(const std::vector<Node>& path, Time start,
+                              std::uint32_t max_detours,
+                              const StaleWindows& windows,
+                              TransportT& transport, SimT& sim,
+                              std::uint32_t bytes) {
+  double queue_delay = 0.0;
+  WalkReplay out = replay_walk(
+      path, start, max_detours, windows, [&](Node u, Node v, Time at) {
+        const Time cost = transport.deliver(sim, u, v, bytes, {}, at) - at;
+        queue_delay += cost - transport.link(u, v);
+        return cost;
+      });
+  out.stats.queue_delay = queue_delay;
+  out.stats.bytes_on_wire =
+      out.stats.messages * static_cast<std::uint64_t>(bytes);
+  return out;
+}
+
+/// The one stale-route pricing rule both churn drivers use: replay the
+/// walk through the queueing network when `use_queueing` (reserving
+/// capacity per transmission, the config's default message size), or at
+/// pure propagation cost otherwise.
+template <typename Node, typename TransportT, typename SimT>
+WalkReplay replay_walk_priced(const std::vector<Node>& path, Time start,
+                              std::uint32_t max_detours,
+                              const StaleWindows& windows,
+                              TransportT& transport, SimT& sim,
+                              bool use_queueing) {
+  if (use_queueing) {
+    return replay_walk_queued(path, start, max_detours, windows, transport,
+                              sim, transport.default_message_bytes());
+  }
+  return replay_walk(path, start, max_detours, windows,
+                     [&transport](Node u, Node v) {
+                       return transport.link(u, v);
+                     });
 }
 
 /// Deterministic membership schedules.
@@ -218,6 +283,34 @@ class ChurnProcess {
     Time horizon = 0.0;
   };
 
+  /// Heavy-tailed session lifetimes (Bamboo-style churn): node sessions
+  /// begin as a Poisson arrival stream, each session joins at its start
+  /// instant and departs one drawn lifetime later. Measured P2P session
+  /// times are heavy-tailed — most sessions are short, a few last orders of
+  /// magnitude longer — which Poisson event mixes cannot express; the
+  /// lifetime is drawn from a Pareto or Weibull distribution by
+  /// inverse-transform sampling.
+  struct LifetimeConfig {
+    enum class Tail : std::uint8_t { kPareto, kWeibull };
+    Tail tail = Tail::kPareto;
+    /// Pareto alpha / Weibull k. Pareto needs shape > 0 (alpha <= 1 has an
+    /// infinite mean — allowed, the horizon truncates it); Weibull k < 1
+    /// gives the heavy (stretched-exponential) tail.
+    double shape = 1.5;
+    /// Pareto x_m (minimum lifetime) / Weibull lambda.
+    double scale = 4.0;
+    /// Session starts per unit simulated time.
+    double arrival_rate = 1.0;
+    /// Fraction of session ends that are crashes instead of graceful
+    /// leaves.
+    double crash_fraction = 0.1;
+    /// Sessions start in [start, horizon); a session whose lifetime runs
+    /// past the horizon never emits its departure (it outlives the
+    /// experiment).
+    Time start = 0.0;
+    Time horizon = 0.0;
+  };
+
   ChurnProcess(Config config, std::uint64_t seed);
 
   /// The full schedule, sorted by time. Pure function of (config, seed):
@@ -228,6 +321,15 @@ class ChurnProcess {
   /// time (stable, so equal-time events keep their relative order) and
   /// validates that every timestamp is non-negative.
   static std::vector<ChurnEvent> from_trace(std::vector<ChurnEvent> trace);
+
+  /// Heavy-tailed session-lifetime schedule, sorted by time: one kJoin per
+  /// session start, one kLeave/kCrash at start + lifetime when that falls
+  /// before the horizon. Pure function of (config, seed). Note ChurnEvents
+  /// carry no node identity (drivers pick the affected peer at execution),
+  /// so the schedule models the *event mix* heavy-tailed sessions induce:
+  /// bursts of short-lived join/leave pairs over a slowly-departing core.
+  static std::vector<ChurnEvent> lifetimes(const LifetimeConfig& config,
+                                           std::uint64_t seed);
 
  private:
   Config config_;

@@ -4,6 +4,13 @@
 
 namespace armada::sim {
 
+Simulator::Simulator() {
+  // Distinct per instance within a process; never reused, so address reuse
+  // of stack-allocated simulators cannot alias two runs.
+  static std::uint64_t next_id = 0;
+  id_ = ++next_id;
+}
+
 void Simulator::schedule_at(Time when, std::function<void()> action) {
   ARMADA_CHECK_MSG(when >= now_, "scheduling into the past");
   queue_.push(Item{when, seq_++, std::move(action)});

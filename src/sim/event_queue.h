@@ -18,6 +18,8 @@ using Time = double;
 /// scheduling (FIFO) order, which keeps runs reproducible for a fixed seed.
 class Simulator {
  public:
+  Simulator();
+
   void schedule_at(Time when, std::function<void()> action);
   void schedule_after(Time delay, std::function<void()> action);
 
@@ -30,6 +32,10 @@ class Simulator {
   Time now() const { return now_; }
   std::uint64_t events_processed() const { return processed_; }
   bool idle() const { return queue_.empty(); }
+  /// Process-unique instance id. Stateful layers keyed to one simulation
+  /// (net::Queueing) use it to detect that a different simulator is now
+  /// driving them and reset their per-run state.
+  std::uint64_t id() const { return id_; }
 
  private:
   struct Item {
@@ -48,6 +54,7 @@ class Simulator {
 
   std::priority_queue<Item, std::vector<Item>, Later> queue_;
   Time now_ = 0.0;
+  std::uint64_t id_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
 };

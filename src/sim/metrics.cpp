@@ -18,6 +18,8 @@ double QueryStats::incre_ratio(double log_n) const {
 void MetricSet::add(const QueryStats& q) {
   delay_.add(q.delay);
   latency_.add(q.latency);
+  queue_delay_.add(q.queue_delay);
+  bytes_.add(static_cast<double>(q.bytes_on_wire));
   delay_pct_.add(q.delay);
   latency_pct_.add(q.latency);
   messages_.add(static_cast<double>(q.messages));

@@ -17,6 +17,14 @@ struct QueryStats {
   /// charged per link by the network's net::LatencyModel. Under the default
   /// ConstantHop model this equals `delay` exactly.
   double latency = 0.0;
+  /// Time the query's messages spent in the queueing network beyond pure
+  /// propagation (service waits, coalescing windows, link transmission),
+  /// summed over messages. Exactly zero on the stateless transport path and
+  /// under the zero-queue config.
+  double queue_delay = 0.0;
+  /// Payload bytes the query's transmissions put on links; zero while
+  /// messages are unsized (no queueing config installed).
+  std::uint64_t bytes_on_wire = 0;
   /// Destination peers that intersect the query and scan local data.
   std::uint64_t dest_peers = 0;
   /// Matching objects found.
@@ -27,6 +35,8 @@ struct QueryStats {
   /// (Messages - logN) / (Destpeers - 1) (paper metric IncreRatio);
   /// meaningful only when dest_peers > 1.
   double incre_ratio(double log_n) const;
+
+  friend bool operator==(const QueryStats&, const QueryStats&) = default;
 };
 
 /// Aggregates QueryStats across a workload.
@@ -38,6 +48,8 @@ class MetricSet {
 
   const OnlineStats& delay() const { return delay_; }
   const OnlineStats& latency() const { return latency_; }
+  const OnlineStats& queue_delay() const { return queue_delay_; }
+  const OnlineStats& bytes_on_wire() const { return bytes_; }
   const OnlineStats& messages() const { return messages_; }
   const OnlineStats& dest_peers() const { return dest_peers_; }
   const OnlineStats& results() const { return results_; }
@@ -54,6 +66,8 @@ class MetricSet {
   double log_n_;
   OnlineStats delay_;
   OnlineStats latency_;
+  OnlineStats queue_delay_;
+  OnlineStats bytes_;
   Percentiles delay_pct_;
   Percentiles latency_pct_;
   OnlineStats messages_;

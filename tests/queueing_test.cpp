@@ -1,0 +1,408 @@
+// Invariants of the congestion-aware queueing network (src/net/queueing.h)
+// and its Transport integration:
+//
+//  * zero-queue bitwise equivalence — the default QueueingConfig reproduces
+//    the stateless delivery path exactly, for PIRA, the DCF-CAN flood and
+//    walk replays, under every latency model;
+//  * exact reservation arithmetic — service, bandwidth and coalescing
+//    produce the delivery instants the model promises;
+//  * per-link FIFO order is preserved under coalescing and random load;
+//  * message conservation — sent == delivered + in-flight at every event
+//    boundary, and the queue drains to zero;
+//  * p99 latency is monotone in offered load;
+//  * the const stateless deliver refuses to bypass an active config;
+//  * repair batching — churn-driver repair through the coalescer saves
+//    departures and stays deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "chord/churn_driver.h"
+#include "fissione/churn_driver.h"
+#include "net/queueing.h"
+#include "net/transport.h"
+#include "rq/dcf_can.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/workload.h"
+#include "support/test_networks.h"
+#include "support/test_workloads.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace armada;
+
+constexpr std::uint64_t kSeed = 424242;
+
+net::QueueingConfig loaded_config() {
+  net::QueueingConfig cfg;
+  cfg.service_rate = 2.0;
+  cfg.link_bandwidth = 512.0;
+  cfg.default_message_bytes = 128;
+  cfg.coalesce_window = 0.25;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Zero-queue bitwise equivalence vs the stateless path.
+// ---------------------------------------------------------------------------
+
+TEST(ZeroQueue, PiraQueriesBitwiseEqualStatelessUnderAllModels) {
+  for (const auto& model : testsupport::all_latency_models(kSeed)) {
+    auto baseline = testsupport::make_single_index(300, kSeed);
+    auto queued = testsupport::make_single_index(300, kSeed);
+    baseline->net.set_latency_model(model);
+    queued->net.set_latency_model(model);
+    // The default config is the zero-queue degenerate: installing it must
+    // not move a single bit of any query result.
+    queued->net.install_queueing(net::QueueingConfig{});
+    ASSERT_FALSE(queued->net.queueing_active());
+
+    Rng issuers_a(kSeed + 1);
+    Rng issuers_b(kSeed + 1);
+    sim::RangeWorkload workload_a({0.0, 1000.0}, 120.0, Rng(kSeed + 2));
+    sim::RangeWorkload workload_b({0.0, 1000.0}, 120.0, Rng(kSeed + 2));
+    for (int q = 0; q < 40; ++q) {
+      const auto rq_a = workload_a.next();
+      const auto rq_b = workload_b.next();
+      const auto a = baseline->index.range_query(
+          baseline->random_issuer(issuers_a), rq_a.lo, rq_a.hi);
+      const auto b = queued->index.range_query(
+          queued->random_issuer(issuers_b), rq_b.lo, rq_b.hi);
+      ASSERT_EQ(a.stats, b.stats) << "model " << model->name();
+      ASSERT_EQ(a.matches, b.matches);
+      ASSERT_EQ(a.destinations, b.destinations);
+      ASSERT_EQ(b.stats.queue_delay, 0.0);
+    }
+  }
+}
+
+TEST(ZeroQueue, DcfFloodBitwiseEqualStatelessUnderAllModels) {
+  for (const auto& model : testsupport::all_latency_models(kSeed)) {
+    can::CanNetwork net_a(128, kSeed);
+    can::CanNetwork net_b(128, kSeed);
+    net_a.set_latency_model(model);
+    net_b.set_latency_model(model);
+    net_b.install_queueing(net::QueueingConfig{});
+    rq::DcfCan dcf_a(net_a, rq::DcfCan::Config{});
+    rq::DcfCan dcf_b(net_b, rq::DcfCan::Config{});
+    Rng values(kSeed + 3);
+    for (int i = 0; i < 200; ++i) {
+      const double v = values.next_double(0.0, 1000.0);
+      dcf_a.publish(v);
+      dcf_b.publish(v);
+    }
+    Rng lo_rng(kSeed + 4);
+    for (int q = 0; q < 25; ++q) {
+      const double lo = lo_rng.next_double(0.0, 900.0);
+      const auto a = dcf_a.query(7, lo, lo + 80.0);
+      const auto b = dcf_b.query(7, lo, lo + 80.0);
+      ASSERT_EQ(a.stats, b.stats) << "model " << model->name();
+      ASSERT_EQ(a.destinations, b.destinations);
+      ASSERT_EQ(a.matches, b.matches);
+    }
+  }
+}
+
+TEST(ZeroQueue, DeliverWalkMatchesPathLatencyArithmetic) {
+  for (const auto& model : testsupport::all_latency_models(kSeed)) {
+    auto net = fissione::FissioneNetwork::build(200, kSeed);
+    net.set_latency_model(model);
+    net.install_queueing(net::QueueingConfig{});
+    net::Transport& transport = net.transport();
+    Rng rng(kSeed + 5);
+    for (int i = 0; i < 20; ++i) {
+      const auto route = net.route(net.random_peer(), net.random_object_id());
+      sim::Simulator sim;
+      sim::QueryStats walk;
+      transport.deliver_walk(sim, route.path, 0,
+                             [&walk](const sim::QueryStats& s) { walk = s; });
+      sim.run();
+      EXPECT_EQ(walk.latency, transport.path_latency(route.path));
+      EXPECT_EQ(walk.queue_delay, 0.0);
+      EXPECT_EQ(walk.messages,
+                route.path.empty() ? 0u : route.path.size() - 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The const stateless overload cannot bypass an active config.
+// ---------------------------------------------------------------------------
+
+TEST(TransportSplit, StatelessDeliverRefusesActiveQueueing) {
+  net::Transport transport;
+  sim::Simulator sim;
+  // No config and the zero-queue config: stateless deliveries are fine.
+  transport.deliver(sim, 1, 2, [] {});
+  transport.install_queueing(net::QueueingConfig{});
+  transport.deliver(sim, 1, 2, [] {});
+  // An active config must force traffic onto the sized path.
+  transport.install_queueing(loaded_config());
+  EXPECT_TRUE(transport.queueing_active());
+  EXPECT_THROW(transport.deliver(sim, 1, 2, [] {}), CheckError);
+  transport.deliver(sim, 1, 2, [](sim::Time) {});  // sized path: accepted
+  transport.uninstall_queueing();
+  transport.deliver(sim, 1, 2, [] {});
+  sim.run();
+}
+
+// ---------------------------------------------------------------------------
+// Exact reservation arithmetic.
+// ---------------------------------------------------------------------------
+
+TEST(QueueingArithmetic, EgressAndIngressServiceSerialize) {
+  net::Transport transport;  // ConstantHop(1.0)
+  net::QueueingConfig cfg;
+  cfg.service_rate = 2.0;  // 0.5 per message, each direction
+  transport.install_queueing(cfg);
+  sim::Simulator sim;
+  std::vector<sim::Time> delivered;
+  std::vector<sim::Time> queue_delays;
+  for (int i = 0; i < 3; ++i) {
+    transport.deliver(sim, 0, 1, 0, [&](sim::Time qd) {
+      delivered.push_back(sim.now());
+      queue_delays.push_back(qd);
+    });
+  }
+  sim.run();
+  // Egress ready at 0.5/1.0/1.5; +1 propagation; ingress server adds 0.5
+  // each, serialized: 2.0 / 2.5 / 3.0.
+  ASSERT_EQ(delivered, (std::vector<sim::Time>{2.0, 2.5, 3.0}));
+  ASSERT_EQ(queue_delays, (std::vector<sim::Time>{1.0, 1.5, 2.0}));
+  const net::CongestionStats& stats = transport.congestion();
+  EXPECT_EQ(stats.messages, 3u);
+  EXPECT_EQ(stats.batches, 3u);  // no coalescing window
+  EXPECT_EQ(stats.egress_depth_peak, 3u);
+  EXPECT_DOUBLE_EQ(stats.egress_busy_total, 1.5);
+  EXPECT_DOUBLE_EQ(stats.queue_delay_total, 4.5);
+}
+
+TEST(QueueingArithmetic, BandwidthSerializesTheLink) {
+  net::Transport transport;
+  net::QueueingConfig cfg;
+  cfg.link_bandwidth = 100.0;
+  transport.install_queueing(cfg);
+  sim::Simulator sim;
+  std::vector<sim::Time> delivered;
+  transport.deliver(sim, 0, 1, 50, [&](sim::Time) {
+    delivered.push_back(sim.now());
+  });
+  transport.deliver(sim, 0, 1, 50, [&](sim::Time) {
+    delivered.push_back(sim.now());
+  });
+  sim.run();
+  // tx = 0.5 each, serialized on the wire: arrivals 1.5 and 2.0.
+  ASSERT_EQ(delivered, (std::vector<sim::Time>{1.5, 2.0}));
+  EXPECT_EQ(transport.congestion().bytes_on_wire, 100u);
+}
+
+TEST(QueueingArithmetic, CoalescingWindowSharesOneDeparture) {
+  net::Transport transport;
+  net::QueueingConfig cfg;
+  cfg.coalesce_window = 1.0;
+  transport.install_queueing(cfg);
+  sim::Simulator sim;
+  std::vector<std::pair<int, sim::Time>> delivered;
+  auto send = [&](int tag) {
+    transport.deliver(sim, 0, 1, 0, [&delivered, &sim, tag](sim::Time) {
+      delivered.emplace_back(tag, sim.now());
+    });
+  };
+  send(0);                                      // opens batch, departs at 1.0
+  sim.schedule_at(0.5, [&] { send(1); });       // joins the open batch
+  sim.schedule_at(2.5, [&] { send(2); });       // past departure: new batch
+  sim.run();
+  ASSERT_EQ(delivered.size(), 3u);
+  // Batch members ride one departure (1.0) and arrive together at 2.0, in
+  // FIFO order; the late message departs at 3.5 and arrives at 4.5.
+  EXPECT_EQ(delivered[0], (std::pair<int, sim::Time>{0, 2.0}));
+  EXPECT_EQ(delivered[1], (std::pair<int, sim::Time>{1, 2.0}));
+  EXPECT_EQ(delivered[2], (std::pair<int, sim::Time>{2, 4.5}));
+  const net::CongestionStats& stats = transport.congestion();
+  EXPECT_EQ(stats.messages, 3u);
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.departures_saved(), 1u);
+  EXPECT_EQ(stats.batch_occupancy[0], 1u);  // one singleton batch
+  EXPECT_EQ(stats.batch_occupancy[1], 1u);  // one pair batch
+}
+
+// ---------------------------------------------------------------------------
+// FIFO and conservation under random load.
+// ---------------------------------------------------------------------------
+
+TEST(QueueingInvariants, PerLinkFifoAndConservationUnderRandomLoad) {
+  net::Transport transport;
+  transport.install_queueing(loaded_config());
+  const net::Queueing* queueing = transport.queueing();
+  ASSERT_NE(queueing, nullptr);
+
+  sim::Simulator sim;
+  Rng rng(kSeed + 6);
+  constexpr int kMessages = 400;
+  constexpr net::NodeId kNodes = 8;
+  std::uint64_t test_sent = 0;
+  std::uint64_t test_delivered = 0;
+  // Per-link send sequence numbers; deliveries must replay them in order.
+  std::map<std::pair<net::NodeId, net::NodeId>, std::vector<int>> sent_seq;
+  std::map<std::pair<net::NodeId, net::NodeId>, std::vector<int>> seen_seq;
+  for (int i = 0; i < kMessages; ++i) {
+    const auto from = static_cast<net::NodeId>(rng.next_index(kNodes));
+    auto to = static_cast<net::NodeId>(rng.next_index(kNodes - 1));
+    to = to == from ? static_cast<net::NodeId>(kNodes - 1) : to;
+    const auto bytes = static_cast<std::uint32_t>(rng.next_int(0, 300));
+    const double at = rng.next_double(0.0, 40.0);
+    sim.schedule_at(at, [&, from, to, bytes, i] {
+      ++test_sent;
+      sent_seq[{from, to}].push_back(i);
+      transport.deliver(sim, from, to, bytes, [&, from, to, i](sim::Time qd) {
+        EXPECT_GE(qd, 0.0);
+        ++test_delivered;
+        seen_seq[{from, to}].push_back(i);
+        // Message conservation at an event boundary: everything sent was
+        // either delivered or is still in flight.
+        EXPECT_EQ(queueing->sent(), test_sent);
+        EXPECT_EQ(queueing->delivered(), test_delivered);
+        EXPECT_EQ(queueing->in_flight(), test_sent - test_delivered);
+      });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(test_delivered, static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(queueing->in_flight(), 0u);
+  EXPECT_EQ(transport.congestion().messages,
+            static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(seen_seq, sent_seq);  // per-link FIFO survives coalescing
+}
+
+TEST(QueueingInvariants, P99LatencyMonotoneInOfferedLoad) {
+  auto net = fissione::FissioneNetwork::build(64, kSeed);
+  std::vector<std::vector<net::NodeId>> walks;
+  for (int i = 0; i < 64; ++i) {
+    walks.push_back(net.route(net.random_peer(), net.random_object_id()).path);
+  }
+  net::QueueingConfig cfg = loaded_config();
+  cfg.service_rate = 0.5;
+  double previous = 0.0;
+  for (const double gap : {4.0, 0.5, 0.0625}) {
+    net.install_queueing(cfg);
+    net::Transport& transport = net.transport();
+    sim::MetricSet metrics(6.0);
+    sim::Simulator sim;
+    for (std::size_t i = 0; i < walks.size(); ++i) {
+      sim.schedule_at(static_cast<double>(i) * gap, [&, i] {
+        transport.deliver_walk(
+            sim, walks[i], transport.default_message_bytes(),
+            [&metrics](const sim::QueryStats& s) { metrics.add(s); });
+      });
+    }
+    sim.run();
+    const double p99 = metrics.latency_percentiles().p99();
+    EXPECT_GT(p99, previous) << "gap " << gap;
+    EXPECT_GT(metrics.queue_delay().mean_or(0.0), 0.0);
+    previous = p99;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Repair batching through the churn drivers.
+// ---------------------------------------------------------------------------
+
+sim::ChurnProcess::LifetimeConfig heavy_config(double horizon) {
+  sim::ChurnProcess::LifetimeConfig cfg;
+  cfg.shape = 1.2;
+  cfg.scale = 2.0;
+  cfg.arrival_rate = 1.5;
+  cfg.crash_fraction = 0.1;
+  cfg.horizon = horizon;
+  return cfg;
+}
+
+TEST(RepairBatching, FissioneRepairCoalescesAndStaysDeterministic) {
+  auto run = [](net::CongestionStats* wire) {
+    auto net = fissione::FissioneNetwork::build(200, kSeed);
+    net::QueueingConfig cfg;
+    cfg.default_message_bytes = 128;
+    cfg.link_bandwidth = 4096.0;
+    cfg.coalesce_window = 0.5;
+    net.install_queueing(cfg);
+    for (int i = 0; i < 300; ++i) {
+      net.publish(net.random_object_id(), static_cast<std::uint64_t>(i));
+    }
+    sim::Simulator sim;
+    fissione::ChurnDriver driver(net, sim);
+    driver.schedule(
+        sim::ChurnProcess::lifetimes(heavy_config(25.0), kSeed + 7));
+    sim.run();
+    *wire = net.congestion();
+    return driver.stats();
+  };
+  net::CongestionStats wire_a;
+  net::CongestionStats wire_b;
+  const sim::ChurnStats stats_a = run(&wire_a);
+  const sim::ChurnStats stats_b = run(&wire_b);
+  EXPECT_EQ(stats_a, stats_b);
+  EXPECT_EQ(wire_a, wire_b);
+  EXPECT_GT(stats_a.events(), 0u);
+  EXPECT_GT(wire_a.messages, 0u);
+  EXPECT_LE(wire_a.batches, wire_a.messages);
+  // A leave/crash hands objects and neighbor updates to the same absorbing
+  // peer inside one event: those same-link repair messages must share
+  // departures at least once over a whole schedule.
+  EXPECT_GT(wire_a.departures_saved(), 0u);
+  EXPECT_GT(stats_a.repair_latency_total, 0.0);
+}
+
+TEST(RepairBatching, ChordRepairCoalescesAndStaysDeterministic) {
+  auto run = [](net::CongestionStats* wire) {
+    chord::ChordNetwork net(200, kSeed);
+    net::QueueingConfig cfg;
+    cfg.default_message_bytes = 128;
+    cfg.link_bandwidth = 4096.0;
+    cfg.coalesce_window = 0.5;
+    net.install_queueing(cfg);
+    sim::Simulator sim;
+    chord::ChurnDriver driver(net, sim);
+    driver.schedule(
+        sim::ChurnProcess::lifetimes(heavy_config(25.0), kSeed + 8));
+    sim.run();
+    *wire = net.congestion();
+    return driver.stats();
+  };
+  net::CongestionStats wire_a;
+  net::CongestionStats wire_b;
+  const sim::ChurnStats stats_a = run(&wire_a);
+  const sim::ChurnStats stats_b = run(&wire_b);
+  EXPECT_EQ(stats_a, stats_b);
+  EXPECT_EQ(wire_a, wire_b);
+  EXPECT_GT(stats_a.events(), 0u);
+  EXPECT_GT(wire_a.messages, 0u);
+  EXPECT_LE(wire_a.batches, wire_a.messages);
+  EXPECT_GT(stats_a.repair_latency_total, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// CongestionStats interval accounting.
+// ---------------------------------------------------------------------------
+
+TEST(CongestionStats, IntervalDeltaSubtractsAdditiveCounters) {
+  net::Transport transport;
+  transport.install_queueing(loaded_config());
+  sim::Simulator sim;
+  transport.deliver(sim, 0, 1, 64, [](sim::Time) {});
+  sim.run();
+  const net::CongestionStats snapshot = transport.congestion();
+  transport.deliver(sim, 1, 2, 64, [](sim::Time) {});
+  transport.deliver(sim, 1, 2, 64, [](sim::Time) {});
+  sim.run();
+  net::CongestionStats delta = transport.congestion();
+  delta -= snapshot;
+  EXPECT_EQ(delta.messages, 2u);
+  EXPECT_EQ(delta.bytes_on_wire, 128u);
+}
+
+}  // namespace
