@@ -1,6 +1,7 @@
 #include "armada/armada.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.h"
 
@@ -73,6 +74,20 @@ RangeQueryResult ArmadaIndex::range_query(PeerId issuer, double lo,
                       [this, &box](const fissione::StoredObject& obj) {
                         return point_in_box(objects_[obj.payload], box);
                       });
+}
+
+void ArmadaIndex::range_query_async(
+    sim::Simulator& sim, PeerId issuer, double lo, double hi,
+    std::function<void(RangeQueryResult)> done) const {
+  ARMADA_CHECK_MSG(pira_.has_value(),
+                   "range_query requires a single-attribute index");
+  // The filter owns its box copy: the query may outlive this frame.
+  const Box box{{lo, hi}};
+  pira_->query_async(sim, issuer, lo, hi,
+                     [this, box](const fissione::StoredObject& obj) {
+                       return point_in_box(objects_[obj.payload], box);
+                     },
+                     std::move(done));
 }
 
 RangeQueryResult ArmadaIndex::box_query(PeerId issuer, const Box& box) const {

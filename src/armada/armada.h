@@ -54,6 +54,15 @@ class ArmadaIndex {
   RangeQueryResult range_query(fissione::PeerId issuer, double lo,
                                double hi) const;
 
+  /// Event-driven range query on a caller-owned simulator: the query's
+  /// messages share the transport queues with every concurrent flow and
+  /// obey the installed flow-control policy — under overload admission
+  /// control the answer may be partial, with stats.coverage carrying the
+  /// served fraction. `done` fires when the last branch lands.
+  void range_query_async(sim::Simulator& sim, fissione::PeerId issuer,
+                         double lo, double hi,
+                         std::function<void(RangeQueryResult)> done) const;
+
   /// Multi-attribute box query via MIRA.
   RangeQueryResult box_query(fissione::PeerId issuer,
                              const kautz::Box& box) const;

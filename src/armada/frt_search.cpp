@@ -1,7 +1,11 @@
 #include "armada/frt_search.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
 
+#include "net/transport.h"
 #include "util/check.h"
 
 namespace armada::core {
@@ -20,73 +24,165 @@ std::size_t FrtSearch::start_alignment(const KautzString& peer_id,
   return 0;
 }
 
+namespace {
+
+// Shared state of one in-flight search. Kept alive by the arrival closures;
+// `pending` counts scheduled arrivals not yet processed, so the last one to
+// land finalises coverage and hands the result to `done`.
+//
+// Forwarded messages travel through the network's Transport, so each hop
+// arrives after its link latency: `delay` stays the paper's hop count
+// (depth in the forwarding tree) while `latency` is the simulated arrival
+// time relative to the search's start. Under ConstantHop on a fresh
+// simulator the two coincide exactly.
+struct Search {
+  fissione::FissioneNetwork* net;
+  sim::Simulator* sim;
+  std::vector<FrtSearchClass> classes;
+  std::function<void(PeerId, RangeQueryResult&)> on_destination;
+  std::function<void(RangeQueryResult)> done;
+  RangeQueryResult result;
+  sim::Time start = 0.0;
+  std::uint64_t pending = 0;
+  std::uint64_t shed_destinations = 0;
+
+  // Exact destination count of the subtree rooted at (b, aligned_len): a
+  // structural recursion over the overlay graph, no messages. Sibling
+  // branches partition the target space, so this is precisely what an
+  // admission shed of the branch gives up.
+  std::uint64_t subtree_destinations(const FrtSearchClass& cls, PeerId b,
+                                     std::size_t aligned_len) const {
+    const fissione::Peer& peer = net->peer(b);
+    const std::size_t len = peer.peer_id.length();
+    if (aligned_len == len) {
+      return 1;
+    }
+    std::uint64_t total = 0;
+    for (PeerId c : peer.out_neighbors) {
+      const KautzString& cid = net->peer(c).peer_id;
+      const std::size_t m = cid.length() + 1 - len;
+      const KautzString aligned = cid.suffix(aligned_len + m);
+      if (cls.viable(aligned)) {
+        total += subtree_destinations(cls, c, aligned_len + m);
+      }
+    }
+    return total;
+  }
+
+  void step(const std::shared_ptr<Search>& self, std::size_t cls_idx, PeerId b,
+            std::size_t aligned_len, std::uint32_t hops) {
+    const FrtSearchClass& cls = classes[cls_idx];
+    const fissione::Peer& peer = net->peer(b);
+    const std::size_t len = peer.peer_id.length();
+    if (aligned_len == len) {
+      // The whole PeerID prefixes a viable target leaf: destination.
+      result.destinations.push_back(b);
+      ++result.stats.dest_peers;
+      result.stats.delay =
+          std::max(result.stats.delay, static_cast<double>(hops));
+      result.stats.latency =
+          std::max(result.stats.latency, sim->now() - start);
+      on_destination(b, result);
+      return;
+    }
+    ARMADA_CHECK(aligned_len < len);
+    net::Transport& transport = net->transport();
+    for (PeerId c : peer.out_neighbors) {
+      const KautzString& cid = net->peer(c).peer_id;
+      // C = u2...ub ++ Y with |Y| = m in {0,1,2} (neighborhood invariant).
+      ARMADA_CHECK(cid.length() + 1 >= len);
+      const std::size_t m = cid.length() + 1 - len;
+      const KautzString aligned = cid.suffix(aligned_len + m);
+      if (!cls.viable(aligned)) {
+        continue;
+      }
+      if (transport.should_shed(*sim, c, net::TrafficClass::kQuery)) {
+        // Admission refused: the whole branch degrades into a partial
+        // answer carrying exactly the destinations it would have reached.
+        transport.record_shed();
+        ++result.stats.shed;
+        shed_destinations += subtree_destinations(cls, c, aligned_len + m);
+        continue;
+      }
+      sim::Time not_before = 0.0;
+      const sim::Time backoff = transport.backoff_delay(*sim, c);
+      if (backoff > 0.0) {
+        not_before = sim->now() + backoff;
+      }
+      ++result.stats.messages;
+      result.stats.bytes_on_wire += transport.default_message_bytes();
+      ++pending;
+      transport.deliver(
+          *sim, b, c, transport.default_message_bytes(),
+          [self, cls_idx, c, al = aligned_len + m, hops](sim::Time qd) {
+            self->result.stats.queue_delay += qd;
+            self->step(self, cls_idx, c, al, hops + 1);
+            self->complete();
+          },
+          not_before, net::TrafficClass::kQuery);
+    }
+  }
+
+  // Callers hold the context alive via their captured shared_ptr for the
+  // whole call, including the final `done` callback.
+  void complete() {
+    ARMADA_CHECK(pending > 0);
+    if (--pending > 0) {
+      return;
+    }
+    const std::uint64_t reached = result.stats.dest_peers;
+    result.stats.coverage =
+        shed_destinations == 0
+            ? 1.0
+            : static_cast<double>(reached) /
+                  static_cast<double>(reached + shed_destinations);
+    done(std::move(result));
+  }
+};
+
+}  // namespace
+
+void FrtSearch::run_async(
+    sim::Simulator& sim, PeerId issuer, std::vector<FrtSearchClass> classes,
+    std::function<void(PeerId, RangeQueryResult&)> on_destination,
+    std::function<void(RangeQueryResult)> done) const {
+  for (const FrtSearchClass& cls : classes) {
+    ARMADA_CHECK_MSG(!cls.com_t.empty(), "search class without common prefix");
+  }
+  auto search = std::make_shared<Search>();
+  search->net = &net_;
+  search->sim = &sim;
+  search->classes = std::move(classes);
+  search->on_destination = std::move(on_destination);
+  search->done = std::move(done);
+  search->start = sim.now();
+  if (search->classes.empty()) {
+    // Nothing to search; still complete from an event so `done` always
+    // runs inside the simulation.
+    ++search->pending;
+    sim.schedule_at(sim.now(), [search] { search->complete(); });
+    return;
+  }
+  const KautzString& issuer_id = net_.peer(issuer).peer_id;
+  for (std::size_t i = 0; i < search->classes.size(); ++i) {
+    const std::size_t j0 =
+        start_alignment(issuer_id, search->classes[i].com_t);
+    ++search->pending;
+    sim.schedule_at(sim.now(), [search, i, issuer, j0] {
+      search->step(search, i, issuer, j0, 0);
+      search->complete();
+    });
+  }
+}
+
 RangeQueryResult FrtSearch::run(
     PeerId issuer, const std::vector<FrtSearchClass>& classes,
     const std::function<void(PeerId, RangeQueryResult&)>& on_destination)
     const {
   RangeQueryResult result;
   sim::Simulator sim;
-
-  // Recursive forwarding step; `search` keeps it alive during sim.run().
-  // Forwarded messages travel through the network's Transport, so each hop
-  // arrives after its link latency: `delay` stays the paper's hop count
-  // (depth in the forwarding tree) while `latency` is the simulated arrival
-  // time of the message. Under ConstantHop the two coincide exactly.
-  struct Step {
-    const FrtSearch* self;
-    sim::Simulator* sim;
-    RangeQueryResult* result;
-    const FrtSearchClass* cls;
-    const std::function<void(PeerId, RangeQueryResult&)>* on_destination;
-
-    void operator()(PeerId b, std::size_t aligned_len,
-                    std::uint32_t hops) const {
-      const fissione::Peer& peer = self->net_.peer(b);
-      const std::size_t len = peer.peer_id.length();
-      if (aligned_len == len) {
-        // The whole PeerID prefixes a viable target leaf: destination.
-        result->destinations.push_back(b);
-        ++result->stats.dest_peers;
-        result->stats.delay =
-            std::max(result->stats.delay, static_cast<double>(hops));
-        result->stats.latency = std::max(result->stats.latency, sim->now());
-        (*on_destination)(b, *result);
-        return;
-      }
-      ARMADA_CHECK(aligned_len < len);
-      for (PeerId c : peer.out_neighbors) {
-        const KautzString& cid = self->net_.peer(c).peer_id;
-        // C = u2...ub ++ Y with |Y| = m in {0,1,2} (neighborhood invariant).
-        ARMADA_CHECK(cid.length() + 1 >= len);
-        const std::size_t m = cid.length() + 1 - len;
-        const KautzString aligned = cid.suffix(aligned_len + m);
-        if (cls->viable(aligned)) {
-          ++result->stats.messages;
-          net::Transport& transport = self->net_.transport();
-          result->stats.bytes_on_wire += transport.default_message_bytes();
-          const Step step = *this;
-          transport.deliver(
-              *sim, b, c, [step, c, aligned_len, m, hops](sim::Time qd) {
-                step.result->stats.queue_delay += qd;
-                step(c, aligned_len + m, hops + 1);
-              });
-        }
-      }
-    }
-  };
-
-  std::vector<Step> steps;
-  steps.reserve(classes.size());
-  for (const FrtSearchClass& cls : classes) {
-    ARMADA_CHECK_MSG(!cls.com_t.empty(), "search class without common prefix");
-    steps.push_back(Step{this, &sim, &result, &cls, &on_destination});
-  }
-  const KautzString& issuer_id = net_.peer(issuer).peer_id;
-  for (std::size_t i = 0; i < classes.size(); ++i) {
-    const std::size_t j0 = start_alignment(issuer_id, classes[i].com_t);
-    const Step& step = steps[i];
-    sim.schedule_at(0.0, [&step, issuer, j0] { step(issuer, j0, 0); });
-  }
+  run_async(sim, issuer, classes, on_destination,
+            [&result](RangeQueryResult r) { result = std::move(r); });
   sim.run();
   return result;
 }

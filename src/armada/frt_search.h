@@ -48,6 +48,24 @@ class FrtSearch {
       const std::function<void(fissione::PeerId, RangeQueryResult&)>&
           on_destination) const;
 
+  /// Event-driven variant on a caller-owned simulator: the search's
+  /// messages compete with every other flow on `sim` (concurrent queries,
+  /// repair traffic) through the shared transport queues, and `done`
+  /// receives the finished result when the last branch lands. The search
+  /// obeys the transport's installed flow-control policy: branches back off
+  /// into backlogged next hops, and a branch refused admission is shed —
+  /// the result then carries coverage = reached / (reached + shed
+  /// destinations), counted exactly by a structural recursion over the
+  /// forwarding tree (sibling branches partition the destination space).
+  /// `classes` is taken by value; captured state in `viable` must be owned
+  /// by the closures. With flow control off this schedules the exact event
+  /// sequence of `run` (which is a fresh-simulator wrapper around it).
+  void run_async(sim::Simulator& sim, fissione::PeerId issuer,
+                 std::vector<FrtSearchClass> classes,
+                 std::function<void(fissione::PeerId, RangeQueryResult&)>
+                     on_destination,
+                 std::function<void(RangeQueryResult)> done) const;
+
   /// The paper's ComS: length of the longest suffix of `peer_id` that is a
   /// prefix of `com_t` (the canonical start alignment).
   static std::size_t start_alignment(const kautz::KautzString& peer_id,

@@ -1,5 +1,7 @@
 #include "armada/mira.h"
 
+#include <utility>
+
 #include "util/check.h"
 
 namespace armada::core {
@@ -19,8 +21,21 @@ Mira::Mira(fissione::FissioneNetwork& net,
 
 RangeQueryResult Mira::query(PeerId issuer, const Box& box,
                              const ObjectFilter& matches) const {
+  RangeQueryResult result;
+  sim::Simulator sim;
+  query_async(sim, issuer, box, matches,
+              [&result](RangeQueryResult r) { result = std::move(r); });
+  sim.run();
+  return result;
+}
+
+void Mira::query_async(sim::Simulator& sim, PeerId issuer, const Box& box,
+                       const ObjectFilter& matches,
+                       std::function<void(RangeQueryResult)> done) const {
   // Bounding region per the paper; the search classes inherit its
   // common-prefix split so each class has a well-defined alignment.
+  // Closures own their box/subregion copies: the search may outlive this
+  // frame.
   const KautzRegion region = tree_.bounding_region(box);
   std::vector<FrtSearchClass> classes;
   for (const KautzRegion& sub : region.split_common_prefix()) {
@@ -30,7 +45,7 @@ RangeQueryResult Mira::query(PeerId issuer, const Box& box,
     }
     FrtSearchClass cls;
     cls.com_t = sub.common_prefix();
-    cls.viable = [this, sub, &box](const KautzString& aligned) {
+    cls.viable = [this, sub, box](const KautzString& aligned) {
       return sub.intersects_prefix(aligned) &&
              tree_.box_intersects(aligned, box);
     };
@@ -38,16 +53,17 @@ RangeQueryResult Mira::query(PeerId issuer, const Box& box,
   }
 
   const FrtSearch search(net_);
-  return search.run(
-      issuer, classes,
-      [this, &box, &matches](PeerId dest, RangeQueryResult& out) {
+  search.run_async(
+      sim, issuer, std::move(classes),
+      [this, box, matches](PeerId dest, RangeQueryResult& out) {
         for (const fissione::StoredObject& obj : net_.peer(dest).store) {
           if (tree_.box_intersects(obj.object_id, box) && matches(obj)) {
             out.matches.push_back(obj.payload);
             ++out.stats.results;
           }
         }
-      });
+      },
+      std::move(done));
 }
 
 std::vector<PeerId> Mira::expected_destinations(const Box& box) const {

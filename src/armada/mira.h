@@ -29,6 +29,14 @@ class Mira {
   RangeQueryResult query(fissione::PeerId issuer, const kautz::Box& box,
                          const ObjectFilter& matches) const;
 
+  /// Event-driven variant on a caller-owned simulator; shares the transport
+  /// queues with concurrent flows and obeys the installed flow-control
+  /// policy (partial answers carry the coverage fraction). See
+  /// FrtSearch::run_async.
+  void query_async(sim::Simulator& sim, fissione::PeerId issuer,
+                   const kautz::Box& box, const ObjectFilter& matches,
+                   std::function<void(RangeQueryResult)> done) const;
+
   /// Ground truth for tests: peers whose zone subspace intersects the box.
   std::vector<fissione::PeerId> expected_destinations(
       const kautz::Box& box) const;

@@ -1,5 +1,7 @@
 #include "armada/pira.h"
 
+#include <utility>
+
 #include "util/check.h"
 
 namespace armada::core {
@@ -24,33 +26,52 @@ RangeQueryResult Pira::query(PeerId issuer, double lo, double hi,
 
 RangeQueryResult Pira::query_region(PeerId issuer, const KautzRegion& region,
                                     const ObjectFilter& matches) const {
+  RangeQueryResult result;
+  sim::Simulator sim;
+  query_region_async(sim, issuer, region, matches,
+                     [&result](RangeQueryResult r) { result = std::move(r); });
+  sim.run();
+  return result;
+}
+
+void Pira::query_async(sim::Simulator& sim, PeerId issuer, double lo,
+                       double hi, const ObjectFilter& matches,
+                       std::function<void(RangeQueryResult)> done) const {
+  query_region_async(sim, issuer, tree_.region_for(lo, hi), matches,
+                     std::move(done));
+}
+
+void Pira::query_region_async(sim::Simulator& sim, PeerId issuer,
+                              const KautzRegion& region,
+                              const ObjectFilter& matches,
+                              std::function<void(RangeQueryResult)> done)
+    const {
   ARMADA_CHECK(region.length() == net_.config().object_id_length);
 
   // Paper §4.2: divide <LowT, HighT> into subregions with common prefixes.
-  const std::vector<KautzRegion> subregions = region.split_common_prefix();
+  // Closures own their subregion copies: the search may outlive this frame.
   std::vector<FrtSearchClass> classes;
-  classes.reserve(subregions.size());
-  for (const KautzRegion& sub : subregions) {
+  for (const KautzRegion& sub : region.split_common_prefix()) {
     FrtSearchClass cls;
     cls.com_t = sub.common_prefix();
-    cls.viable = [&sub](const KautzString& aligned) {
+    cls.viable = [sub](const KautzString& aligned) {
       return sub.intersects_prefix(aligned);
     };
     classes.push_back(std::move(cls));
   }
 
   const FrtSearch search(net_);
-  return search.run(issuer, classes,
-                    [this, &region, &matches](PeerId dest,
-                                              RangeQueryResult& out) {
-                      for (const fissione::StoredObject& obj :
-                           net_.peer(dest).store) {
-                        if (region.contains(obj.object_id) && matches(obj)) {
-                          out.matches.push_back(obj.payload);
-                          ++out.stats.results;
-                        }
-                      }
-                    });
+  search.run_async(
+      sim, issuer, std::move(classes),
+      [this, region, matches](PeerId dest, RangeQueryResult& out) {
+        for (const fissione::StoredObject& obj : net_.peer(dest).store) {
+          if (region.contains(obj.object_id) && matches(obj)) {
+            out.matches.push_back(obj.payload);
+            ++out.stats.results;
+          }
+        }
+      },
+      std::move(done));
 }
 
 std::vector<PeerId> Pira::expected_destinations(

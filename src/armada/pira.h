@@ -35,6 +35,19 @@ class Pira {
                                 const kautz::KautzRegion& region,
                                 const ObjectFilter& matches) const;
 
+  /// Event-driven variants on a caller-owned simulator: the query's
+  /// messages share the transport queues with every other flow on `sim`,
+  /// obey the installed flow-control policy (backoff, admission shedding
+  /// into partial answers with an explicit coverage fraction), and `done`
+  /// fires when the last branch lands. See FrtSearch::run_async.
+  void query_async(sim::Simulator& sim, fissione::PeerId issuer, double lo,
+                   double hi, const ObjectFilter& matches,
+                   std::function<void(RangeQueryResult)> done) const;
+  void query_region_async(sim::Simulator& sim, fissione::PeerId issuer,
+                          const kautz::KautzRegion& region,
+                          const ObjectFilter& matches,
+                          std::function<void(RangeQueryResult)> done) const;
+
   /// Ground truth for tests: peers in charge of the region, i.e. peers whose
   /// PeerID prefixes some string of the region.
   std::vector<fissione::PeerId> expected_destinations(

@@ -67,12 +67,14 @@ void ChurnDriver::apply_repair(const ChordNetwork::MembershipReport& report,
   // Repair radiates from the joiner, or — once the departure is noticed —
   // from the successor inheriting the keyspace.
   const NodeId origin = join ? report.node : report.successor;
-  auto send = [&](NodeId from, NodeId to) {
+  auto send = [&](NodeId from, NodeId to,
+                  net::TrafficClass cls = net::TrafficClass::kRepair) {
     ++stats_.repair_messages;
     sim::Time arrival;
     if (queued && from != to) {
       arrival = transport.deliver(sim_, from, to,
-                                  transport.default_message_bytes(), {}, base);
+                                  transport.default_message_bytes(), {}, base,
+                                  cls);
     } else {
       arrival = base + (from == to ? 0.0 : priced(transport.link(from, to)));
       sim_.schedule_at(arrival, [] {});  // the delivery event itself
@@ -85,10 +87,13 @@ void ChurnDriver::apply_repair(const ChordNetwork::MembershipReport& report,
   stats_.repair_messages += report.placement_hops;
   completion = std::max(completion, base + priced(report.placement_latency));
 
-  // A graceful departure hands its keyspace to the successor before going.
+  // A graceful departure hands its keyspace to the successor before going —
+  // a bulk transfer, classed kHandoff like the FISSIONE object handoffs.
   if (kind == sim::ChurnEventKind::kLeave && report.node != kNoNode &&
       report.successor != kNoNode) {
-    windows_.touch(report.successor, send(report.node, report.successor));
+    windows_.touch(report.successor,
+                   send(report.node, report.successor,
+                        net::TrafficClass::kHandoff));
   }
 
   // Ring neighbors learn of the change first (join hello / leave goodbye /

@@ -71,9 +71,11 @@ void ChurnDriver::apply_repair(const FissioneNetwork::MembershipReport& report,
   sim::Time completion = base;
 
   // One repair delivery a -> b; returns its arrival instant (the queueing
-  // engine reserves synchronously, so coalesced arrivals are exact).
+  // engine reserves synchronously, so coalesced arrivals are exact). Each
+  // message carries its traffic class so priority scheduling can keep the
+  // control plane (kRepair) ahead of query backlog.
   auto send = [&](PeerId a, PeerId b, std::uint32_t bytes,
-                  std::function<void()> on_arrival) {
+                  std::function<void()> on_arrival, net::TrafficClass cls) {
     ++stats_.repair_messages;
     if (queued) {
       return transport.deliver(
@@ -81,7 +83,7 @@ void ChurnDriver::apply_repair(const FissioneNetwork::MembershipReport& report,
           on_arrival ? net::Transport::QueuedArrival(
                            [cb = std::move(on_arrival)](sim::Time) { cb(); })
                      : net::Transport::QueuedArrival(),
-          base);
+          base, cls);
     }
     const sim::Time arrival = base + priced(transport.link(a, b));
     if (on_arrival) {
@@ -106,7 +108,8 @@ void ChurnDriver::apply_repair(const FissioneNetwork::MembershipReport& report,
       continue;
     }
     const sim::Time arrival =
-        send(report.origin, p, transport.default_message_bytes(), nullptr);
+        send(report.origin, p, transport.default_message_bytes(), nullptr,
+             net::TrafficClass::kRepair);
     windows_.touch(p, arrival);
     completion = std::max(completion, arrival);
   }
@@ -120,14 +123,16 @@ void ChurnDriver::apply_repair(const FissioneNetwork::MembershipReport& report,
         config_.handoff_object_bytes *
             static_cast<std::uint32_t>(h.payloads.size());
     stats_.objects_handed_off += h.payloads.size();
-    const sim::Time arrival = send(h.from, h.to, bytes, [this] {
+    const sim::Time arrival = send(
+        h.from, h.to, bytes, [this] {
       // Purge transfers that have landed by now; re-handed-off objects keep
       // their (later) arrival.
       const sim::Time now = sim_.now();
       for (auto it = in_flight_.begin(); it != in_flight_.end();) {
         it = it->second <= now ? in_flight_.erase(it) : std::next(it);
       }
-    });
+    },
+        net::TrafficClass::kHandoff);
     for (std::uint64_t payload : h.payloads) {
       sim::Time& landing = in_flight_[payload];
       landing = std::max(landing, arrival);

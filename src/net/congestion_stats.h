@@ -6,9 +6,11 @@
 // observed: messages and the link departures (batches) that carried them,
 // payload bytes on the wire, the queueing delay each message accrued beyond
 // pure propagation, per-node backlog peaks, accumulated service busy time,
-// and a batch-occupancy histogram. Every overlay surfaces its transport's
-// instance through overlay::RoutedOverlay::congestion(), so benches read
-// hot-node and hot-link pressure in the same way for all four DHTs.
+// a batch-occupancy histogram, and — since the closed-loop PR — per-class
+// traffic accounting plus the flow-control counters (admission sheds,
+// hedged duplicates). Every overlay surfaces its transport's instance
+// through overlay::RoutedOverlay::congestion(), so benches read hot-node
+// and hot-link pressure in the same way for all four DHTs.
 #pragma once
 
 #include <array>
@@ -16,6 +18,24 @@
 #include <cstdint>
 
 namespace armada::net {
+
+/// Traffic classes priced by the queueing network. Under the default
+/// (FIFO) discipline the class is pure accounting — timing is identical
+/// for every mix — while the weighted/strict disciplines schedule each
+/// node server per class (see QueueingConfig::scheduling). kHedge is the
+/// retry lane used by hedged sends: above queries, below repair, so a
+/// hedge can jump a query backlog without ever delaying repair.
+enum class TrafficClass : std::uint8_t {
+  kQuery = 0,
+  kRepair = 1,
+  kHandoff = 2,
+  kHedge = 3,
+};
+inline constexpr std::size_t kNumTrafficClasses = 4;
+
+inline constexpr std::size_t class_index(TrafficClass c) {
+  return static_cast<std::size_t>(c);
+}
 
 struct CongestionStats {
   /// Histogram buckets for batch occupancy: sizes 1..7, last bucket >= 8.
@@ -38,6 +58,25 @@ struct CongestionStats {
   double queue_delay_total = 0.0;
   double queue_delay_max = 0.0;
 
+  // --- per-class traffic -----------------------------------------------------
+  /// messages and queue_delay_total split by TrafficClass (indexed with
+  /// class_index). The per-class delays are how the repair-never-starved
+  /// property is audited: under strict scheduling the repair class's mean
+  /// stays bounded by its own backlog no matter how deep the query class
+  /// queues.
+  std::array<std::uint64_t, kNumTrafficClasses> class_messages{};
+  std::array<double, kNumTrafficClasses> class_queue_delay{};
+
+  // --- flow control ----------------------------------------------------------
+  /// Query-class sends refused admission (the sender shed or degraded the
+  /// work instead of queueing it); they consumed no network resources.
+  std::uint64_t shed_messages = 0;
+  /// Hedged duplicates launched by senders, and those that won their race
+  /// (arrived before the primary; the loser's continuation is cancelled
+  /// but its reservations were consumed).
+  std::uint64_t hedges_launched = 0;
+  std::uint64_t hedges_won = 0;
+
   // --- node pressure ---------------------------------------------------------
   /// Deepest egress/ingress backlog (outstanding service reservations)
   /// observed at any single node.
@@ -57,10 +96,18 @@ struct CongestionStats {
     return messages == 0 ? 0.0
                          : queue_delay_total / static_cast<double>(messages);
   }
-  /// Mean messages per departure (1.0 when nothing coalesced).
+  double class_queue_delay_mean(TrafficClass c) const {
+    const std::size_t i = class_index(c);
+    return class_messages[i] == 0
+               ? 0.0
+               : class_queue_delay[i] / static_cast<double>(class_messages[i]);
+  }
+  /// Mean messages per departure: 1.0 when nothing coalesced — including
+  /// before any traffic, where the no-coalescing identity is the only
+  /// consistent value (messages == batches == 0).
   double batch_occupancy_mean() const {
     return batches == 0
-               ? 0.0
+               ? 1.0
                : static_cast<double>(messages) / static_cast<double>(batches);
   }
   /// Departures saved by coalescing.
@@ -86,6 +133,13 @@ struct CongestionStats {
     batches -= snapshot.batches;
     bytes_on_wire -= snapshot.bytes_on_wire;
     queue_delay_total -= snapshot.queue_delay_total;
+    for (std::size_t i = 0; i < kNumTrafficClasses; ++i) {
+      class_messages[i] -= snapshot.class_messages[i];
+      class_queue_delay[i] -= snapshot.class_queue_delay[i];
+    }
+    shed_messages -= snapshot.shed_messages;
+    hedges_launched -= snapshot.hedges_launched;
+    hedges_won -= snapshot.hedges_won;
     egress_busy_total -= snapshot.egress_busy_total;
     ingress_busy_total -= snapshot.ingress_busy_total;
     return *this;

@@ -7,10 +7,36 @@
 
 namespace armada::net {
 
+namespace {
+
+/// Priority tiers of the kStrict discipline: lower rank is served first.
+/// kRepair > kHandoff > kHedge > kQuery, so repair is never starved by
+/// query backlog and a hedged retry jumps queries without touching repair.
+constexpr std::array<int, kNumTrafficClasses> kStrictRank = {
+    /*kQuery=*/3, /*kRepair=*/0, /*kHandoff=*/1, /*kHedge=*/2};
+
+/// Outstanding entries in a backlog deque at `now`. Completion instants
+/// are monotone under kFifo but may interleave across classes under the
+/// weighted/strict disciplines, so count exactly rather than assuming a
+/// sorted prefix.
+std::size_t outstanding(const std::deque<sim::Time>& backlog, sim::Time now) {
+  return static_cast<std::size_t>(std::count_if(
+      backlog.begin(), backlog.end(),
+      [now](sim::Time until) { return until > now; }));
+}
+
+}  // namespace
+
 Queueing::Queueing(QueueingConfig config) : config_(config) {
   ARMADA_CHECK(config_.service_rate > 0.0);
   ARMADA_CHECK(config_.link_bandwidth > 0.0);
   ARMADA_CHECK(config_.coalesce_window >= 0.0);
+  for (const double w : config_.class_weights) {
+    ARMADA_CHECK_MSG(w > 0.0, "class weights must be positive");
+  }
+  ARMADA_CHECK(config_.flow.backoff >= 0.0);
+  ARMADA_CHECK(config_.flow.hedge_delay >= 0.0);
+  ARMADA_CHECK(config_.flow.hedge_threshold >= 0.0);
 }
 
 std::uint64_t Queueing::sent() const {
@@ -63,6 +89,16 @@ Queueing::SimState& Queueing::state_for(const sim::Simulator& sim) {
   return *found;
 }
 
+const Queueing::SimState* Queueing::find_state(
+    const sim::Simulator& sim) const {
+  for (const SimState& state : states_) {
+    if (state.sim_id == sim.id()) {
+      return &state;
+    }
+  }
+  return nullptr;
+}
+
 Queueing::NodeState& Queueing::node(SimState& state, NodeId id) {
   if (id >= state.nodes.size()) {
     state.nodes.resize(id + 1);
@@ -85,10 +121,57 @@ void Queueing::push_backlog(std::deque<sim::Time>& backlog, sim::Time now,
   *peak = std::max(*peak, static_cast<std::uint64_t>(backlog.size()));
 }
 
+sim::Time Queueing::reserve_server(
+    sim::Time& busy_until,
+    std::array<sim::Time, kNumTrafficClasses>& class_until, TrafficClass cls,
+    sim::Time now, sim::Time service) const {
+  const std::size_t c = class_index(cls);
+  switch (config_.scheduling) {
+    case QueueingConfig::Scheduling::kFifo: {
+      // One shared FIFO — the pre-class engine, bit for bit.
+      const sim::Time done = std::max(now, busy_until) + service;
+      busy_until = done;
+      return done;
+    }
+    case QueueingConfig::Scheduling::kWeighted: {
+      // Per-class virtual clock: the class owns service_rate x share of
+      // the server, so its completions advance at service / share per
+      // message regardless of other classes' backlog.
+      double total = 0.0;
+      for (const double w : config_.class_weights) {
+        total += w;
+      }
+      const double share = config_.class_weights[c] / total;
+      const sim::Time done = std::max(now, class_until[c]) + service / share;
+      class_until[c] = done;
+      busy_until = std::max(busy_until, done);
+      return done;
+    }
+    case QueueingConfig::Scheduling::kStrict: {
+      // Serialize behind this tier and all higher tiers. Reservations a
+      // lower tier already holds are not revoked (synchronous reservation
+      // discipline), so a higher-tier burst can transiently overbook the
+      // server where a preemptive scheduler would slip the lower tier.
+      sim::Time horizon = now;
+      for (std::size_t d = 0; d < kNumTrafficClasses; ++d) {
+        if (kStrictRank[d] <= kStrictRank[c]) {
+          horizon = std::max(horizon, class_until[d]);
+        }
+      }
+      const sim::Time done = horizon + service;
+      class_until[c] = done;
+      busy_until = std::max(busy_until, done);
+      return done;
+    }
+  }
+  ARMADA_CHECK_MSG(false, "unknown scheduling discipline");
+  return now + service;
+}
+
 sim::Time Queueing::send(sim::Simulator& sim, NodeId from, NodeId to,
                          std::uint32_t bytes, sim::Time propagation,
                          std::function<void(sim::Time)> on_arrival,
-                         sim::Time not_before) {
+                         sim::Time not_before, TrafficClass cls) {
   SimState& state = state_for(sim);
   const sim::Time now = std::max(sim.now(), not_before);
   const sim::Time service = config_.service_rate == kUnlimitedRate
@@ -100,8 +183,8 @@ sim::Time Queueing::send(sim::Simulator& sim, NodeId from, NodeId to,
   sim::Time ready = now;
   if (service > 0.0) {
     NodeState& src = node(state, from);
-    ready = std::max(now, src.egress_busy_until) + service;
-    src.egress_busy_until = ready;
+    ready = reserve_server(src.egress_busy_until, src.egress_class_until, cls,
+                           now, service);
     stats_.egress_busy_total += service;
     push_backlog(src.egress_backlog, now, ready, &stats_.egress_depth_peak);
   }
@@ -153,20 +236,23 @@ sim::Time Queueing::send(sim::Simulator& sim, NodeId from, NodeId to,
   sim::Time delivered_at = arrival;
   if (service > 0.0) {
     NodeState& dst = node(state, to);
-    delivered_at = std::max(arrival, dst.ingress_busy_until) + service;
-    dst.ingress_busy_until = delivered_at;
+    delivered_at = reserve_server(dst.ingress_busy_until,
+                                  dst.ingress_class_until, cls, arrival,
+                                  service);
     stats_.ingress_busy_total += service;
     push_backlog(dst.ingress_backlog, now, delivered_at,
                  &stats_.ingress_depth_peak);
   }
 
   ++stats_.messages;
+  ++stats_.class_messages[class_index(cls)];
   ++state.sent;
   // Excess over the pure-propagation delivery instant. Formed as a single
   // subtraction against the identically-computed uncongested arrival so the
   // zero-queue degenerate yields exactly 0.0, not floating-point residue.
   const sim::Time queue_delay = delivered_at - (now + propagation);
   stats_.queue_delay_total += queue_delay;
+  stats_.class_queue_delay[class_index(cls)] += queue_delay;
   stats_.queue_delay_max = std::max(stats_.queue_delay_max, queue_delay);
 
   sim.schedule_at(delivered_at,
@@ -177,6 +263,53 @@ sim::Time Queueing::send(sim::Simulator& sim, NodeId from, NodeId to,
                     }
                   });
   return delivered_at;
+}
+
+std::size_t Queueing::ingress_backlog(const sim::Simulator& sim,
+                                      NodeId node_id) const {
+  const SimState* state = find_state(sim);
+  if (state == nullptr || node_id >= state->nodes.size()) {
+    return 0;
+  }
+  return outstanding(state->nodes[node_id].ingress_backlog, sim.now());
+}
+
+std::size_t Queueing::egress_backlog(const sim::Simulator& sim,
+                                     NodeId node_id) const {
+  const SimState* state = find_state(sim);
+  if (state == nullptr || node_id >= state->nodes.size()) {
+    return 0;
+  }
+  return outstanding(state->nodes[node_id].egress_backlog, sim.now());
+}
+
+bool Queueing::should_shed(const sim::Simulator& sim, NodeId to,
+                           TrafficClass cls) const {
+  if (!config_.flow.admission_enabled() || cls != TrafficClass::kQuery) {
+    return false;
+  }
+  return ingress_backlog(sim, to) >= config_.flow.admission_limit;
+}
+
+sim::Time Queueing::backoff_delay(const sim::Simulator& sim, NodeId to) const {
+  if (!config_.flow.backoff_enabled()) {
+    return 0.0;
+  }
+  const std::size_t depth = ingress_backlog(sim, to);
+  if (depth < config_.flow.backoff_threshold) {
+    return 0.0;
+  }
+  return config_.flow.backoff *
+         static_cast<double>(depth - config_.flow.backoff_threshold + 1);
+}
+
+void Queueing::record_shed() { ++stats_.shed_messages; }
+
+void Queueing::record_hedge(bool won) {
+  ++stats_.hedges_launched;
+  if (won) {
+    ++stats_.hedges_won;
+  }
 }
 
 }  // namespace armada::net

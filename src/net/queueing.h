@@ -20,6 +20,30 @@
 // arrival order per link but may differ from global arrival order across
 // links under extreme skew.
 //
+// Traffic classes and priority (the closed-loop PR): every send carries a
+// TrafficClass. Under the default kFifo discipline the class is pure
+// accounting and timing is bit-identical for any mix. kWeighted gives each
+// class a dedicated share of every node server (per-class virtual clocks at
+// service_rate x weight share — each class is isolated, so repair keeps its
+// share no matter how deep the query class queues; the price is that the
+// discipline is not work-conserving across classes). kStrict serializes a
+// class behind its own tier and every higher tier only: repair never waits
+// for query backlog. Because reservations already granted to a lower tier
+// are never revoked, a higher-tier burst may transiently overbook a server
+// exactly where a preemptive scheduler would instead slip the lower tier —
+// lower-tier delays are therefore a lower bound under cross-class
+// contention (the standard price of synchronous reservations).
+//
+// Closed-loop flow control (QueueingConfig::flow): senders that opt in
+// consult the live backlog before reserving — backing off (delaying the
+// send in proportion to the excess backlog), launching a hedged duplicate
+// in the kHedge lane when the synchronously-known queueing delay crosses a
+// threshold (first arrival wins, the loser's continuation is cancelled),
+// or shedding query-class work entirely once the target's backlog reaches
+// the admission limit (partial answers with an explicit coverage
+// fraction). All knobs default to off; the default config prices every
+// class identically and reproduces every pre-existing golden bitwise.
+//
 // The zero-queue configuration (unlimited rates, zero window, zero-size
 // messages) degenerates structurally to the stateless path: every
 // reservation is a no-op and send() schedules exactly one event at
@@ -38,6 +62,7 @@
 // open-loop injector) model competition between concurrent traffic.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -55,11 +80,56 @@ namespace armada::net {
 /// Service/bandwidth value meaning "no limit".
 inline constexpr double kUnlimitedRate =
     std::numeric_limits<double>::infinity();
+/// Flow-control threshold meaning "never".
+inline constexpr double kNeverHedge = std::numeric_limits<double>::infinity();
+
+/// Sender-side closed-loop knobs. Everything defaults to off; senders that
+/// opt in (Transport::deliver_walk flow control, FrtSearch) consult these
+/// through Transport::{should_shed, backoff_delay}.
+struct FlowControlConfig {
+  /// Ingress-backlog depth at the target at which a sender starts backing
+  /// off; 0 disables backoff.
+  std::uint32_t backoff_threshold = 0;
+  /// Backoff delay applied per message of backlog beyond the threshold
+  /// (linear, so deeper queues push senders off harder).
+  sim::Time backoff = 0.0;
+  /// Queueing delay of a reserved primary send beyond which the sender
+  /// launches one hedged duplicate in the kHedge lane; kNeverHedge
+  /// disables hedging.
+  sim::Time hedge_threshold = kNeverHedge;
+  /// The hedge departs this long after the primary's enqueue.
+  sim::Time hedge_delay = 0.0;
+  /// Ingress-backlog depth at the target at or above which query-class
+  /// sends are refused admission (the sender sheds or degrades the work);
+  /// 0 disables admission control. Repair/handoff traffic is never shed.
+  std::uint32_t admission_limit = 0;
+
+  bool backoff_enabled() const { return backoff_threshold > 0; }
+  bool hedge_enabled() const { return hedge_threshold < kNeverHedge; }
+  bool admission_enabled() const { return admission_limit > 0; }
+
+  friend bool operator==(const FlowControlConfig&,
+                         const FlowControlConfig&) = default;
+};
 
 /// Knobs of the queueing network. The default-constructed config is the
 /// zero-queue configuration: unlimited service and bandwidth, no
 /// coalescing, zero-size messages — bitwise the stateless transport.
 struct QueueingConfig {
+  /// Per-node service scheduling across traffic classes.
+  enum class Scheduling : std::uint8_t {
+    /// One shared FIFO per server; classes are accounting-only. Default —
+    /// bit-identical to the pre-class engine for any traffic mix.
+    kFifo,
+    /// Per-class virtual clocks at service_rate x (weight / total weight):
+    /// each class owns its share of every server, isolated from the
+    /// others' backlog (not work-conserving across classes).
+    kWeighted,
+    /// Strict priority kRepair > kHandoff > kHedge > kQuery: a class
+    /// serializes behind its own tier and all higher tiers only.
+    kStrict,
+  };
+
   /// Messages per unit time each node's egress server (and, independently,
   /// its ingress server) can process. One message therefore holds a server
   /// for 1/service_rate time.
@@ -73,9 +143,23 @@ struct QueueingConfig {
   /// Byte size charged to a message when the sender does not specify one.
   std::uint32_t default_message_bytes = 0;
 
+  Scheduling scheduling = Scheduling::kFifo;
+  /// Per-class service shares under kWeighted (indexed by class_index;
+  /// ignored otherwise). Must be positive.
+  std::array<double, kNumTrafficClasses> class_weights{1.0, 1.0, 1.0, 1.0};
+
+  /// Sender-side closed-loop knobs (all off by default).
+  FlowControlConfig flow;
+
+  /// True when the config degenerates to the stateless transport: nothing
+  /// this engine prices — service, bandwidth, coalescing, or message size
+  /// (bytes feed bytes_on_wire accounting even when bandwidth is
+  /// unlimited, so a config that only sizes messages must still route
+  /// through the sized path) — is active.
   bool zero_queue() const {
     return service_rate == kUnlimitedRate &&
-           link_bandwidth == kUnlimitedRate && coalesce_window == 0.0;
+           link_bandwidth == kUnlimitedRate && coalesce_window == 0.0 &&
+           default_message_bytes == 0;
   }
 };
 
@@ -96,21 +180,47 @@ class Queueing {
   std::uint64_t delivered() const;
   std::uint64_t in_flight() const { return sent() - delivered(); }
 
-  /// Reserve the path u -> v for one `bytes`-sized message enqueued at
-  /// max(sim.now(), not_before), schedule `on_arrival` (may be empty) at
-  /// the delivery instant, and return that instant. `propagation` is the
-  /// link's pure propagation latency (the caller prices it through its
-  /// LatencyModel). The queueing delay reported to the callback — and
-  /// accumulated in stats() — is delivery - enqueue - propagation.
+  /// Reserve the path u -> v for one `bytes`-sized message of class `cls`
+  /// enqueued at max(sim.now(), not_before), schedule `on_arrival` (may be
+  /// empty) at the delivery instant, and return that instant.
+  /// `propagation` is the link's pure propagation latency (the caller
+  /// prices it through its LatencyModel). The queueing delay reported to
+  /// the callback — and accumulated in stats() — is
+  /// delivery - enqueue - propagation.
   sim::Time send(sim::Simulator& sim, NodeId from, NodeId to,
                  std::uint32_t bytes, sim::Time propagation,
                  std::function<void(sim::Time queue_delay)> on_arrival,
-                 sim::Time not_before = 0.0);
+                 sim::Time not_before = 0.0,
+                 TrafficClass cls = TrafficClass::kQuery);
+
+  // --- closed-loop probes ----------------------------------------------------
+  /// Outstanding (not yet completed) service reservations at `node`'s
+  /// ingress / egress server as seen by `sim`'s queue state at sim.now().
+  /// Zero for a simulator this engine has never served.
+  std::size_t ingress_backlog(const sim::Simulator& sim, NodeId node) const;
+  std::size_t egress_backlog(const sim::Simulator& sim, NodeId node) const;
+  /// Admission decision for one more class-`cls` message to `to`: true when
+  /// admission control is on, the class is sheddable (kQuery only), and the
+  /// target's ingress backlog is at or above the limit.
+  bool should_shed(const sim::Simulator& sim, NodeId to,
+                   TrafficClass cls) const;
+  /// Backoff an opted-in sender should apply before sending to `to`:
+  /// flow.backoff per message of ingress backlog beyond the threshold.
+  sim::Time backoff_delay(const sim::Simulator& sim, NodeId to) const;
+  /// Account one admission-control shed (the message never touched the
+  /// queues, so the sender reports it here to keep one shared currency).
+  void record_shed();
+  /// Account a hedged duplicate launch / a hedge winning its race.
+  void record_hedge(bool won);
 
  private:
   struct NodeState {
     sim::Time egress_busy_until = 0.0;
     sim::Time ingress_busy_until = 0.0;
+    /// Per-class server horizons used by the kWeighted (virtual clocks)
+    /// and kStrict (priority tiers) disciplines; untouched under kFifo.
+    std::array<sim::Time, kNumTrafficClasses> egress_class_until{};
+    std::array<sim::Time, kNumTrafficClasses> ingress_class_until{};
     /// Completion instants of outstanding reservations (FIFO backlog).
     std::deque<sim::Time> egress_backlog;
     std::deque<sim::Time> ingress_backlog;
@@ -142,12 +252,21 @@ class Queueing {
 
   /// The state bound to `sim`, creating (and LRU-evicting) as needed.
   SimState& state_for(const sim::Simulator& sim);
+  /// Lookup without creating or touching LRU order (closed-loop probes).
+  const SimState* find_state(const sim::Simulator& sim) const;
   static NodeState& node(SimState& state, NodeId id);
   static LinkState& link(SimState& state, NodeId from, NodeId to);
   /// Record one more outstanding reservation completing at `until` and
   /// update the corresponding backlog peak.
   void push_backlog(std::deque<sim::Time>& backlog, sim::Time now,
                     sim::Time until, std::uint64_t* peak);
+  /// Reserve one service slot of class `cls` on the server described by
+  /// (busy_until, class_until) under the configured discipline; returns
+  /// the completion instant.
+  sim::Time reserve_server(
+      sim::Time& busy_until,
+      std::array<sim::Time, kNumTrafficClasses>& class_until, TrafficClass cls,
+      sim::Time now, sim::Time service) const;
 
   QueueingConfig config_;
   CongestionStats stats_;

@@ -93,25 +93,36 @@ inline void step(sim::QueryStats& walk, const net::Transport& transport,
 }
 
 /// Sequential composition: `tail` starts where `head` ended (the next
-/// message is sent only after the previous one arrived).
+/// message is sent only after the previous one arrived). Coverage
+/// multiplies — a stage that only partially answered scales everything the
+/// later stages can still cover.
 inline void chain(sim::QueryStats& head, const sim::QueryStats& tail) {
   head.messages += tail.messages;
   head.delay += tail.delay;
   head.latency += tail.latency;
   head.queue_delay += tail.queue_delay;
   head.bytes_on_wire += tail.bytes_on_wire;
+  head.coverage *= tail.coverage;
+  head.shed += tail.shed;
+  head.hedges += tail.hedges;
 }
 
 /// Concurrent composition: fold `branch` into a fan whose branches are all
 /// dispatched at the same instant. Messages, bytes and per-message queueing
 /// delay sum; delay and latency are the latest branch arrival — exactly the
-/// value an event-driven simulation of the fan would report.
+/// value an event-driven simulation of the fan would report. Coverage keeps
+/// the minimum branch value — a conservative lower bound; engines that know
+/// their destination counts (FrtSearch) overwrite it with the exact
+/// fraction on the final result.
 inline void fan_in(sim::QueryStats& fan, const sim::QueryStats& branch) {
   fan.messages += branch.messages;
   fan.delay = fan.delay > branch.delay ? fan.delay : branch.delay;
   fan.latency = fan.latency > branch.latency ? fan.latency : branch.latency;
   fan.queue_delay += branch.queue_delay;
   fan.bytes_on_wire += branch.bytes_on_wire;
+  fan.coverage = fan.coverage < branch.coverage ? fan.coverage : branch.coverage;
+  fan.shed += branch.shed;
+  fan.hedges += branch.hedges;
 }
 
 }  // namespace armada::overlay

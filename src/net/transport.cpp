@@ -1,5 +1,6 @@
 #include "net/transport.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.h"
@@ -36,10 +37,10 @@ void Transport::deliver(sim::Simulator& sim, NodeId from, NodeId to,
 
 Time Transport::deliver(sim::Simulator& sim, NodeId from, NodeId to,
                         std::uint32_t bytes, QueuedArrival on_arrival,
-                        Time not_before) {
+                        Time not_before, TrafficClass cls) {
   if (queueing_ != nullptr) {
     return queueing_->send(sim, from, to, bytes, link(from, to),
-                           std::move(on_arrival), not_before);
+                           std::move(on_arrival), not_before, cls);
   }
   // Fast path: the same single event, at the same instant, in the same
   // scheduling order as the stateless overload — goldens stay bitwise.
@@ -59,13 +60,13 @@ Time Transport::deliver(sim::Simulator& sim, NodeId from, NodeId to,
 }
 
 void Transport::deliver_walk(sim::Simulator& sim, std::vector<NodeId> path,
-                             std::uint32_t bytes,
+                             const WalkOptions& options,
                              std::function<void(const sim::QueryStats&)> done) {
   struct Walk {
     Transport* transport;
     sim::Simulator* sim;
     std::vector<NodeId> path;
-    std::uint32_t bytes;
+    WalkOptions options;
     std::function<void(const sim::QueryStats&)> done;
     sim::Time start = 0.0;
     sim::QueryStats stats;
@@ -75,21 +76,75 @@ void Transport::deliver_walk(sim::Simulator& sim, std::vector<NodeId> path,
         done(stats);
         return;
       }
+      const NodeId u = path[i];
+      const NodeId v = path[i + 1];
+      const Queueing* queueing = transport->queueing();
+      if (options.flow_control &&
+          transport->should_shed(*sim, v, options.cls)) {
+        // Admission refused: shed the whole walk. The hops already spent
+        // stay in the stats; the answer carries zero coverage.
+        transport->record_shed();
+        ++stats.shed;
+        stats.coverage = 0.0;
+        done(stats);
+        return;
+      }
+      Time not_before = 0.0;
+      if (options.flow_control) {
+        const Time backoff = transport->backoff_delay(*sim, v);
+        if (backoff > 0.0) {
+          not_before = sim->now() + backoff;
+        }
+      }
       ++stats.messages;
       stats.delay += 1.0;
-      stats.bytes_on_wire += bytes;
-      transport->deliver(*sim, path[i], path[i + 1], bytes,
-                         [self, i](sim::Time queue_delay) {
-                           self->stats.queue_delay += queue_delay;
-                           self->stats.latency = self->sim->now() - self->start;
-                           self->hop(self, i + 1);
-                         });
+      stats.bytes_on_wire += options.bytes;
+      // First arrival continues the walk; a cancelled (losing) copy is
+      // dropped here — its reservations were consumed, its continuation
+      // never runs.
+      auto raced = std::make_shared<bool>(false);
+      auto arrive = [self, i, raced](sim::Time queue_delay) {
+        if (*raced) {
+          return;
+        }
+        *raced = true;
+        self->stats.queue_delay += queue_delay;
+        self->stats.latency = self->sim->now() - self->start;
+        self->hop(self, i + 1);
+      };
+      const Time send_time = std::max(sim->now(), not_before);
+      const Time primary = transport->deliver(*sim, u, v, options.bytes,
+                                              arrive, not_before, options.cls);
+      if (options.flow_control && queueing != nullptr &&
+          queueing->config().flow.hedge_enabled()) {
+        const Time primary_delay = primary - send_time - transport->link(u, v);
+        if (primary_delay > queueing->config().flow.hedge_threshold) {
+          // Hedge in the kHedge lane: under priority scheduling the
+          // duplicate jumps the query backlog and can land first.
+          ++stats.messages;
+          ++stats.hedges;
+          stats.bytes_on_wire += options.bytes;
+          const Time hedge = transport->deliver(
+              *sim, u, v, options.bytes, arrive,
+              sim->now() + queueing->config().flow.hedge_delay,
+              TrafficClass::kHedge);
+          transport->queueing_->record_hedge(hedge < primary);
+        }
+      }
     }
   };
-  auto walk = std::make_shared<Walk>(Walk{this, &sim, std::move(path), bytes,
+  auto walk = std::make_shared<Walk>(Walk{this, &sim, std::move(path), options,
                                           std::move(done), sim.now(),
                                           sim::QueryStats{}});
   walk->hop(walk, 0);
+}
+
+void Transport::deliver_walk(sim::Simulator& sim, std::vector<NodeId> path,
+                             std::uint32_t bytes,
+                             std::function<void(const sim::QueryStats&)> done) {
+  WalkOptions options;
+  options.bytes = bytes;
+  deliver_walk(sim, std::move(path), options, std::move(done));
 }
 
 void Transport::install_queueing(const QueueingConfig& config) {

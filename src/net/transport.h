@@ -17,9 +17,16 @@
 //    installed — overlays cannot accidentally bypass the queues.
 //  * The sized path routes through the installed net::Queueing engine:
 //    egress/ingress service queues, per-link bandwidth and batching (see
-//    queueing.h). Without an installed config — or under the zero-queue
-//    config — it degenerates to exactly the stateless schedule, so goldens
-//    stay bitwise.
+//    queueing.h), each message tagged with a TrafficClass. Without an
+//    installed config — or under the zero-queue config — it degenerates to
+//    exactly the stateless schedule, so goldens stay bitwise.
+//
+// Senders close the loop through this seam too: `should_shed` /
+// `backoff_delay` surface the installed flow-control policy (no-ops
+// without queueing), and `deliver_walk` can run a walk flow-controlled —
+// backing off into saturated nodes, launching hedged duplicates in the
+// kHedge lane with first-arrival-wins cancellation, and shedding the walk
+// entirely (coverage 0) when the next hop is over the admission limit.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +46,15 @@ class Transport {
   /// Arrival continuation of the queueing path; receives the message's
   /// queueing delay (delivery - send - propagation; 0 on the fast path).
   using QueuedArrival = std::function<void(Time queue_delay)>;
+
+  /// Knobs of one deliver_walk replay.
+  struct WalkOptions {
+    std::uint32_t bytes = 0;
+    TrafficClass cls = TrafficClass::kQuery;
+    /// Opt into the installed flow-control policy: per-hop backoff,
+    /// hedged retries, and admission shedding. Off = PR 5 behavior.
+    bool flow_control = false;
+  };
 
   /// Default transport: ConstantHop(1.0), i.e. latency == hop count.
   Transport();
@@ -64,15 +80,16 @@ class Transport {
   void deliver(sim::Simulator& sim, NodeId from, NodeId to,
                std::function<void()> on_arrival) const;
 
-  /// Queueing-aware delivery of a `bytes`-sized message enqueued at
-  /// max(now(), not_before); returns the delivery instant. With no
-  /// queueing installed the message costs link(from, to) and the returned
-  /// instant equals the stateless schedule bitwise; with a config installed
-  /// it is priced through the service queues, link bandwidth and the
-  /// per-link coalescer. `on_arrival` may be empty.
+  /// Queueing-aware delivery of a `bytes`-sized message of class `cls`
+  /// enqueued at max(now(), not_before); returns the delivery instant.
+  /// With no queueing installed the message costs link(from, to) and the
+  /// returned instant equals the stateless schedule bitwise; with a config
+  /// installed it is priced through the service queues, link bandwidth and
+  /// the per-link coalescer. `on_arrival` may be empty.
   Time deliver(sim::Simulator& sim, NodeId from, NodeId to,
                std::uint32_t bytes, QueuedArrival on_arrival,
-               Time not_before = 0.0);
+               Time not_before = 0.0,
+               TrafficClass cls = TrafficClass::kQuery);
   /// Same, with the installed config's default message size (0 bytes when
   /// no queueing is installed).
   Time deliver(sim::Simulator& sim, NodeId from, NodeId to,
@@ -83,7 +100,15 @@ class Transport {
   /// receives the walk's cost fragment — messages == delay == hop count,
   /// latency = last delivery - start, plus the accumulated queue_delay and
   /// bytes_on_wire — when the final hop lands (immediately for an empty or
-  /// single-node path).
+  /// single-node path). With options.flow_control the walk obeys the
+  /// installed policy: hops back off into backlogged targets, a hop whose
+  /// reserved queueing delay crosses the hedge threshold races a kHedge
+  /// duplicate (first arrival wins, the loser is cancelled and counted),
+  /// and a hop refused admission sheds the walk — `done` then reports
+  /// coverage 0 with the hops already spent.
+  void deliver_walk(sim::Simulator& sim, std::vector<NodeId> path,
+                    const WalkOptions& options,
+                    std::function<void(const sim::QueryStats&)> done);
   void deliver_walk(sim::Simulator& sim, std::vector<NodeId> path,
                     std::uint32_t bytes,
                     std::function<void(const sim::QueryStats&)> done);
@@ -107,6 +132,25 @@ class Transport {
   std::uint32_t default_message_bytes() const {
     return queueing_ == nullptr ? 0u
                                 : queueing_->config().default_message_bytes;
+  }
+
+  // --- closed-loop seam ------------------------------------------------------
+  /// Admission decision for one more class-`cls` message to `to` under the
+  /// installed flow-control policy; always false without queueing.
+  bool should_shed(const sim::Simulator& sim, NodeId to,
+                   TrafficClass cls) const {
+    return queueing_ != nullptr && queueing_->should_shed(sim, to, cls);
+  }
+  /// Backoff the installed policy asks of a sender to `to`; 0 without
+  /// queueing or below the backlog threshold.
+  Time backoff_delay(const sim::Simulator& sim, NodeId to) const {
+    return queueing_ == nullptr ? 0.0 : queueing_->backoff_delay(sim, to);
+  }
+  /// Account an admission-control shed in the shared congestion currency.
+  void record_shed() {
+    if (queueing_ != nullptr) {
+      queueing_->record_shed();
+    }
   }
 
  private:

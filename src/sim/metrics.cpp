@@ -20,6 +20,9 @@ void MetricSet::add(const QueryStats& q) {
   latency_.add(q.latency);
   queue_delay_.add(q.queue_delay);
   bytes_.add(static_cast<double>(q.bytes_on_wire));
+  coverage_.add(q.coverage);
+  shed_.add(static_cast<double>(q.shed));
+  hedges_.add(static_cast<double>(q.hedges));
   delay_pct_.add(q.delay);
   latency_pct_.add(q.latency);
   messages_.add(static_cast<double>(q.messages));

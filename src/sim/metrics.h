@@ -25,6 +25,17 @@ struct QueryStats {
   /// Payload bytes the query's transmissions put on links; zero while
   /// messages are unsized (no queueing config installed).
   std::uint64_t bytes_on_wire = 0;
+  /// Fraction of the query's intended coverage actually served: 1.0 for a
+  /// full answer, reached / (reached + shed) destinations when overload
+  /// admission control degraded the query into a partial answer, 0.0 when
+  /// the whole query was shed. Every overlay and bench reports partial
+  /// answers through this one field.
+  double coverage = 1.0;
+  /// Branches / hops refused admission by overload control.
+  std::uint64_t shed = 0;
+  /// Hedged duplicate transmissions launched by flow control (each also
+  /// counts in `messages`; the losing copy's continuation is cancelled).
+  std::uint64_t hedges = 0;
   /// Destination peers that intersect the query and scan local data.
   std::uint64_t dest_peers = 0;
   /// Matching objects found.
@@ -50,6 +61,12 @@ class MetricSet {
   const OnlineStats& latency() const { return latency_; }
   const OnlineStats& queue_delay() const { return queue_delay_; }
   const OnlineStats& bytes_on_wire() const { return bytes_; }
+  /// Per-query coverage fraction (mean 1.0 while nothing is shed) and the
+  /// flow-control counters, aggregated alongside the paper metrics so every
+  /// bench reports partial answers uniformly.
+  const OnlineStats& coverage() const { return coverage_; }
+  const OnlineStats& shed() const { return shed_; }
+  const OnlineStats& hedges() const { return hedges_; }
   const OnlineStats& messages() const { return messages_; }
   const OnlineStats& dest_peers() const { return dest_peers_; }
   const OnlineStats& results() const { return results_; }
@@ -68,6 +85,9 @@ class MetricSet {
   OnlineStats latency_;
   OnlineStats queue_delay_;
   OnlineStats bytes_;
+  OnlineStats coverage_;
+  OnlineStats shed_;
+  OnlineStats hedges_;
   Percentiles delay_pct_;
   Percentiles latency_pct_;
   OnlineStats messages_;

@@ -12,7 +12,15 @@
 //  * p99 latency is monotone in offered load;
 //  * the const stateless deliver refuses to bypass an active config;
 //  * repair batching — churn-driver repair through the coalescer saves
-//    departures and stays deterministic.
+//    departures and stays deterministic;
+//  * traffic classes — kFifo timing is class-blind, kWeighted isolates
+//    each class's share, kStrict serves repair ahead of query backlog;
+//  * closed-loop flow control — backoff/admission probes track ingress
+//    backlog, hedged retries win via the kHedge lane with the losing copy
+//    cancelled, and admission control degrades range queries into partial
+//    answers whose stats.coverage is the exact served fraction;
+//  * conservation survives LRU eviction of live simulators (the orphaned
+//    delivered-counter path).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -388,6 +396,317 @@ TEST(RepairBatching, ChordRepairCoalescesAndStaysDeterministic) {
 // ---------------------------------------------------------------------------
 // CongestionStats interval accounting.
 // ---------------------------------------------------------------------------
+
+TEST(ZeroQueue, SizedMessagesAreNotZeroQueue) {
+  EXPECT_TRUE(net::QueueingConfig{}.zero_queue());
+  net::QueueingConfig cfg;
+  cfg.default_message_bytes = 64;
+  // Regression: a config that only sizes messages still prices them
+  // (bytes_on_wire) and must not degenerate to the stateless path, which
+  // would silently drop the byte accounting.
+  EXPECT_FALSE(cfg.zero_queue());
+  net::Transport transport;
+  transport.install_queueing(cfg);
+  EXPECT_TRUE(transport.queueing_active());
+  sim::Simulator sim;
+  EXPECT_THROW(transport.deliver(sim, 0, 1, [] {}), CheckError);
+  sim::QueryStats walk;
+  transport.deliver_walk(sim, {0, 1, 2}, transport.default_message_bytes(),
+                         [&walk](const sim::QueryStats& s) { walk = s; });
+  sim.run();
+  // Timing is untouched (nothing else is priced), but bytes are counted.
+  EXPECT_EQ(walk.latency, 2.0);
+  EXPECT_EQ(walk.bytes_on_wire, 128u);
+  EXPECT_EQ(transport.congestion().bytes_on_wire, 128u);
+}
+
+TEST(CongestionStats, BatchOccupancyMeanIsOneWhenNothingCoalesced) {
+  // Documented: 1.0 when nothing coalesced — including before any traffic.
+  EXPECT_DOUBLE_EQ(net::CongestionStats{}.batch_occupancy_mean(), 1.0);
+  net::Transport transport;
+  net::QueueingConfig cfg;
+  cfg.coalesce_window = 1.0;
+  transport.install_queueing(cfg);
+  sim::Simulator sim;
+  transport.deliver(sim, 0, 1, 0, [](sim::Time) {});
+  transport.deliver(sim, 0, 1, 0, [](sim::Time) {});  // joins the batch
+  transport.deliver(sim, 2, 3, 0, [](sim::Time) {});  // its own batch
+  sim.run();
+  EXPECT_DOUBLE_EQ(transport.congestion().batch_occupancy_mean(), 1.5);
+}
+
+TEST(QueueingInvariants, ConservationSurvivesLruEvictionOfLiveSimulators) {
+  net::Transport transport;
+  transport.install_queueing(loaded_config());
+  const net::Queueing* queueing = transport.queueing();
+  ASSERT_NE(queueing, nullptr);
+
+  sim::Simulator sim_a;
+  transport.deliver(sim_a, 0, 1, 64, [](sim::Time) {});
+  EXPECT_EQ(queueing->sent(), 1u);
+  EXPECT_EQ(queueing->in_flight(), 1u);
+
+  // Fill every remaining state slot (kMaxSimStates = 4) with simulators
+  // whose deliveries are still pending, so the next new simulator has no
+  // drained victim and must evict sim_a's state while its delivery is in
+  // flight — orphaning the delivered counter.
+  sim::Simulator sim_b;
+  sim::Simulator sim_c;
+  sim::Simulator sim_d;
+  for (sim::Simulator* s : {&sim_b, &sim_c, &sim_d}) {
+    transport.deliver(*s, 0, 1, 64, [](sim::Time) {});
+  }
+  sim::Simulator sim_e;
+  transport.deliver(sim_e, 0, 1, 64, [](sim::Time) {});
+
+  // The orphaned delivery fires against the evicted state's counter.
+  sim_a.run();
+
+  // A fresh send on sim_a builds a clean state: conservation holds on the
+  // new counters, unaffected by the orphaned delivery above.
+  transport.deliver(sim_a, 2, 3, 64, [](sim::Time) {});
+  EXPECT_EQ(queueing->sent(), 1u);
+  EXPECT_EQ(queueing->delivered(), 0u);
+  EXPECT_EQ(queueing->in_flight(), 1u);
+  sim_a.run();
+  EXPECT_EQ(queueing->sent(), 1u);
+  EXPECT_EQ(queueing->delivered(), 1u);
+  EXPECT_EQ(queueing->in_flight(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Traffic classes and scheduling disciplines.
+// ---------------------------------------------------------------------------
+
+TEST(TrafficClasses, FifoTimingIsClassBlind) {
+  constexpr net::TrafficClass kMix[4] = {
+      net::TrafficClass::kQuery, net::TrafficClass::kRepair,
+      net::TrafficClass::kHandoff, net::TrafficClass::kHedge};
+  auto run = [&](bool tagged, net::CongestionStats* stats) {
+    net::Transport transport;
+    transport.install_queueing(loaded_config());
+    sim::Simulator sim;
+    std::vector<sim::Time> delivered;
+    for (int i = 0; i < 12; ++i) {
+      transport.deliver(
+          sim, 0, 1, 64,
+          [&delivered, &sim](sim::Time) { delivered.push_back(sim.now()); },
+          0.0, tagged ? kMix[i % 4] : net::TrafficClass::kQuery);
+    }
+    sim.run();
+    *stats = transport.congestion();
+    return delivered;
+  };
+  net::CongestionStats tagged_stats;
+  net::CongestionStats untagged_stats;
+  // Under the default kFifo discipline the class tag is pure accounting:
+  // every delivery instant is bit-identical for any traffic mix.
+  EXPECT_EQ(run(true, &tagged_stats), run(false, &untagged_stats));
+  EXPECT_EQ(tagged_stats.queue_delay_total, untagged_stats.queue_delay_total);
+  for (const net::TrafficClass cls : kMix) {
+    EXPECT_EQ(tagged_stats.class_messages[net::class_index(cls)], 3u);
+  }
+  EXPECT_EQ(untagged_stats.class_messages[net::class_index(
+                net::TrafficClass::kQuery)],
+            12u);
+}
+
+TEST(TrafficClasses, WeightedSharesIsolateRepairFromQueryBacklog) {
+  net::Transport transport;  // ConstantHop(1.0)
+  net::QueueingConfig cfg;
+  cfg.service_rate = 1.0;
+  cfg.scheduling = net::QueueingConfig::Scheduling::kWeighted;
+  transport.install_queueing(cfg);
+  sim::Simulator sim;
+  std::vector<sim::Time> query;
+  std::vector<sim::Time> repair;
+  for (int i = 0; i < 2; ++i) {
+    transport.deliver(
+        sim, 0, 1, 0,
+        [&query, &sim](sim::Time) { query.push_back(sim.now()); }, 0.0,
+        net::TrafficClass::kQuery);
+  }
+  transport.deliver(
+      sim, 0, 1, 0,
+      [&repair, &sim](sim::Time) { repair.push_back(sim.now()); }, 0.0,
+      net::TrafficClass::kRepair);
+  sim.run();
+  // Four equal weights: each class owns a quarter of the server — 4.0 per
+  // message in its lane. The queries serialize behind each other only
+  // (egress 4/8, +1 propagation, ingress 9/13); repair rides its own lane
+  // and lands with the first query no matter how deep the query lane is.
+  EXPECT_EQ(query, (std::vector<sim::Time>{9.0, 13.0}));
+  EXPECT_EQ(repair, (std::vector<sim::Time>{9.0}));
+}
+
+TEST(TrafficClasses, StrictPriorityServesRepairAheadOfQueryBacklog) {
+  net::Transport transport;  // ConstantHop(1.0)
+  net::QueueingConfig cfg;
+  cfg.service_rate = 1.0;
+  cfg.scheduling = net::QueueingConfig::Scheduling::kStrict;
+  transport.install_queueing(cfg);
+  sim::Simulator sim;
+  std::vector<sim::Time> query;
+  std::vector<sim::Time> repair;
+  for (int i = 0; i < 3; ++i) {
+    transport.deliver(
+        sim, 0, 1, 0,
+        [&query, &sim](sim::Time) { query.push_back(sim.now()); }, 0.0,
+        net::TrafficClass::kQuery);
+  }
+  transport.deliver(
+      sim, 0, 1, 0,
+      [&repair, &sim](sim::Time) { repair.push_back(sim.now()); }, 0.0,
+      net::TrafficClass::kRepair);
+  sim.run();
+  // Queries serialize behind each other (delivered 3/4/5). The repair —
+  // sent last — only waits for its own tier, so it lands at 3, ahead of
+  // two-thirds of the query backlog.
+  EXPECT_EQ(query, (std::vector<sim::Time>{3.0, 4.0, 5.0}));
+  EXPECT_EQ(repair, (std::vector<sim::Time>{3.0}));
+  const net::CongestionStats& stats = transport.congestion();
+  EXPECT_LT(stats.class_queue_delay_mean(net::TrafficClass::kRepair),
+            stats.class_queue_delay_mean(net::TrafficClass::kQuery));
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop flow control.
+// ---------------------------------------------------------------------------
+
+TEST(FlowControl, BackoffAndAdmissionProbesTrackIngressBacklog) {
+  net::Transport transport;
+  net::QueueingConfig cfg;
+  cfg.service_rate = 0.5;
+  cfg.flow.backoff_threshold = 2;
+  cfg.flow.backoff = 0.5;
+  cfg.flow.admission_limit = 3;
+  transport.install_queueing(cfg);
+  sim::Simulator sim;
+  EXPECT_EQ(transport.backoff_delay(sim, 1), 0.0);
+  EXPECT_FALSE(transport.should_shed(sim, 1, net::TrafficClass::kQuery));
+  for (int i = 0; i < 3; ++i) {
+    transport.deliver(sim, 0, 1, 0, [](sim::Time) {});
+  }
+  // Three outstanding ingress reservations at node 1: one message over the
+  // backoff threshold plus one gives 0.5 x 2, and admission is at the
+  // limit — for the query class only.
+  EXPECT_EQ(transport.backoff_delay(sim, 1), 1.0);
+  EXPECT_TRUE(transport.should_shed(sim, 1, net::TrafficClass::kQuery));
+  EXPECT_FALSE(transport.should_shed(sim, 1, net::TrafficClass::kRepair));
+  EXPECT_FALSE(transport.should_shed(sim, 1, net::TrafficClass::kHandoff));
+  EXPECT_FALSE(transport.should_shed(sim, 1, net::TrafficClass::kHedge));
+  // Unloaded target: no policy pressure.
+  EXPECT_EQ(transport.backoff_delay(sim, 2), 0.0);
+  sim.run();
+  // Drained: the probes relax again.
+  EXPECT_EQ(transport.backoff_delay(sim, 1), 0.0);
+  EXPECT_FALSE(transport.should_shed(sim, 1, net::TrafficClass::kQuery));
+}
+
+TEST(FlowControl, AdmissionShedsWalkWithZeroCoverage) {
+  net::Transport transport;
+  net::QueueingConfig cfg;
+  cfg.service_rate = 0.5;
+  cfg.flow.admission_limit = 2;
+  transport.install_queueing(cfg);
+  sim::Simulator sim;
+  for (int i = 0; i < 3; ++i) {
+    transport.deliver(sim, 0, 1, 0, [](sim::Time) {});
+  }
+  sim::QueryStats walk;
+  int completions = 0;
+  net::Transport::WalkOptions options;
+  options.flow_control = true;
+  transport.deliver_walk(sim, {0, 1, 2}, options,
+                         [&](const sim::QueryStats& s) {
+                           walk = s;
+                           ++completions;
+                         });
+  sim.run();
+  // The first hop's target is over the admission limit: the whole walk is
+  // refused and the answer carries zero coverage.
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(walk.coverage, 0.0);
+  EXPECT_EQ(walk.shed, 1u);
+  EXPECT_EQ(walk.messages, 0u);
+  EXPECT_EQ(transport.congestion().shed_messages, 1u);
+}
+
+TEST(FlowControl, HedgedRetryWinsViaPriorityLaneAndCancelsLoser) {
+  net::Transport transport;  // ConstantHop(1.0)
+  net::QueueingConfig cfg;
+  cfg.service_rate = 1.0;
+  cfg.scheduling = net::QueueingConfig::Scheduling::kStrict;
+  cfg.flow.hedge_threshold = 1.0;
+  transport.install_queueing(cfg);
+  sim::Simulator sim;
+  for (int i = 0; i < 4; ++i) {
+    transport.deliver(sim, 0, 1, 0, [](sim::Time) {});
+  }
+  sim::QueryStats walk;
+  int completions = 0;
+  net::Transport::WalkOptions options;
+  options.flow_control = true;
+  transport.deliver_walk(sim, {0, 1}, options,
+                         [&](const sim::QueryStats& s) {
+                           walk = s;
+                           ++completions;
+                         });
+  sim.run();
+  // The primary reservation sits behind four queued query messages
+  // (delivered at 7) — over the hedge threshold, so a duplicate departs in
+  // the kHedge lane, jumps the query backlog, and lands at 3. First
+  // arrival wins; the losing copy is cancelled, not re-completed.
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(walk.latency, 3.0);
+  EXPECT_EQ(walk.queue_delay, 2.0);  // the winner's queueing delay only
+  EXPECT_EQ(walk.delay, 1.0);        // one hop, however many copies raced
+  EXPECT_EQ(walk.hedges, 1u);
+  EXPECT_EQ(walk.messages, 2u);
+  EXPECT_EQ(transport.congestion().hedges_launched, 1u);
+  EXPECT_EQ(transport.congestion().hedges_won, 1u);
+}
+
+TEST(FlowControl, AdmissionDegradesRangeQueriesIntoPartialCoverage) {
+  auto fx = testsupport::make_single_index(300, kSeed);
+  net::QueueingConfig cfg;
+  cfg.service_rate = 0.5;
+  cfg.link_bandwidth = 1024.0;
+  cfg.default_message_bytes = 256;
+  cfg.scheduling = net::QueueingConfig::Scheduling::kStrict;
+  cfg.flow.admission_limit = 4;
+  fx->net.install_queueing(cfg);
+  sim::Simulator sim;
+  Rng issuers(kSeed + 11);
+  sim::RangeWorkload workload({0.0, 1000.0}, 150.0, Rng(kSeed + 12));
+  std::vector<core::RangeQueryResult> results;
+  constexpr int kQueries = 60;
+  for (int q = 0; q < kQueries; ++q) {
+    const auto rq = workload.next();
+    const auto issuer = fx->random_issuer(issuers);
+    sim.schedule_at(0.25 * q, [&, issuer, rq] {
+      fx->index.range_query_async(
+          sim, issuer, rq.lo, rq.hi,
+          [&results](core::RangeQueryResult r) {
+            results.push_back(std::move(r));
+          });
+    });
+  }
+  sim.run();
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kQueries));
+  bool any_partial = false;
+  for (const auto& r : results) {
+    EXPECT_GE(r.stats.coverage, 0.0);
+    EXPECT_LE(r.stats.coverage, 1.0);
+    // Shed branches and partial coverage imply each other, per query.
+    EXPECT_EQ(r.stats.shed > 0, r.stats.coverage < 1.0);
+    any_partial |= r.stats.coverage < 1.0;
+  }
+  // The concurrent burst must overload some ingress: at least one query is
+  // degraded (not refused silently — its coverage says how much survived).
+  EXPECT_TRUE(any_partial);
+  EXPECT_GT(fx->net.congestion().shed_messages, 0u);
+}
 
 TEST(CongestionStats, IntervalDeltaSubtractsAdditiveCounters) {
   net::Transport transport;
