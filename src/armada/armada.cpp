@@ -40,8 +40,14 @@ ArmadaIndex ArmadaIndex::multi(fissione::FissioneNetwork& net,
 
 std::uint64_t ArmadaIndex::publish(const std::vector<double>& point) {
   const std::uint64_t handle = objects_.size();
-  net_.publish(tree_.multiple_hash(point), handle);
+  const kautz::KautzString object_id = tree_.multiple_hash(point);
+  net_.publish(object_id, handle);
   objects_.push_back(point);
+  if (replicas_ != nullptr) {
+    // Currency: replica snapshots pick up the new object, cached results
+    // whose subregion covers it are invalidated.
+    replicas_->on_publish(object_id, handle);
+  }
   return handle;
 }
 
@@ -143,5 +149,15 @@ const Pira& ArmadaIndex::pira() const {
 }
 
 const Mira& ArmadaIndex::mira() const { return *mira_; }
+
+replica::ReplicaSet& ArmadaIndex::enable_replication(
+    replica::ReplicationConfig config) {
+  replicas_ = std::make_unique<replica::ReplicaSet>(net_, config);
+  if (pira_.has_value()) {
+    pira_->set_replicas(replicas_.get());
+  }
+  mira_->set_replicas(replicas_.get());
+  return *replicas_;
+}
 
 }  // namespace armada::core

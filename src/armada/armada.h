@@ -28,6 +28,7 @@
 #include "armada/topk.h"
 #include "fissione/network.h"
 #include "kautz/partition_tree.h"
+#include "replica/replica_set.h"
 
 namespace armada::core {
 
@@ -86,6 +87,19 @@ class ArmadaIndex {
   const Pira& pira() const;
   const Mira& mira() const;
 
+  /// Attach the popularity-aware replication / result-cache subsystem
+  /// (src/replica/) with the given knobs. Queries issued afterwards may be
+  /// served from caches or replica holders; a *disabled* config (the
+  /// default) changes nothing — queries stay bitwise identical to the plain
+  /// engines. Calling again replaces the subsystem (placement and caches
+  /// reset). Wire churn through it with the drivers' set_membership_hook:
+  ///   driver.set_membership_hook([&] { index.replicas()->on_membership(sim); });
+  replica::ReplicaSet& enable_replication(replica::ReplicationConfig config);
+
+  /// The attached subsystem, or nullptr.
+  replica::ReplicaSet* replicas() { return replicas_.get(); }
+  const replica::ReplicaSet* replicas() const { return replicas_.get(); }
+
  private:
   ArmadaIndex(fissione::FissioneNetwork& net, kautz::PartitionTree tree);
 
@@ -99,6 +113,7 @@ class ArmadaIndex {
   std::optional<TopK> topk_;
   std::optional<Knn> knn_;
   std::optional<Aggregate> aggregate_;
+  std::unique_ptr<replica::ReplicaSet> replicas_;  ///< null until enabled
 };
 
 }  // namespace armada::core

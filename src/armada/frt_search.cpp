@@ -115,6 +115,7 @@ struct Search {
       transport.deliver(
           *sim, b, c, transport.default_message_bytes(),
           [self, cls_idx, c, al = aligned_len + m, hops](sim::Time qd) {
+            self->net->record_service(c);
             self->result.stats.queue_delay += qd;
             self->step(self, cls_idx, c, al, hops + 1);
             self->complete();

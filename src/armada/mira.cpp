@@ -1,7 +1,11 @@
 #include "armada/mira.h"
 
+#include <cstdio>
+#include <string>
 #include <utility>
 
+#include "armada/replicated_query.h"
+#include "replica/replica_set.h"
 #include "util/check.h"
 
 namespace armada::core {
@@ -37,6 +41,55 @@ void Mira::query_async(sim::Simulator& sim, PeerId issuer, const Box& box,
   // Closures own their box/subregion copies: the search may outlive this
   // frame.
   const KautzRegion region = tree_.bounding_region(box);
+
+  replica::ReplicaSet* rs = replicas_;
+  if (rs != nullptr && !rs->config().enabled()) {
+    rs = nullptr;  // disabled config: keep the combined search bitwise
+  }
+
+  if (rs != nullptr) {
+    // A box's identity is its interval list; %.17g round-trips doubles, so
+    // equal boxes always share a tag.
+    std::string base_tag = "mira";
+    for (const kautz::Interval& iv : box) {
+      char part[64];
+      std::snprintf(part, sizeof(part), "|%.17g|%.17g", iv.lo, iv.hi);
+      base_tag += part;
+    }
+    std::vector<ReplicatedClass> classes;
+    for (const KautzRegion& sub : region.split_common_prefix()) {
+      // Skip first-symbol blocks whose subspace misses the box entirely.
+      if (!tree_.box_intersects(sub.common_prefix().prefix(1), box)) {
+        continue;
+      }
+      FrtSearchClass cls;
+      cls.com_t = sub.common_prefix();
+      cls.viable = [this, sub, box](const KautzString& aligned) {
+        return sub.intersects_prefix(aligned) &&
+               tree_.box_intersects(aligned, box);
+      };
+      std::string tag = base_tag + "|" + sub.common_prefix().to_string();
+      classes.push_back(ReplicatedClass{sub, std::move(cls), std::move(tag)});
+    }
+    run_replicated_query(
+        *rs, sim, net_, issuer, std::move(classes),
+        // Replica snapshots hold whole regions; re-apply the geometric
+        // destination predicate so served answers match the FRT path.
+        [this, box, matches](const fissione::StoredObject& obj) {
+          return tree_.box_intersects(obj.object_id, box) && matches(obj);
+        },
+        [this, box, matches](PeerId dest, RangeQueryResult& out) {
+          for (const fissione::StoredObject& obj : net_.peer(dest).store) {
+            if (tree_.box_intersects(obj.object_id, box) && matches(obj)) {
+              out.matches.push_back(obj.payload);
+              ++out.stats.results;
+            }
+          }
+        },
+        std::move(done));
+    return;
+  }
+
   std::vector<FrtSearchClass> classes;
   for (const KautzRegion& sub : region.split_common_prefix()) {
     // Skip first-symbol blocks whose subspace misses the box entirely.

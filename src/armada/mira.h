@@ -16,6 +16,10 @@
 #include "fissione/network.h"
 #include "kautz/partition_tree.h"
 
+namespace armada::replica {
+class ReplicaSet;
+}  // namespace armada::replica
+
 namespace armada::core {
 
 class Mira {
@@ -41,9 +45,13 @@ class Mira {
   std::vector<fissione::PeerId> expected_destinations(
       const kautz::Box& box) const;
 
+  /// Attach the replica subsystem (nullptr detaches); see Pira::set_replicas.
+  void set_replicas(replica::ReplicaSet* replicas) { replicas_ = replicas; }
+
  private:
   fissione::FissioneNetwork& net_;  ///< mutable only for the queueing transport path
   kautz::PartitionTree tree_;  // by value: small and immutable
+  replica::ReplicaSet* replicas_ = nullptr;  ///< optional, not owned
 };
 
 }  // namespace armada::core

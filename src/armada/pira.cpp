@@ -1,7 +1,10 @@
 #include "armada/pira.h"
 
+#include <cstdio>
 #include <utility>
 
+#include "armada/replicated_query.h"
+#include "replica/replica_set.h"
 #include "util/check.h"
 
 namespace armada::core {
@@ -21,7 +24,14 @@ Pira::Pira(fissione::FissioneNetwork& net,
 
 RangeQueryResult Pira::query(PeerId issuer, double lo, double hi,
                              const ObjectFilter& matches) const {
-  return query_region(issuer, tree_.region_for(lo, hi), matches);
+  // Through the value-level async path (not query_region) so the replica
+  // subsystem sees the [lo, hi] identity for result caching.
+  RangeQueryResult result;
+  sim::Simulator sim;
+  query_async(sim, issuer, lo, hi, matches,
+              [&result](RangeQueryResult r) { result = std::move(r); });
+  sim.run();
+  return result;
 }
 
 RangeQueryResult Pira::query_region(PeerId issuer, const KautzRegion& region,
@@ -37,8 +47,12 @@ RangeQueryResult Pira::query_region(PeerId issuer, const KautzRegion& region,
 void Pira::query_async(sim::Simulator& sim, PeerId issuer, double lo,
                        double hi, const ObjectFilter& matches,
                        std::function<void(RangeQueryResult)> done) const {
-  query_region_async(sim, issuer, tree_.region_for(lo, hi), matches,
-                     std::move(done));
+  // Value-level queries have a canonical identity: the [lo, hi] interval.
+  // %.17g round-trips doubles, so equal intervals always share a tag.
+  char tag[64];
+  std::snprintf(tag, sizeof(tag), "pira|%.17g|%.17g", lo, hi);
+  query_region_async_impl(sim, issuer, tree_.region_for(lo, hi), matches, tag,
+                          std::move(done));
 }
 
 void Pira::query_region_async(sim::Simulator& sim, PeerId issuer,
@@ -46,7 +60,59 @@ void Pira::query_region_async(sim::Simulator& sim, PeerId issuer,
                               const ObjectFilter& matches,
                               std::function<void(RangeQueryResult)> done)
     const {
+  query_region_async_impl(sim, issuer, region, matches, std::string(),
+                          std::move(done));
+}
+
+void Pira::query_region_async_impl(sim::Simulator& sim, PeerId issuer,
+                                   const KautzRegion& region,
+                                   const ObjectFilter& matches,
+                                   const std::string& cache_tag,
+                                   std::function<void(RangeQueryResult)> done)
+    const {
   ARMADA_CHECK(region.length() == net_.config().object_id_length);
+
+  replica::ReplicaSet* rs = replicas_;
+  if (rs != nullptr && !rs->config().enabled()) {
+    rs = nullptr;  // disabled config: keep the combined search bitwise
+  }
+
+  if (rs != nullptr) {
+    // Paper §4.2 split, one ReplicatedClass per subregion: the orchestrator
+    // serves each from cache/replica where possible and FRT-falls-back
+    // per class otherwise.
+    std::vector<ReplicatedClass> classes;
+    for (const KautzRegion& sub : region.split_common_prefix()) {
+      FrtSearchClass cls;
+      cls.com_t = sub.common_prefix();
+      cls.viable = [sub](const KautzString& aligned) {
+        return sub.intersects_prefix(aligned);
+      };
+      std::string tag;
+      if (!cache_tag.empty()) {
+        tag = cache_tag + "|" + sub.common_prefix().to_string();
+      }
+      classes.push_back(
+          ReplicatedClass{sub, std::move(cls), std::move(tag)});
+    }
+    run_replicated_query(
+        *rs, sim, net_, issuer, std::move(classes),
+        // Replica snapshots hold whole regions; re-apply the destination
+        // scan's predicate so served answers match the FRT path exactly.
+        [region, matches](const fissione::StoredObject& obj) {
+          return region.contains(obj.object_id) && matches(obj);
+        },
+        [this, region, matches](PeerId dest, RangeQueryResult& out) {
+          for (const fissione::StoredObject& obj : net_.peer(dest).store) {
+            if (region.contains(obj.object_id) && matches(obj)) {
+              out.matches.push_back(obj.payload);
+              ++out.stats.results;
+            }
+          }
+        },
+        std::move(done));
+    return;
+  }
 
   // Paper §4.2: divide <LowT, HighT> into subregions with common prefixes.
   // Closures own their subregion copies: the search may outlive this frame.

@@ -9,11 +9,16 @@
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "armada/frt_search.h"
 #include "armada/range_query.h"
 #include "fissione/network.h"
 #include "kautz/partition_tree.h"
+
+namespace armada::replica {
+class ReplicaSet;
+}  // namespace armada::replica
 
 namespace armada::core {
 
@@ -53,9 +58,26 @@ class Pira {
   std::vector<fissione::PeerId> expected_destinations(
       const kautz::KautzRegion& region) const;
 
+  /// Attach the replica subsystem (nullptr detaches). Queries then route
+  /// each search class through caches and the cheapest live replica when
+  /// possible; with a null or *disabled* set the pre-existing combined
+  /// search runs bitwise. The set must outlive every in-flight query.
+  void set_replicas(replica::ReplicaSet* replicas) { replicas_ = replicas; }
+
  private:
+  /// Shared implementation: `cache_tag` keys value-level queries in the
+  /// result cache; empty for region-level queries (uncacheable — the
+  /// caller's filter semantics are unknown), which still replica-route.
+  void query_region_async_impl(sim::Simulator& sim, fissione::PeerId issuer,
+                               const kautz::KautzRegion& region,
+                               const ObjectFilter& matches,
+                               const std::string& cache_tag,
+                               std::function<void(RangeQueryResult)> done)
+      const;
+
   fissione::FissioneNetwork& net_;  ///< mutable only for the queueing transport path
   kautz::PartitionTree tree_;  // by value: small and immutable
+  replica::ReplicaSet* replicas_ = nullptr;  ///< optional, not owned
 };
 
 }  // namespace armada::core

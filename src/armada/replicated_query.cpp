@@ -1,0 +1,107 @@
+#include "armada/replicated_query.h"
+
+#include <memory>
+#include <utility>
+
+#include "net/routed_overlay.h"
+#include "util/check.h"
+
+namespace armada::core {
+
+using fissione::PeerId;
+
+namespace {
+
+// Shared fan state: every class is one branch; the last branch to land
+// hands the merged result to `done`. Branch count is fixed *before* any
+// class launches, because a class can complete synchronously (issuer-local
+// cache hits schedule, but an issuer-is-holder scan runs inline).
+struct Fan {
+  RangeQueryResult result;
+  std::uint64_t pending = 0;
+  std::function<void(RangeQueryResult)> done;
+
+  void complete() {
+    ARMADA_CHECK(pending > 0);
+    if (--pending == 0) {
+      done(std::move(result));
+    }
+  }
+};
+
+}  // namespace
+
+void run_replicated_query(
+    replica::ReplicaSet& replicas, sim::Simulator& sim,
+    fissione::FissioneNetwork& net, PeerId issuer,
+    std::vector<ReplicatedClass> classes,
+    replica::ReplicaSet::ObjectFilter replica_filter,
+    std::function<void(PeerId, RangeQueryResult&)> on_destination,
+    std::function<void(RangeQueryResult)> done) {
+  // Popularity/placement first: this query's classes charge the tracker and
+  // may push a region over the hot threshold — the placement transfers then
+  // race this same query on `sim`, and since freshly placed holders are not
+  // synced until their transfers arrive, this query still fans out.
+  std::vector<kautz::KautzRegion> subregions;
+  subregions.reserve(classes.size());
+  for (const ReplicatedClass& cls : classes) {
+    subregions.push_back(cls.subregion);
+  }
+  replicas.on_query(sim, subregions);
+
+  auto fan = std::make_shared<Fan>();
+  fan->done = std::move(done);
+  if (classes.empty()) {
+    // Nothing to search; still complete from an event so `done` always
+    // runs inside the simulation (mirrors FrtSearch::run_async).
+    ++fan->pending;
+    sim.schedule_at(sim.now(), [fan] { fan->complete(); });
+    return;
+  }
+  fan->pending = classes.size();
+
+  const FrtSearch search(net);
+  replica::ReplicaSet* rs = &replicas;
+  for (ReplicatedClass& cls : classes) {
+    const bool served = rs->serve_class(
+        sim, issuer, cls.subregion, cls.cache_tag, replica_filter,
+        [fan](sim::QueryStats frag, std::vector<std::uint64_t> matches,
+              PeerId served_by) {
+          overlay::fan_in(fan->result.stats, frag);
+          if (served_by != fissione::kNoPeer) {
+            fan->result.destinations.push_back(served_by);
+            ++fan->result.stats.dest_peers;
+          }
+          fan->result.stats.results += matches.size();
+          for (std::uint64_t m : matches) {
+            fan->result.matches.push_back(m);
+          }
+          fan->complete();
+        });
+    if (served) {
+      continue;
+    }
+    // FRT fallback, one search per class so the class's own matches are
+    // identifiable for the cache fill below.
+    search.run_async(
+        sim, issuer, {std::move(cls.frt)}, on_destination,
+        [fan, rs, issuer, sub = cls.subregion,
+         tag = std::move(cls.cache_tag)](RangeQueryResult r) {
+          overlay::fan_in(fan->result.stats, r.stats);
+          fan->result.stats.dest_peers += r.stats.dest_peers;
+          fan->result.stats.results += r.stats.results;
+          for (PeerId dest : r.destinations) {
+            fan->result.destinations.push_back(dest);
+          }
+          for (std::uint64_t m : r.matches) {
+            fan->result.matches.push_back(m);
+          }
+          if (r.stats.coverage >= 1.0) {
+            rs->cache_insert(issuer, tag, sub, r.matches);
+          }
+          fan->complete();
+        });
+  }
+}
+
+}  // namespace armada::core

@@ -48,6 +48,9 @@ void ChurnDriver::execute(sim::ChurnEventKind kind) {
       break;
   }
   apply_repair(report, kind, start);
+  if (membership_hook_) {
+    membership_hook_();
+  }
 }
 
 void ChurnDriver::apply_repair(const ChordNetwork::MembershipReport& report,

@@ -21,6 +21,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "chord/chord.h"
@@ -60,6 +62,14 @@ class ChurnDriver {
   ChordNetwork& net() { return net_; }
   const Config& config() const { return config_; }
 
+  /// Hook invoked after every *executed* membership event, at sim.now()
+  /// with the repair exchange already scheduled — the generic seam layers
+  /// above the DHT (e.g. the replica subsystem) refresh through. Skipped
+  /// events don't fire it.
+  void set_membership_hook(std::function<void()> hook) {
+    membership_hook_ = std::move(hook);
+  }
+
   // --- stale-window introspection (evaluated at sim.now()) -----------------
   bool is_stale(NodeId node) const {
     return windows_.stale_at(node, sim_.now());
@@ -94,6 +104,7 @@ class ChurnDriver {
   Config config_;
   sim::ChurnStats stats_;
   sim::StaleWindows windows_;  ///< by NodeId
+  std::function<void()> membership_hook_;  ///< may be empty
 };
 
 }  // namespace armada::chord

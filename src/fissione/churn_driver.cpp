@@ -53,6 +53,9 @@ void ChurnDriver::execute(sim::ChurnEventKind kind) {
       break;
   }
   apply_repair(report, kind == sim::ChurnEventKind::kCrash, start);
+  if (membership_hook_) {
+    membership_hook_();
+  }
 }
 
 void ChurnDriver::apply_repair(const FissioneNetwork::MembershipReport& report,

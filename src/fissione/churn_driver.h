@@ -23,7 +23,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "fissione/network.h"
@@ -73,6 +75,14 @@ class ChurnDriver {
   sim::Simulator& simulator() { return sim_; }
   const Config& config() const { return config_; }
 
+  /// Hook invoked after every *executed* membership event (skipped events
+  /// don't fire it), at sim.now() with the repair exchange already
+  /// scheduled. Layers above the DHT — the replica subsystem — refresh
+  /// their placement and caches through it.
+  void set_membership_hook(std::function<void()> hook) {
+    membership_hook_ = std::move(hook);
+  }
+
   // --- stale-window introspection (all evaluated at sim.now()) -------------
   bool is_stale(PeerId peer) const {
     return windows_.stale_at(peer, sim_.now());
@@ -119,6 +129,7 @@ class ChurnDriver {
   sim::StaleWindows windows_;  ///< by PeerId
   /// payload handle -> transfer arrival time; purged as transfers land.
   std::unordered_map<std::uint64_t, sim::Time> in_flight_;
+  std::function<void()> membership_hook_;  ///< may be empty
 };
 
 }  // namespace armada::fissione

@@ -108,6 +108,16 @@ class FissioneNetwork final : public overlay::RoutedOverlay {
   /// the overlay structure is untouched, only route() choices change.
   void set_proximity_next_hop(bool on) { config_.proximity_next_hop = on; }
 
+  /// Attach a per-peer service-load recorder: the query layers (FRT search
+  /// arrivals, replica walk hops) land one count on each receiving peer.
+  /// Null detaches. Measurement only — never affects routing or timing.
+  void set_service_load(ServiceLoadMap* load) { service_load_ = load; }
+  void record_service(PeerId receiver) const {
+    if (service_load_ != nullptr) {
+      ++(*service_load_)[receiver];
+    }
+  }
+
   // --- data plane --------------------------------------------------------
   /// Ground-truth owner (tree descent, no messages).
   PeerId owner_of(const kautz::KautzString& object_id) const;
@@ -173,6 +183,7 @@ class FissioneNetwork final : public overlay::RoutedOverlay {
   std::vector<PeerId> alive_;
   std::vector<std::size_t> alive_pos_;  ///< index of peer in alive_
   KautzTree tree_;
+  ServiceLoadMap* service_load_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace armada::fissione

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "kautz/kautz_string.h"
@@ -20,7 +21,14 @@ inline constexpr PeerId kNoPeer = static_cast<PeerId>(-1);
 struct StoredObject {
   kautz::KautzString object_id;
   std::uint64_t payload = 0;
+
+  friend bool operator==(const StoredObject&, const StoredObject&) = default;
 };
+
+/// Per-peer count of query-plane messages served (received), recorded by
+/// the search layers through FissioneNetwork::record_service. Load-balance
+/// benches read it to locate hot peers under skewed query workloads.
+using ServiceLoadMap = std::unordered_map<PeerId, std::uint64_t>;
 
 /// Result of routing an exact-match request.
 struct RouteResult {

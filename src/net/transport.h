@@ -152,6 +152,18 @@ class Transport {
       queueing_->record_shed();
     }
   }
+  /// Account a replica reroute / cache hit by the replica subsystem in the
+  /// same currency (no-ops without queueing, like record_shed).
+  void record_replica_route() {
+    if (queueing_ != nullptr) {
+      queueing_->record_replica_route();
+    }
+  }
+  void record_cache_hit() {
+    if (queueing_ != nullptr) {
+      queueing_->record_cache_hit();
+    }
+  }
 
  private:
   std::shared_ptr<const LatencyModel> model_;

@@ -1,0 +1,72 @@
+#include "replica/result_cache.h"
+
+#include <utility>
+
+namespace armada::replica {
+
+ResultCache::ResultCache(std::uint64_t ttl, std::size_t capacity)
+    : ttl_(ttl), capacity_(capacity) {}
+
+const ResultCache::Entry* ResultCache::lookup(fissione::PeerId peer,
+                                              const std::string& tag,
+                                              std::uint64_t now) {
+  if (ttl_ == 0) {
+    return nullptr;
+  }
+  const auto it = entries_.find(Key{peer, tag});
+  if (it == entries_.end()) {
+    return nullptr;
+  }
+  if (now - it->second.inserted >= ttl_) {
+    entries_.erase(it);  // fifo_ keeps the ghost key; erasure tolerates it
+    return nullptr;
+  }
+  return &it->second;
+}
+
+bool ResultCache::insert(fissione::PeerId peer, const std::string& tag,
+                         const kautz::KautzRegion& subregion,
+                         std::vector<std::uint64_t> matches,
+                         std::uint64_t now) {
+  if (ttl_ == 0) {
+    return false;
+  }
+  Key key{peer, tag};
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Refresh in place; the key keeps its original FIFO position.
+    it->second.matches = std::move(matches);
+    it->second.inserted = now;
+    return true;
+  }
+  while (entries_.size() >= capacity_ && !fifo_.empty()) {
+    entries_.erase(fifo_.front());  // may be a ghost of an erased entry
+    fifo_.pop_front();
+  }
+  entries_.emplace(key, Entry{subregion, std::move(matches), now});
+  fifo_.push_back(std::move(key));
+  return true;
+}
+
+std::size_t ResultCache::invalidate_object(
+    const kautz::KautzString& object_id) {
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.subregion.contains(object_id)) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::size_t ResultCache::clear() {
+  const std::size_t dropped = entries_.size();
+  entries_.clear();
+  fifo_.clear();
+  return dropped;
+}
+
+}  // namespace armada::replica

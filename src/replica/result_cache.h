@@ -1,0 +1,73 @@
+// ResultCache: TTL-bounded caching of subtree range results at peers along
+// query paths.
+//
+// Entries are keyed by (peer, tag): the tag is built by the query layer
+// from the query's value bounds plus the class subregion, so only
+// value-level queries — whose filter is a pure function of the bounds —
+// ever populate or read the cache (region-level queries with arbitrary
+// filters pass an empty tag and bypass it). A hit serves the class without
+// touching the region's peers; walks toward a replica holder truncate at
+// the first peer holding a fresh entry.
+//
+// Currency rules (the ouinet cache_control idiom, adapted):
+//   * TTL in query ticks — the subsystem's clock (see PopularityTracker).
+//   * A publish invalidates every entry whose subregion contains the new
+//     ObjectID, everywhere (placement in this repo is instant).
+//   * A membership event invalidates the whole cache: ownership may have
+//     moved arbitrarily and a stale full answer is worse than a re-query.
+//   * Shed partial answers (coverage < 1) are never inserted — a cache
+//     must not launder a degraded answer into a full one.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fissione/types.h"
+#include "kautz/kautz_region.h"
+
+namespace armada::replica {
+
+class ResultCache {
+ public:
+  struct Entry {
+    kautz::KautzRegion subregion;  ///< for publish containment checks
+    std::vector<std::uint64_t> matches;
+    std::uint64_t inserted = 0;  ///< query tick of insertion
+  };
+
+  ResultCache(std::uint64_t ttl, std::size_t capacity);
+
+  /// Fresh entry at (peer, tag) as of tick `now`, or null. Stale entries
+  /// are erased lazily here.
+  const Entry* lookup(fissione::PeerId peer, const std::string& tag,
+                      std::uint64_t now);
+
+  /// Insert (or refresh) an entry; evicts the oldest insertion once
+  /// capacity is exceeded. Returns false when the cache is disabled.
+  bool insert(fissione::PeerId peer, const std::string& tag,
+              const kautz::KautzRegion& subregion,
+              std::vector<std::uint64_t> matches, std::uint64_t now);
+
+  /// Publish invalidation: drop entries whose subregion contains the new
+  /// object. Returns the number of entries dropped.
+  std::size_t invalidate_object(const kautz::KautzString& object_id);
+
+  /// Churn invalidation: drop everything. Returns the number dropped.
+  std::size_t clear();
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  using Key = std::pair<fissione::PeerId, std::string>;
+
+  std::uint64_t ttl_;
+  std::size_t capacity_;
+  std::map<Key, Entry> entries_;  ///< ordered: deterministic iteration
+  std::deque<Key> fifo_;          ///< insertion order for eviction
+};
+
+}  // namespace armada::replica

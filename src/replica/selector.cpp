@@ -1,0 +1,37 @@
+#include "replica/selector.h"
+
+#include <utility>
+
+namespace armada::replica {
+
+using fissione::PeerId;
+
+std::optional<ReplicaSelector::Choice> ReplicaSelector::choose(
+    const ReplicationManager& manager, PeerId issuer,
+    const kautz::KautzString& prefix) const {
+  const ReplicationManager::RegionReplica* region = manager.find(prefix);
+  if (region == nullptr) {
+    return std::nullopt;
+  }
+  std::optional<Choice> best;
+  for (std::size_t i = 0; i < region->holders.size(); ++i) {
+    const ReplicationManager::Holder& holder = region->holders[i];
+    if (!holder.synced || !net_.is_alive(holder.peer)) {
+      continue;
+    }
+    if (net_.owner_of(holder.name) != holder.peer) {
+      continue;  // ownership moved under churn; repair will re-sync
+    }
+    const fissione::RouteResult route = net_.route(issuer, holder.name);
+    if (route.owner != holder.peer) {
+      continue;
+    }
+    // Strict < keeps the lowest holder index on latency ties.
+    if (!best.has_value() || route.latency < best->route_latency) {
+      best = Choice{i, holder.peer, route.path, route.latency};
+    }
+  }
+  return best;
+}
+
+}  // namespace armada::replica

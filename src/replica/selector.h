@@ -1,0 +1,42 @@
+// ReplicaSelector: destination-side FRT choice — route a search class to
+// the cheapest *live* replica holder by transport cost.
+//
+// For a replicated region the selector prices the overlay route from the
+// issuer to each holder's replica name under the network's latency model
+// (a structural walk, no messages) and picks the cheapest holder that is
+// alive, fully synced, and still owns its name; ties keep the lowest
+// holder index. Returns nothing when no holder is usable — the caller then
+// falls back to the plain FRT fan into the region.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "fissione/network.h"
+#include "kautz/kautz_string.h"
+#include "replica/replication.h"
+
+namespace armada::replica {
+
+class ReplicaSelector {
+ public:
+  explicit ReplicaSelector(fissione::FissioneNetwork& net) : net_(net) {}
+
+  struct Choice {
+    std::size_t holder_index = 0;
+    fissione::PeerId holder = fissione::kNoPeer;
+    std::vector<fissione::PeerId> path;  ///< issuer..holder overlay walk
+    double route_latency = 0.0;
+  };
+
+  /// Cheapest usable holder of `prefix` reachable from `issuer`.
+  std::optional<Choice> choose(const ReplicationManager& manager,
+                               fissione::PeerId issuer,
+                               const kautz::KautzString& prefix) const;
+
+ private:
+  fissione::FissioneNetwork& net_;
+};
+
+}  // namespace armada::replica

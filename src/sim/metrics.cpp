@@ -28,6 +28,8 @@ void MetricSet::add(const QueryStats& q) {
   messages_.add(static_cast<double>(q.messages));
   dest_peers_.add(static_cast<double>(q.dest_peers));
   results_.add(static_cast<double>(q.results));
+  replica_routes_.add(static_cast<double>(q.replica_routes));
+  cache_hits_.add(static_cast<double>(q.cache_hits));
   if (q.dest_peers > 0) {
     mesg_ratio_.add(q.mesg_ratio());
   }

@@ -40,6 +40,12 @@ struct QueryStats {
   std::uint64_t dest_peers = 0;
   /// Matching objects found.
   std::uint64_t results = 0;
+  /// Search classes rerouted to a replica holder by the replica subsystem
+  /// instead of fanning into the region (src/replica/).
+  std::uint64_t replica_routes = 0;
+  /// Search classes answered from a path result cache without touching the
+  /// region's peers.
+  std::uint64_t cache_hits = 0;
 
   /// Messages / Destpeers (paper metric MesgRatio).
   double mesg_ratio() const;
@@ -70,6 +76,9 @@ class MetricSet {
   const OnlineStats& messages() const { return messages_; }
   const OnlineStats& dest_peers() const { return dest_peers_; }
   const OnlineStats& results() const { return results_; }
+  /// Replica-subsystem counters (zero while nothing is replicated/cached).
+  const OnlineStats& replica_routes() const { return replica_routes_; }
+  const OnlineStats& cache_hits() const { return cache_hits_; }
   const OnlineStats& mesg_ratio() const { return mesg_ratio_; }
   const OnlineStats& incre_ratio() const { return incre_ratio_; }
   /// Tail behaviour of the two delay metrics (p50/p95/p99): with
@@ -93,6 +102,8 @@ class MetricSet {
   OnlineStats messages_;
   OnlineStats dest_peers_;
   OnlineStats results_;
+  OnlineStats replica_routes_;
+  OnlineStats cache_hits_;
   OnlineStats mesg_ratio_;
   OnlineStats incre_ratio_;
 };

@@ -1,0 +1,312 @@
+// The popularity-aware replication / result-cache subsystem (src/replica/):
+// disabled-config bitwise equivalence, replica-served correctness against
+// the global scan and the paper delay bound, cache TTL / publish / churn
+// invalidation, churn repair, and determinism of the placement and cache
+// hit/miss sequences (ARMADA_FUZZ_SEED overrides the seed sweep).
+#include "replica/replica_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "armada/armada.h"
+#include "fissione/churn_driver.h"
+#include "sim/churn.h"
+#include "support/test_networks.h"
+#include "support/test_workloads.h"
+
+namespace armada::replica {
+namespace {
+
+using core::RangeQueryResult;
+using fissione::PeerId;
+using testsupport::make_single_index;
+using testsupport::publish_uniform_values;
+
+std::vector<std::uint64_t> sorted(std::vector<std::uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// Fixed CI seeds, or the single ARMADA_FUZZ_SEED override (same contract
+/// as integration_fuzz_test — a failing seed replays the exact run).
+std::vector<std::uint64_t> fuzz_seeds() {
+  if (const char* env = std::getenv("ARMADA_FUZZ_SEED")) {
+    char* end = nullptr;
+    const std::uint64_t seed = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0') {
+      std::fprintf(stderr,
+                   "invalid ARMADA_FUZZ_SEED '%s' (expected an unsigned "
+                   "integer)\n",
+                   env);
+      std::exit(2);
+    }
+    return {seed};
+  }
+  return {21, 22, 23};
+}
+
+ReplicationConfig small_scale_config() {
+  ReplicationConfig cfg;
+  cfg.max_replicas = 4;
+  cfg.region_prefix_len = 4;
+  cfg.hot_threshold = 4.0;
+  cfg.cool_threshold = 0.5;
+  cfg.cache_ttl = 8;
+  return cfg;
+}
+
+// A disabled config (the default) must leave every query bitwise identical
+// to an index that never attached the subsystem: identical stats structs,
+// matches, and destinations, with every replica counter at zero.
+TEST(ReplicaDisabled, DefaultConfigKeepsQueriesBitwise) {
+  constexpr std::uint64_t kSeed = 91;
+  auto plain = make_single_index(180, kSeed);
+  auto attached = make_single_index(180, kSeed);
+  publish_uniform_values(plain->index, 500, kSeed * 31 + 7);
+  publish_uniform_values(attached->index, 500, kSeed * 31 + 7);
+  attached->index.enable_replication(ReplicationConfig{});
+  ASSERT_FALSE(attached->index.replicas()->config().enabled());
+
+  Rng rng_a(kSeed + 5);
+  Rng rng_b(kSeed + 5);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto qa = testsupport::random_subrange(
+        rng_a, testsupport::kPaperDomain, 200.0);
+    const auto qb = testsupport::random_subrange(
+        rng_b, testsupport::kPaperDomain, 200.0);
+    const PeerId ia = plain->random_issuer(rng_a);
+    const PeerId ib = attached->random_issuer(rng_b);
+    ASSERT_EQ(ia, ib);
+
+    const RangeQueryResult ra = plain->index.range_query(ia, qa.lo, qa.hi);
+    const RangeQueryResult rb = attached->index.range_query(ib, qb.lo, qb.hi);
+    EXPECT_EQ(ra.stats, rb.stats);
+    EXPECT_EQ(sorted(ra.matches), sorted(rb.matches));
+    EXPECT_EQ(ra.destinations, rb.destinations);
+  }
+  EXPECT_EQ(attached->index.replicas()->stats(), ReplicaStats{});
+}
+
+// Heating one narrow range replicates its region; subsequent queries route
+// the class to a holder (replica_routes both in the subsystem stats and the
+// per-query QueryStats), keep answering exactly what a global scan finds,
+// and stay within the paper delay bound hops <= |PeerID(issuer)|.
+TEST(ReplicaRouting, HotRegionServedByReplicaMatchesScanAndDelayBound) {
+  constexpr std::uint64_t kSeed = 17;
+  auto fx = make_single_index(200, kSeed);
+  publish_uniform_values(fx->index, 800, kSeed * 31 + 7);
+  ReplicationConfig cfg = small_scale_config();
+  cfg.cache_ttl = 0;  // isolate replication from caching
+  ReplicaSet& rs = fx->index.enable_replication(cfg);
+
+  constexpr double kLo = 300.0;
+  constexpr double kHi = 305.0;
+  const auto truth = sorted(fx->index.scan_matches({{kLo, kHi}}));
+  Rng rng(kSeed + 9);
+  std::uint64_t replica_served_queries = 0;
+  for (int q = 0; q < 60; ++q) {
+    const PeerId issuer = fx->random_issuer(rng);
+    const RangeQueryResult r = fx->index.range_query(issuer, kLo, kHi);
+    EXPECT_EQ(sorted(r.matches), truth);
+    EXPECT_EQ(r.stats.coverage, 1.0);
+    EXPECT_LE(r.stats.delay,
+              static_cast<double>(fx->net.peer(issuer).peer_id.length()));
+    replica_served_queries += r.stats.replica_routes > 0 ? 1 : 0;
+  }
+  EXPECT_GE(rs.stats().regions_replicated, 1u);
+  EXPECT_GT(rs.stats().replica_routes, 0u);
+  EXPECT_GT(rs.stats().placement_messages, 0u);
+  EXPECT_GT(replica_served_queries, 0u);
+  // Holders never sit on the region itself, and only live peers serve.
+  for (const auto& [prefix, region] : rs.manager().regions()) {
+    for (const auto& holder : region.holders) {
+      EXPECT_TRUE(fx->net.is_alive(holder.peer));
+      EXPECT_FALSE(rs.manager().is_primary(holder.peer, prefix));
+    }
+  }
+}
+
+// Cache-only config: a repeated (issuer, range) pair answers locally for
+// free until the TTL expires, measured in query ticks.
+TEST(ResultCaching, RepeatQueryHitsUntilTtlExpires) {
+  constexpr std::uint64_t kSeed = 47;
+  auto fx = make_single_index(160, kSeed);
+  publish_uniform_values(fx->index, 500, kSeed * 31 + 7);
+  ReplicationConfig cfg;
+  cfg.max_replicas = 0;  // cache only
+  cfg.cache_ttl = 3;
+  ReplicaSet& rs = fx->index.enable_replication(cfg);
+
+  Rng rng(kSeed + 3);
+  const PeerId issuer = fx->random_issuer(rng);
+  const RangeQueryResult first = fx->index.range_query(issuer, 200.0, 212.0);
+  EXPECT_GT(first.stats.messages, 0u);
+  EXPECT_EQ(first.stats.cache_hits, 0u);
+  EXPECT_GT(rs.stats().cache_insertions, 0u);
+
+  const RangeQueryResult hit = fx->index.range_query(issuer, 200.0, 212.0);
+  EXPECT_EQ(hit.stats.messages, 0u);
+  EXPECT_GT(hit.stats.cache_hits, 0u);
+  EXPECT_EQ(hit.stats.dest_peers, 0u);
+  EXPECT_EQ(sorted(hit.matches), sorted(first.matches));
+
+  // Advance the query-tick clock past the TTL with unrelated queries.
+  for (int i = 0; i < 4; ++i) {
+    fx->index.range_query(issuer, 700.0 + 20.0 * i, 705.0 + 20.0 * i);
+  }
+  const RangeQueryResult expired = fx->index.range_query(issuer, 200.0, 212.0);
+  EXPECT_GT(expired.stats.messages, 0u);
+  EXPECT_EQ(expired.stats.cache_hits, 0u);
+  EXPECT_EQ(sorted(expired.matches), sorted(first.matches));
+}
+
+// A publish into a cached range invalidates the covering entries: the next
+// repeat query recomputes and includes the new object.
+TEST(ResultCaching, PublishInvalidatesCoveringEntries) {
+  constexpr std::uint64_t kSeed = 53;
+  auto fx = make_single_index(160, kSeed);
+  publish_uniform_values(fx->index, 500, kSeed * 31 + 7);
+  ReplicationConfig cfg;
+  cfg.max_replicas = 0;
+  cfg.cache_ttl = 64;
+  ReplicaSet& rs = fx->index.enable_replication(cfg);
+
+  Rng rng(kSeed + 3);
+  const PeerId issuer = fx->random_issuer(rng);
+  fx->index.range_query(issuer, 100.0, 110.0);
+  const RangeQueryResult warm = fx->index.range_query(issuer, 100.0, 110.0);
+  EXPECT_GT(warm.stats.cache_hits, 0u);
+
+  const std::uint64_t fresh = fx->index.publish(105.0);
+  EXPECT_GT(rs.stats().cache_invalidated_publish, 0u);
+
+  const RangeQueryResult after = fx->index.range_query(issuer, 100.0, 110.0);
+  const auto truth = sorted(fx->index.scan_matches({{100.0, 110.0}}));
+  EXPECT_EQ(sorted(after.matches), truth);
+  EXPECT_NE(std::find(after.matches.begin(), after.matches.end(), fresh),
+            after.matches.end());
+}
+
+// Killing a replica holder forces a repair: the holder list is re-derived
+// against the new membership, re-synced over priced kHandoff transfers, and
+// queries keep matching the global scan throughout.
+TEST(ReplicaChurn, HolderCrashForcesRepairAndStaysCorrect) {
+  constexpr std::uint64_t kSeed = 29;
+  auto fx = make_single_index(220, kSeed);
+  publish_uniform_values(fx->index, 700, kSeed * 31 + 7);
+  ReplicationConfig cfg = small_scale_config();
+  cfg.cache_ttl = 0;
+  ReplicaSet& rs = fx->index.enable_replication(cfg);
+
+  constexpr double kLo = 300.0;
+  constexpr double kHi = 305.0;
+  Rng rng(kSeed + 9);
+  for (int q = 0; q < 20; ++q) {
+    fx->index.range_query(fx->random_issuer(rng), kLo, kHi);
+  }
+  ASSERT_FALSE(rs.manager().regions().empty());
+  const PeerId victim =
+      rs.manager().regions().begin()->second.holders.front().peer;
+
+  fissione::FissioneNetwork::MembershipReport report;
+  fx->net.crash(victim, &report);
+  const std::uint64_t messages_before = rs.stats().placement_messages;
+  sim::Simulator sim;
+  rs.on_membership(sim);
+  sim.run();
+  EXPECT_GT(rs.stats().repairs, 0u);
+  EXPECT_GT(rs.stats().placement_messages, messages_before);
+
+  const auto truth = sorted(fx->index.scan_matches({{kLo, kHi}}));
+  for (int q = 0; q < 10; ++q) {
+    const PeerId issuer = fx->random_issuer(rng);
+    const RangeQueryResult r = fx->index.range_query(issuer, kLo, kHi);
+    EXPECT_EQ(sorted(r.matches), truth);
+    for (const auto& [prefix, region] : rs.manager().regions()) {
+      for (const auto& holder : region.holders) {
+        EXPECT_TRUE(fx->net.is_alive(holder.peer));
+      }
+    }
+  }
+}
+
+// Full churn-driver wiring: membership events fire the hook, which clears
+// the cache (counted) and repairs placement; queries after the churn burst
+// still match a fresh global scan.
+TEST(ReplicaChurn, DriverHookInvalidatesCacheAndKeepsQueriesExact) {
+  constexpr std::uint64_t kSeed = 37;
+  auto fx = make_single_index(220, kSeed);
+  publish_uniform_values(fx->index, 700, kSeed * 31 + 7);
+  ReplicaSet& rs = fx->index.enable_replication(small_scale_config());
+
+  Rng rng(kSeed + 9);
+  for (int q = 0; q < 20; ++q) {
+    fx->index.range_query(fx->random_issuer(rng), 300.0, 305.0);
+  }
+  ASSERT_GT(rs.stats().cache_insertions, 0u);
+
+  sim::Simulator sim;
+  fissione::ChurnDriver driver(fx->net, sim);
+  driver.set_membership_hook([&rs, &sim] { rs.on_membership(sim); });
+  std::vector<sim::ChurnEvent> events;
+  for (int i = 0; i < 12; ++i) {
+    const auto kind = i % 3 == 0   ? sim::ChurnEventKind::kJoin
+                      : i % 3 == 1 ? sim::ChurnEventKind::kLeave
+                                   : sim::ChurnEventKind::kCrash;
+    events.push_back({1.0 + static_cast<double>(i), kind});
+  }
+  driver.schedule(events);
+  sim.run();
+  EXPECT_GT(rs.stats().cache_invalidated_churn, 0u);
+
+  const auto truth = sorted(fx->index.scan_matches({{300.0, 305.0}}));
+  for (int q = 0; q < 10; ++q) {
+    const RangeQueryResult r =
+        fx->index.range_query(fx->random_issuer(rng), 300.0, 305.0);
+    EXPECT_EQ(sorted(r.matches), truth);
+  }
+}
+
+// Placement, routing, and the cache hit/miss sequence are deterministic
+// functions of (network seed, workload seed): two fresh runs produce
+// bit-identical per-query stats, matches, and final subsystem counters.
+TEST(ReplicaDeterminism, PlacementAndCacheSequencesReplay) {
+  for (const std::uint64_t seed : fuzz_seeds()) {
+    std::vector<sim::QueryStats> stats[2];
+    std::vector<std::vector<std::uint64_t>> matches[2];
+    ReplicaStats final_stats[2];
+    std::vector<std::string> regions[2];
+    for (int run = 0; run < 2; ++run) {
+      auto fx = make_single_index(180, seed);
+      publish_uniform_values(fx->index, 600, seed * 31 + 7);
+      ReplicaSet& rs = fx->index.enable_replication(small_scale_config());
+      Rng rng(seed + 13);
+      for (int q = 0; q < 50; ++q) {
+        // Quantized ranges so some queries repeat (cache traffic) while
+        // others spread (popularity decay and teardown paths).
+        const double lo = 5.0 * static_cast<double>(rng.next_u64(40));
+        const PeerId issuer = fx->random_issuer(rng);
+        const RangeQueryResult r =
+            fx->index.range_query(issuer, lo, lo + 5.0);
+        stats[run].push_back(r.stats);
+        matches[run].push_back(sorted(r.matches));
+      }
+      final_stats[run] = rs.stats();
+      for (const auto& [prefix, region] : rs.manager().regions()) {
+        regions[run].push_back(prefix.to_string());
+      }
+    }
+    EXPECT_EQ(stats[0], stats[1]);
+    EXPECT_EQ(matches[0], matches[1]);
+    EXPECT_EQ(final_stats[0], final_stats[1]);
+    EXPECT_EQ(regions[0], regions[1]);
+  }
+}
+
+}  // namespace
+}  // namespace armada::replica
