@@ -1,6 +1,15 @@
 // Microbenchmarks of the primitives (google-benchmark): naming, region
-// algebra, overlay routing, curve transforms, and a full PIRA query.
+// algebra, overlay routing, curve transforms, and a full PIRA query —
+// plus a packed-vs-reference KautzString comparison recorded into the
+// ARMADA_BENCH_JSON feed (custom main below).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common.h"
 
 #include "armada/armada.h"
 #include "fissione/network.h"
@@ -92,6 +101,19 @@ void BM_PiraQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_PiraQuery)->Arg(20)->Arg(300);
 
+void BM_KautzShiftTarget(benchmark::State& state) {
+  // The inner op of shift routing: align, then id[1..] ++ oid[j..].
+  Rng rng(3);
+  const auto id = kautz::random_string(rng, 2, 20);
+  const auto oid = kautz::random_string(rng, 2, 48);
+  for (auto _ : state) {
+    const std::size_t j = id.longest_suffix_prefix(oid);
+    benchmark::DoNotOptimize(
+        id.drop_front().concat(oid.suffix(oid.length() - j)));
+  }
+}
+BENCHMARK(BM_KautzShiftTarget);
+
 void BM_FissioneJoin(benchmark::State& state) {
   auto net = fissione::FissioneNetwork::build(1000, 15);
   for (auto _ : state) {
@@ -101,6 +123,176 @@ void BM_FissioneJoin(benchmark::State& state) {
 // Pinned iteration count: every iteration grows the overlay.
 BENCHMARK(BM_FissioneJoin)->Iterations(4000);
 
+// --- packed-vs-reference KautzString timings --------------------------------
+//
+// RefString is the pre-packing representation: one heap digit vector per
+// string, every slice a fresh vector. Timing the same routing-shaped
+// workload against both implementations quantifies what the bit-packed
+// words buy; the measurements land in the ARMADA_BENCH_JSON feed (bench
+// "micro", series "kautz_string") and CI checks the speedups stay >= 1.
+struct RefString {
+  std::uint8_t base = 2;
+  std::vector<std::uint8_t> d;
+
+  RefString suffix(std::size_t len) const {
+    return {base, {d.end() - static_cast<std::ptrdiff_t>(len), d.end()}};
+  }
+  RefString drop_front() const {
+    return {base, {d.begin() + 1, d.end()}};
+  }
+  RefString concat(const RefString& tail) const {
+    RefString out{base, d};
+    out.d.insert(out.d.end(), tail.d.begin(), tail.d.end());
+    return out;
+  }
+  std::size_t longest_suffix_prefix(const RefString& other) const {
+    const std::size_t max_t = std::min(d.size(), other.d.size());
+    for (std::size_t t = max_t; t > 0; --t) {
+      if (std::equal(d.end() - static_cast<std::ptrdiff_t>(t), d.end(),
+                     other.d.begin())) {
+        return t;
+      }
+    }
+    return 0;
+  }
+  bool operator<(const RefString& other) const { return d < other.d; }
+
+  // The pre-packing ctor validated the Kautz invariants too; a copy-only
+  // reference would undercount the old construction cost.
+  static RefString make(std::uint8_t base, std::vector<std::uint8_t> digits) {
+    int prev = -1;
+    for (std::uint8_t x : digits) {
+      if (x > base || static_cast<int>(x) == prev) {
+        std::abort();
+      }
+      prev = x;
+    }
+    return RefString{base, std::move(digits)};
+  }
+};
+
+// Best-of-3: each loop is short at smoke scale, and CI asserts a speedup
+// ratio, so a single scheduler hiccup in either loop must not decide it.
+double seconds_of(const std::function<void()>& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (rep == 0 || secs < best) {
+      best = secs;
+    }
+  }
+  return best;
+}
+
+void record_kautz_micro() {
+  using armada::bench::JsonSink;
+  using armada::bench::scaled;
+
+  const auto ops = static_cast<std::size_t>(scaled(200'000, 20'000));
+  Rng rng(77);
+  // Routing-shaped workload: PeerID-length ids against ObjectID-length
+  // targets, pre-drawn so the timed loops do nothing but the op.
+  std::vector<kautz::KautzString> ids;
+  std::vector<kautz::KautzString> oids;
+  std::vector<RefString> ref_ids;
+  std::vector<RefString> ref_oids;
+  constexpr std::size_t kPool = 512;
+  for (std::size_t i = 0; i < kPool; ++i) {
+    ids.push_back(kautz::random_string(rng, 2, 20));
+    oids.push_back(kautz::random_string(rng, 2, 48));
+    ref_ids.push_back(RefString{2, ids.back().digits()});
+    ref_oids.push_back(RefString{2, oids.back().digits()});
+  }
+
+  // Shift-routing target construction: align + drop_front + concat.
+  const double packed_shift = seconds_of([&] {
+    for (std::size_t i = 0; i < ops; ++i) {
+      const auto& id = ids[i % kPool];
+      const auto& oid = oids[i % kPool];
+      const std::size_t j = id.longest_suffix_prefix(oid);
+      benchmark::DoNotOptimize(
+          id.drop_front().concat(oid.suffix(oid.length() - j)));
+    }
+  });
+  const double ref_shift = seconds_of([&] {
+    for (std::size_t i = 0; i < ops; ++i) {
+      const auto& id = ref_ids[i % kPool];
+      const auto& oid = ref_oids[i % kPool];
+      const std::size_t j = id.longest_suffix_prefix(oid);
+      benchmark::DoNotOptimize(
+          id.drop_front().concat(oid.suffix(oid.d.size() - j)));
+    }
+  });
+
+  // Lexicographic compare (neighbor-table sort order).
+  const double packed_cmp = seconds_of([&] {
+    for (std::size_t i = 0; i < ops; ++i) {
+      benchmark::DoNotOptimize(ids[i % kPool] < ids[(i + 1) % kPool]);
+    }
+  });
+  const double ref_cmp = seconds_of([&] {
+    for (std::size_t i = 0; i < ops; ++i) {
+      benchmark::DoNotOptimize(ref_ids[i % kPool] < ref_ids[(i + 1) % kPool]);
+    }
+  });
+
+  // Construction from digit bytes (parse/publish path).
+  std::vector<std::vector<std::uint8_t>> digit_sets;
+  digit_sets.reserve(kPool);
+  for (std::size_t i = 0; i < kPool; ++i) {
+    digit_sets.push_back(oids[i].digits());
+  }
+  const double packed_ctor = seconds_of([&] {
+    for (std::size_t i = 0; i < ops; ++i) {
+      benchmark::DoNotOptimize(
+          kautz::KautzString(2, digit_sets[i % kPool]));
+    }
+  });
+  const double ref_ctor = seconds_of([&] {
+    for (std::size_t i = 0; i < ops; ++i) {
+      benchmark::DoNotOptimize(RefString::make(2, digit_sets[i % kPool]));
+    }
+  });
+
+  const double n = static_cast<double>(ops);
+  const auto ns = [n](double secs) { return secs / n * 1e9; };
+  std::printf(
+      "\nKautzString packed vs reference (%zu ops):\n"
+      "  shift_target  %7.1f ns vs %7.1f ns  (x%.2f)\n"
+      "  compare       %7.1f ns vs %7.1f ns  (x%.2f)\n"
+      "  construct     %7.1f ns vs %7.1f ns  (x%.2f)\n",
+      ops, ns(packed_shift), ns(ref_shift), ref_shift / packed_shift,
+      ns(packed_cmp), ns(ref_cmp), ref_cmp / packed_cmp, ns(packed_ctor),
+      ns(ref_ctor), ref_ctor / packed_ctor);
+
+  JsonSink::instance().record(
+      "micro", "kautz_string", {{"ops", n}},
+      {{"shift_target_ns_packed", ns(packed_shift)},
+       {"shift_target_ns_reference", ns(ref_shift)},
+       {"shift_target_speedup", ref_shift / packed_shift},
+       {"compare_ns_packed", ns(packed_cmp)},
+       {"compare_ns_reference", ns(ref_cmp)},
+       {"compare_speedup", ref_cmp / packed_cmp},
+       {"construct_ns_packed", ns(packed_ctor)},
+       {"construct_ns_reference", ns(ref_ctor)},
+       {"construct_speedup", ref_ctor / packed_ctor}});
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN): the google-benchmark suite runs
+// as usual, then the packed-vs-reference comparison records its JSON feed.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  record_kautz_micro();
+  return 0;
+}

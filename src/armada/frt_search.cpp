@@ -15,13 +15,9 @@ using kautz::KautzString;
 
 std::size_t FrtSearch::start_alignment(const KautzString& peer_id,
                                        const KautzString& com_t) {
-  const std::size_t max_len = std::min(peer_id.length(), com_t.length());
-  for (std::size_t t = max_len; t > 0; --t) {
-    if (peer_id.suffix(t).is_prefix_of(com_t)) {
-      return t;
-    }
-  }
-  return 0;
+  // The longest suffix of the PeerID that prefixes com_t — exactly the
+  // packed single-word alignment loop, no per-candidate slice temporaries.
+  return peer_id.longest_suffix_prefix(com_t);
 }
 
 namespace {

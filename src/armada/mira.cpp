@@ -56,8 +56,10 @@ void Mira::query_async(sim::Simulator& sim, PeerId issuer, const Box& box,
       std::snprintf(part, sizeof(part), "|%.17g|%.17g", iv.lo, iv.hi);
       base_tag += part;
     }
+    std::vector<KautzRegion> subs = region.split_common_prefix();
     std::vector<ReplicatedClass> classes;
-    for (const KautzRegion& sub : region.split_common_prefix()) {
+    classes.reserve(subs.size());
+    for (KautzRegion& sub : subs) {
       // Skip first-symbol blocks whose subspace misses the box entirely.
       if (!tree_.box_intersects(sub.common_prefix().prefix(1), box)) {
         continue;
@@ -69,7 +71,8 @@ void Mira::query_async(sim::Simulator& sim, PeerId issuer, const Box& box,
                tree_.box_intersects(aligned, box);
       };
       std::string tag = base_tag + "|" + sub.common_prefix().to_string();
-      classes.push_back(ReplicatedClass{sub, std::move(cls), std::move(tag)});
+      classes.push_back(
+          ReplicatedClass{std::move(sub), std::move(cls), std::move(tag)});
     }
     run_replicated_query(
         *rs, sim, net_, issuer, std::move(classes),
@@ -90,15 +93,17 @@ void Mira::query_async(sim::Simulator& sim, PeerId issuer, const Box& box,
     return;
   }
 
+  std::vector<KautzRegion> subs = region.split_common_prefix();
   std::vector<FrtSearchClass> classes;
-  for (const KautzRegion& sub : region.split_common_prefix()) {
+  classes.reserve(subs.size());
+  for (KautzRegion& sub : subs) {
     // Skip first-symbol blocks whose subspace misses the box entirely.
     if (!tree_.box_intersects(sub.common_prefix().prefix(1), box)) {
       continue;
     }
     FrtSearchClass cls;
     cls.com_t = sub.common_prefix();
-    cls.viable = [this, sub, box](const KautzString& aligned) {
+    cls.viable = [this, sub = std::move(sub), box](const KautzString& aligned) {
       return sub.intersects_prefix(aligned) &&
              tree_.box_intersects(aligned, box);
     };

@@ -81,8 +81,10 @@ void Pira::query_region_async_impl(sim::Simulator& sim, PeerId issuer,
     // Paper §4.2 split, one ReplicatedClass per subregion: the orchestrator
     // serves each from cache/replica where possible and FRT-falls-back
     // per class otherwise.
+    std::vector<KautzRegion> subs = region.split_common_prefix();
     std::vector<ReplicatedClass> classes;
-    for (const KautzRegion& sub : region.split_common_prefix()) {
+    classes.reserve(subs.size());
+    for (KautzRegion& sub : subs) {
       FrtSearchClass cls;
       cls.com_t = sub.common_prefix();
       cls.viable = [sub](const KautzString& aligned) {
@@ -93,7 +95,7 @@ void Pira::query_region_async_impl(sim::Simulator& sim, PeerId issuer,
         tag = cache_tag + "|" + sub.common_prefix().to_string();
       }
       classes.push_back(
-          ReplicatedClass{sub, std::move(cls), std::move(tag)});
+          ReplicatedClass{std::move(sub), std::move(cls), std::move(tag)});
     }
     run_replicated_query(
         *rs, sim, net_, issuer, std::move(classes),
@@ -116,11 +118,13 @@ void Pira::query_region_async_impl(sim::Simulator& sim, PeerId issuer,
 
   // Paper §4.2: divide <LowT, HighT> into subregions with common prefixes.
   // Closures own their subregion copies: the search may outlive this frame.
+  std::vector<KautzRegion> subs = region.split_common_prefix();
   std::vector<FrtSearchClass> classes;
-  for (const KautzRegion& sub : region.split_common_prefix()) {
+  classes.reserve(subs.size());
+  for (KautzRegion& sub : subs) {
     FrtSearchClass cls;
     cls.com_t = sub.common_prefix();
-    cls.viable = [sub](const KautzString& aligned) {
+    cls.viable = [sub = std::move(sub)](const KautzString& aligned) {
       return sub.intersects_prefix(aligned);
     };
     classes.push_back(std::move(cls));

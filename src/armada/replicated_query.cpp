@@ -73,9 +73,8 @@ void run_replicated_query(
             ++fan->result.stats.dest_peers;
           }
           fan->result.stats.results += matches.size();
-          for (std::uint64_t m : matches) {
-            fan->result.matches.push_back(m);
-          }
+          fan->result.matches.insert(fan->result.matches.end(),
+                                     matches.begin(), matches.end());
           fan->complete();
         });
     if (served) {
@@ -90,12 +89,11 @@ void run_replicated_query(
           overlay::fan_in(fan->result.stats, r.stats);
           fan->result.stats.dest_peers += r.stats.dest_peers;
           fan->result.stats.results += r.stats.results;
-          for (PeerId dest : r.destinations) {
-            fan->result.destinations.push_back(dest);
-          }
-          for (std::uint64_t m : r.matches) {
-            fan->result.matches.push_back(m);
-          }
+          fan->result.destinations.insert(fan->result.destinations.end(),
+                                          r.destinations.begin(),
+                                          r.destinations.end());
+          fan->result.matches.insert(fan->result.matches.end(),
+                                     r.matches.begin(), r.matches.end());
           if (r.stats.coverage >= 1.0) {
             rs->cache_insert(issuer, tag, sub, r.matches);
           }

@@ -32,11 +32,10 @@ ChordNetwork::ChordNetwork(std::size_t n, std::uint64_t seed) : rng_(seed) {
     ring_pos_[id] = id;
   }
 
-  fingers_.resize(n);
+  fingers_.resize(n * kFingerBits);
   for (NodeId id = 0; id < n; ++id) {
-    fingers_[id].resize(64);
-    for (std::uint32_t i = 0; i < 64; ++i) {
-      fingers_[id][i] = owner_of(keys_[id] + (1ull << i));
+    for (std::uint32_t i = 0; i < kFingerBits; ++i) {
+      finger(id, i) = owner_of(keys_[id] + (1ull << i));
     }
   }
 }
@@ -95,7 +94,7 @@ NodeId ChordNetwork::join(MembershipReport* report) {
   const NodeId id = static_cast<NodeId>(keys_.size());
   keys_.push_back(key);
   alive_.push_back(true);
-  fingers_.emplace_back(64, kNoNode);
+  fingers_.resize(fingers_.size() + kFingerBits, kNoNode);
   ring_pos_.push_back(0);
   const auto it = std::lower_bound(
       ring_.begin(), ring_.end(), key,
@@ -116,10 +115,10 @@ NodeId ChordNetwork::join(MembershipReport* report) {
         continue;
       }
       bool changed = false;
-      for (std::uint32_t i = 0; i < 64; ++i) {
+      for (std::uint32_t i = 0; i < kFingerBits; ++i) {
         const Key start = keys_[n] + (1ull << i);
-        if (fingers_[n][i] != id && in_ring_range(keys_[pred], key, start)) {
-          fingers_[n][i] = id;
+        if (finger(n, i) != id && in_ring_range(keys_[pred], key, start)) {
+          finger(n, i) = id;
           changed = true;
         }
       }
@@ -132,10 +131,10 @@ NodeId ChordNetwork::join(MembershipReport* report) {
   // The joiner builds its own table: one lookup per entry, landing on a
   // handful of distinct targets.
   std::set<NodeId> targets;
-  for (std::uint32_t i = 0; i < 64; ++i) {
-    fingers_[id][i] = owner_of(keys_[id] + (1ull << i));
-    if (fingers_[id][i] != id) {
-      targets.insert(fingers_[id][i]);
+  for (std::uint32_t i = 0; i < kFingerBits; ++i) {
+    finger(id, i) = owner_of(keys_[id] + (1ull << i));
+    if (finger(id, i) != id) {
+      targets.insert(finger(id, i));
     }
   }
 
@@ -167,9 +166,9 @@ void ChordNetwork::remove_node(NodeId node, MembershipReport* report) {
   std::vector<NodeId> rewired;
   for (NodeId n : ring_) {
     bool changed = false;
-    for (std::uint32_t i = 0; i < 64; ++i) {
-      if (fingers_[n][i] == node) {
-        fingers_[n][i] = succ;
+    for (std::uint32_t i = 0; i < kFingerBits; ++i) {
+      if (finger(n, i) == node) {
+        finger(n, i) = succ;
         changed = true;
       }
     }
@@ -177,7 +176,7 @@ void ChordNetwork::remove_node(NodeId node, MembershipReport* report) {
       rewired.push_back(n);
     }
   }
-  fingers_[node].assign(64, kNoNode);
+  std::fill_n(fingers_.begin() + node * kFingerBits, kFingerBits, kNoNode);
 
   if (report != nullptr) {
     report->node = node;
@@ -197,8 +196,8 @@ void ChordNetwork::crash(NodeId node, MembershipReport* report) {
 
 NodeId ChordNetwork::closest_preceding_finger(NodeId node, Key key) const {
   const Key from = keys_[node];
-  for (std::uint32_t i = 64; i > 0; --i) {
-    const NodeId f = fingers_[node][i - 1];
+  for (std::uint32_t i = kFingerBits; i > 0; --i) {
+    const NodeId f = finger(node, i - 1);
     const Key fk = keys_[f];
     if (f != node && in_ring_range(from, key, fk) && fk != key) {
       return f;
@@ -259,8 +258,8 @@ void ChordNetwork::check_invariants() const {
     }
   }
   for (NodeId id : ring_) {
-    for (std::uint32_t i = 0; i < 64; ++i) {
-      ARMADA_CHECK_MSG(fingers_[id][i] == owner_of(keys_[id] + (1ull << i)),
+    for (std::uint32_t i = 0; i < kFingerBits; ++i) {
+      ARMADA_CHECK_MSG(finger(id, i) == owner_of(keys_[id] + (1ull << i)),
                        "stale finger " << i << " at node " << id);
     }
   }
@@ -269,7 +268,8 @@ void ChordNetwork::check_invariants() const {
 double ChordNetwork::average_degree() const {
   std::size_t total = 0;
   for (NodeId id : ring_) {
-    std::set<NodeId> distinct(fingers_[id].begin(), fingers_[id].end());
+    const auto first = fingers_.begin() + id * kFingerBits;
+    std::set<NodeId> distinct(first, first + kFingerBits);
     total += distinct.size();
   }
   return static_cast<double>(total) / static_cast<double>(ring_.size());

@@ -1,7 +1,6 @@
 #include "fissione/network.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "kautz/kautz_space.h"
 #include "util/check.h"
@@ -21,10 +20,6 @@ std::vector<PeerId> bootstrap_ids(std::uint8_t base) {
   return ids;
 }
 
-void erase_value(std::vector<PeerId>& v, PeerId x) {
-  v.erase(std::remove(v.begin(), v.end(), x), v.end());
-}
-
 }  // namespace
 
 FissioneNetwork::FissioneNetwork(Config config, std::uint64_t seed)
@@ -34,11 +29,16 @@ FissioneNetwork::FissioneNetwork(Config config, std::uint64_t seed)
   ARMADA_CHECK(config_.base >= 1);
   ARMADA_CHECK_MSG(config_.object_id_length >= 8,
                    "ObjectIDs must be much longer than PeerIDs");
-  peers_.resize(config_.base + 1u);
-  alive_pos_.resize(config_.base + 1u);
+  const std::size_t n = config_.base + 1u;
+  ids_.resize(n);
+  alive_flags_.resize(n, 0);
+  out_refs_.resize(n);
+  in_refs_.resize(n);
+  store_refs_.resize(n);
+  alive_pos_.resize(n);
   for (std::uint8_t c = 0; c <= config_.base; ++c) {
-    peers_[c].peer_id = tree_.label_of(c);
-    peers_[c].alive = true;
+    ids_[c] = tree_.label_of(c);
+    alive_flags_[c] = 1;
     alive_pos_[c] = alive_.size();
     alive_.push_back(c);
   }
@@ -60,9 +60,30 @@ FissioneNetwork FissioneNetwork::build(std::size_t n, std::uint64_t seed) {
   return build(n, seed, Config{});
 }
 
-const Peer& FissioneNetwork::peer(PeerId id) const {
-  ARMADA_CHECK(id < peers_.size() && peers_[id].alive);
-  return peers_[id];
+FissioneNetwork FissioneNetwork::build_snapshot(std::size_t n,
+                                                std::uint64_t seed,
+                                                Config config) {
+  ARMADA_CHECK(n >= config.base + 1u);
+  FissioneNetwork net(config, seed);
+  net.grow_snapshot(n);
+  return net;
+}
+
+void FissioneNetwork::grow_snapshot(std::size_t n) {
+  while (num_peers() < n) {
+    // Same draws, same split site as join(): route() neither consumes RNG
+    // nor influences the site — its endpoint is owner_of(target) — so the
+    // routed placement walk is pure measurement and can be skipped.
+    const KautzString target = random_object_id();
+    (void)random_peer();  // join() draws the route source; stay aligned
+    const PeerId site = walk_to_local_min(owner_of(target));
+    split_peer(site, nullptr);
+  }
+}
+
+Peer FissioneNetwork::peer(PeerId id) const {
+  ARMADA_CHECK(id < ids_.size() && alive_flags_[id] != 0);
+  return Peer{ids_[id], out_of(id), in_of(id), store_of(id), true};
 }
 
 PeerId FissioneNetwork::random_peer() {
@@ -75,18 +96,37 @@ PeerId FissioneNetwork::allocate_peer() {
     free_ids_.pop_back();
     return id;
   }
-  peers_.emplace_back();
+  ids_.emplace_back();
+  alive_flags_.push_back(0);
+  out_refs_.emplace_back();
+  in_refs_.emplace_back();
+  store_refs_.emplace_back();
   alive_pos_.push_back(0);
-  return static_cast<PeerId>(peers_.size() - 1);
+  return static_cast<PeerId>(ids_.size() - 1);
 }
 
 void FissioneNetwork::release_peer(PeerId id) {
-  peers_[id] = Peer{};
+  ids_[id] = KautzString{config_.base};
+  alive_flags_[id] = 0;
+  edges_.release(out_refs_[id]);
+  edges_.release(in_refs_[id]);
+  stores_.release(store_refs_[id]);
   free_ids_.push_back(id);
 }
 
+std::vector<StoredObject> FissioneNetwork::take_store(PeerId id) {
+  const std::span<StoredObject> sp = stores_.mut_view(store_refs_[id]);
+  std::vector<StoredObject> out;
+  out.reserve(sp.size());
+  for (StoredObject& obj : sp) {
+    out.push_back(std::move(obj));
+  }
+  stores_.clear(store_refs_[id]);
+  return out;
+}
+
 std::vector<PeerId> FissioneNetwork::compute_out_neighbors(PeerId id) const {
-  const KautzString& u = peers_[id].peer_id;
+  const KautzString& u = ids_[id];
   std::vector<PeerId> out;
   if (u.length() == 1) {
     // K(d,1) edges: U = u1 -> beta for every beta != u1.
@@ -104,7 +144,7 @@ std::vector<PeerId> FissioneNetwork::compute_out_neighbors(PeerId id) const {
     out = tree_.cover_of_prefix(u.drop_front());
   }
   std::sort(out.begin(), out.end(), [this](PeerId a, PeerId b) {
-    return peers_[a].peer_id < peers_[b].peer_id;
+    return ids_[a] < ids_[b];
   });
   return out;
 }
@@ -116,18 +156,22 @@ std::vector<PeerId> FissioneNetwork::refresh_neighbors(
                  affected.end());
   std::vector<PeerId> refreshed;
   for (PeerId p : affected) {
-    if (p >= peers_.size() || !peers_[p].alive) {
+    if (p >= ids_.size() || !alive(p)) {
       continue;
     }
-    for (PeerId t : peers_[p].out_neighbors) {
-      if (t < peers_.size() && peers_[t].alive) {
-        erase_value(peers_[t].in_neighbors, p);
+    // Detach p from its old out-neighbors' in-lists. erase_value never
+    // grows the arena, so walking p's out-span while editing other blocks
+    // is safe.
+    for (PeerId t : out_of(p)) {
+      if (t < ids_.size() && alive(t)) {
+        edges_.erase_value(in_refs_[t], p);
       }
     }
-    peers_[p].out_neighbors = compute_out_neighbors(p);
-    for (PeerId t : peers_[p].out_neighbors) {
-      peers_[t].in_neighbors.push_back(p);
+    std::vector<PeerId> fresh = compute_out_neighbors(p);
+    for (PeerId t : fresh) {
+      edges_.push_back(in_refs_[t], p);  // never t == p: Kautz, no self-loops
     }
+    edges_.assign(out_refs_[p], std::move(fresh));
     refreshed.push_back(p);
   }
   return refreshed;
@@ -138,17 +182,17 @@ PeerId FissioneNetwork::walk_to_local_min(PeerId start, std::uint32_t* hops,
   PeerId cur = start;
   for (;;) {
     PeerId best = cur;
-    std::size_t best_len = peers_[cur].peer_id.length();
+    std::size_t best_len = ids_[cur].length();
     auto consider = [&](PeerId cand) {
-      if (peers_[cand].peer_id.length() < best_len) {
+      if (ids_[cand].length() < best_len) {
         best = cand;
-        best_len = peers_[cand].peer_id.length();
+        best_len = ids_[cand].length();
       }
     };
-    for (PeerId n : peers_[cur].out_neighbors) {
+    for (PeerId n : out_of(cur)) {
       consider(n);
     }
-    for (PeerId n : peers_[cur].in_neighbors) {
+    for (PeerId n : in_of(cur)) {
       consider(n);
     }
     if (best == cur) {
@@ -167,29 +211,32 @@ PeerId FissioneNetwork::walk_to_local_min(PeerId start, std::uint32_t* hops,
 PeerId FissioneNetwork::split_peer(PeerId victim, MembershipReport* report) {
   // Collect whose out-lists can change: the victim's in-neighbors plus the
   // two peers at the split site.
-  std::vector<PeerId> affected = peers_[victim].in_neighbors;
+  std::vector<PeerId> affected(in_of(victim).begin(), in_of(victim).end());
   affected.push_back(victim);
 
   const PeerId joiner = allocate_peer();
   tree_.split(victim, joiner);
-  peers_[victim].peer_id = tree_.label_of(victim);
-  peers_[joiner].peer_id = tree_.label_of(joiner);
-  peers_[joiner].alive = true;
+  ids_[victim] = tree_.label_of(victim);
+  ids_[joiner] = tree_.label_of(joiner);
+  alive_flags_[joiner] = 1;
   alive_pos_[joiner] = alive_.size();
   alive_.push_back(joiner);
 
-  // Redistribute the victim's objects between the two halves.
+  // Redistribute the victim's objects between the two halves. The store is
+  // materialized out of the arena first: pushing the joiner's half back in
+  // can grow the pool, which would invalidate a live span of the source.
+  std::vector<StoredObject> old_store = take_store(victim);
   std::vector<StoredObject> keep;
   std::vector<std::uint64_t> moved;
-  for (StoredObject& obj : peers_[victim].store) {
-    if (peers_[victim].peer_id.is_prefix_of(obj.object_id)) {
+  for (StoredObject& obj : old_store) {
+    if (ids_[victim].is_prefix_of(obj.object_id)) {
       keep.push_back(std::move(obj));
     } else {
       moved.push_back(obj.payload);
-      peers_[joiner].store.push_back(std::move(obj));
+      stores_.push_back(store_refs_[joiner], std::move(obj));
     }
   }
-  peers_[victim].store = std::move(keep);
+  stores_.assign(store_refs_[victim], std::move(keep));
 
   affected.push_back(joiner);
   std::vector<PeerId> rewired = refresh_neighbors(std::move(affected));
@@ -223,7 +270,7 @@ FissioneNetwork::JoinStats FissioneNetwork::join(MembershipReport* report) {
 namespace {
 
 std::vector<std::uint64_t> store_payloads(
-    const std::vector<StoredObject>& store) {
+    std::span<const StoredObject> store) {
   std::vector<std::uint64_t> payloads;
   payloads.reserve(store.size());
   for (const StoredObject& obj : store) {
@@ -236,14 +283,14 @@ std::vector<std::uint64_t> store_payloads(
 
 std::size_t FissioneNetwork::remove_peer(PeerId leaving, bool transfer,
                                          MembershipReport* report) {
-  ARMADA_CHECK(leaving < peers_.size() && peers_[leaving].alive);
+  ARMADA_CHECK(leaving < ids_.size() && alive(leaving));
   ARMADA_CHECK_MSG(num_peers() > config_.base + 1u,
                    "cannot drop below the bootstrap size");
 
   std::size_t dropped = 0;
   if (!transfer) {
-    dropped = peers_[leaving].store.size();
-    peers_[leaving].store.clear();
+    dropped = store_of(leaving).size();
+    stores_.clear(store_refs_[leaving]);
   }
   if (report != nullptr) {
     report->objects_dropped = dropped;
@@ -262,6 +309,16 @@ std::size_t FissioneNetwork::remove_peer(PeerId leaving, bool transfer,
           MembershipReport::Handoff{from, to, std::move(payloads)});
     }
   };
+  auto detach_out_edges = [this](PeerId p) {
+    for (PeerId t : out_of(p)) {
+      edges_.erase_value(in_refs_[t], p);
+    }
+  };
+  auto append_store = [this](PeerId to, std::vector<StoredObject> objs) {
+    for (StoredObject& obj : objs) {
+      stores_.push_back(store_refs_[to], std::move(obj));
+    }
+  };
 
   // A local sibling merge is only safe at maximum depth: merging a pair at
   // depth d produces a peer at d-1, and a neighbor at d+1 would then violate
@@ -271,20 +328,18 @@ std::size_t FissioneNetwork::remove_peer(PeerId leaving, bool transfer,
   if (tree_.in_leaf_pair(leaving) && tree_.depth_of(leaving) == max_depth) {
     // Fusion: the sibling absorbs the parent zone.
     const PeerId sibling = tree_.pair_sibling(leaving);
-    std::vector<PeerId> affected = peers_[leaving].in_neighbors;
-    affected.insert(affected.end(), peers_[sibling].in_neighbors.begin(),
-                    peers_[sibling].in_neighbors.end());
+    std::vector<PeerId> affected(in_of(leaving).begin(),
+                                 in_of(leaving).end());
+    affected.insert(affected.end(), in_of(sibling).begin(),
+                    in_of(sibling).end());
     affected.push_back(sibling);
 
-    record_handoff(leaving, sibling, store_payloads(peers_[leaving].store));
-    for (StoredObject& obj : peers_[leaving].store) {
-      peers_[sibling].store.push_back(std::move(obj));
-    }
-    for (PeerId t : peers_[leaving].out_neighbors) {
-      erase_value(peers_[t].in_neighbors, leaving);
-    }
+    std::vector<StoredObject> inherited = take_store(leaving);
+    record_handoff(leaving, sibling, store_payloads(inherited));
+    append_store(sibling, std::move(inherited));
+    detach_out_edges(leaving);
     tree_.merge_pair(leaving, sibling);
-    peers_[sibling].peer_id = tree_.label_of(sibling);
+    ids_[sibling] = tree_.label_of(sibling);
     drop_from_alive(leaving);
     release_peer(leaving);
     std::vector<PeerId> rewired = refresh_neighbors(std::move(affected));
@@ -302,30 +357,25 @@ std::size_t FissioneNetwork::remove_peer(PeerId leaving, bool transfer,
   const PeerId b = tree_.pair_sibling(a);
   ARMADA_CHECK(a != leaving && b != leaving);
 
-  std::vector<PeerId> affected = peers_[leaving].in_neighbors;
-  affected.insert(affected.end(), peers_[a].in_neighbors.begin(),
-                  peers_[a].in_neighbors.end());
-  affected.insert(affected.end(), peers_[b].in_neighbors.begin(),
-                  peers_[b].in_neighbors.end());
+  std::vector<PeerId> affected(in_of(leaving).begin(), in_of(leaving).end());
+  affected.insert(affected.end(), in_of(a).begin(), in_of(a).end());
+  affected.insert(affected.end(), in_of(b).begin(), in_of(b).end());
   affected.push_back(a);
   affected.push_back(b);
 
-  record_handoff(a, b, store_payloads(peers_[a].store));
-  for (StoredObject& obj : peers_[a].store) {
-    peers_[b].store.push_back(std::move(obj));
-  }
-  peers_[a].store.clear();
+  std::vector<StoredObject> merged = take_store(a);
+  record_handoff(a, b, store_payloads(merged));
+  append_store(b, std::move(merged));
   tree_.merge_pair(a, b);
-  peers_[b].peer_id = tree_.label_of(b);
+  ids_[b] = tree_.label_of(b);
 
   // Relocate A into the departed zone.
   tree_.replace_leaf_peer(leaving, a);
-  peers_[a].peer_id = tree_.label_of(a);
-  record_handoff(leaving, a, store_payloads(peers_[leaving].store));
-  peers_[a].store = std::move(peers_[leaving].store);
-  for (PeerId t : peers_[leaving].out_neighbors) {
-    erase_value(peers_[t].in_neighbors, leaving);
-  }
+  ids_[a] = tree_.label_of(a);
+  std::vector<StoredObject> relocated = take_store(leaving);
+  record_handoff(leaving, a, store_payloads(relocated));
+  stores_.assign(store_refs_[a], std::move(relocated));
+  detach_out_edges(leaving);
   drop_from_alive(leaving);
   release_peer(leaving);
   std::vector<PeerId> rewired = refresh_neighbors(std::move(affected));
@@ -351,7 +401,8 @@ PeerId FissioneNetwork::owner_of(const KautzString& object_id) const {
 void FissioneNetwork::publish(const KautzString& object_id,
                               std::uint64_t payload) {
   ARMADA_CHECK(object_id.length() == config_.object_id_length);
-  peers_[owner_of(object_id)].store.push_back(StoredObject{object_id, payload});
+  stores_.push_back(store_refs_[owner_of(object_id)],
+                    StoredObject{object_id, payload});
 }
 
 PeerId FissioneNetwork::proximity_next_hop(PeerId cur,
@@ -371,13 +422,13 @@ PeerId FissioneNetwork::proximity_next_hop(PeerId cur,
   // model (deterministically: first-listed neighbor on equal latency).
   // In-neighbors occasionally align *better* than the canonical hop, so the
   // flag can shorten walks as well as cheapen them.
-  const KautzString& id = peers_[cur].peer_id;
+  const KautzString& id = ids_[cur];
   const std::size_t cur_rem = id.length() - id.longest_suffix_prefix(object_id);
   PeerId best = kNoPeer;
   std::size_t best_rem = 0;
   sim::Time best_link = 0.0;
   const auto consider = [&](PeerId n) {
-    const KautzString& nid = peers_[n].peer_id;
+    const KautzString& nid = ids_[n];
     const std::size_t rem =
         nid.length() - nid.longest_suffix_prefix(object_id);
     if (rem >= cur_rem) {
@@ -391,10 +442,10 @@ PeerId FissioneNetwork::proximity_next_hop(PeerId cur,
       best_link = link;
     }
   };
-  for (PeerId n : peers_[cur].out_neighbors) {
+  for (PeerId n : out_of(cur)) {
     consider(n);
   }
-  for (PeerId n : peers_[cur].in_neighbors) {
+  for (PeerId n : in_of(cur)) {
     consider(n);
   }
   ARMADA_CHECK_MSG(best != kNoPeer,
@@ -405,15 +456,15 @@ PeerId FissioneNetwork::proximity_next_hop(PeerId cur,
 
 RouteResult FissioneNetwork::route(PeerId from,
                                    const KautzString& object_id) const {
-  ARMADA_CHECK(from < peers_.size() && peers_[from].alive);
+  ARMADA_CHECK(from < ids_.size() && alive(from));
   ARMADA_CHECK(object_id.length() == config_.object_id_length);
 
   RouteResult result;
   result.path.push_back(from);
   PeerId cur = from;
   const std::size_t hop_limit = 4 * config_.object_id_length;
-  while (!peers_[cur].peer_id.is_prefix_of(object_id)) {
-    const KautzString& id = peers_[cur].peer_id;
+  while (!ids_[cur].is_prefix_of(object_id)) {
+    const KautzString& id = ids_[cur];
     const std::size_t j = id.longest_suffix_prefix(object_id);
     // Shift routing: advance to the owner of id[1..] ++ object_id[j..].
     const KautzString target =
@@ -422,8 +473,8 @@ RouteResult FissioneNetwork::route(PeerId from,
     if (config_.proximity_next_hop) {
       next = proximity_next_hop(cur, object_id, target);
     } else {
-      for (PeerId n : peers_[cur].out_neighbors) {
-        if (peers_[n].peer_id.is_prefix_of(target)) {
+      for (PeerId n : out_of(cur)) {
+        if (ids_[n].is_prefix_of(target)) {
           next = n;
           break;
         }
@@ -446,7 +497,7 @@ std::vector<std::uint64_t> FissioneNetwork::lookup(
     PeerId from, const KautzString& object_id, RouteResult* route_out) const {
   const RouteResult r = route(from, object_id);
   std::vector<std::uint64_t> payloads;
-  for (const StoredObject& obj : peers_[r.owner].store) {
+  for (const StoredObject& obj : store_of(r.owner)) {
     if (obj.object_id == object_id) {
       payloads.push_back(obj.payload);
     }
@@ -482,36 +533,39 @@ void FissioneNetwork::check_invariants() const {
   tree_.check_structure();
   ARMADA_CHECK(tree_.num_leaves() == alive_.size());
   for (PeerId id : alive_) {
-    const Peer& p = peers_[id];
-    ARMADA_CHECK(p.alive);
+    ARMADA_CHECK(alive(id));
     ARMADA_CHECK(tree_.hosts(id));
-    ARMADA_CHECK_MSG(tree_.label_of(id) == p.peer_id,
+    ARMADA_CHECK_MSG(tree_.label_of(id) == ids_[id],
                      "peer " << id << " label mismatch");
     // Out-neighbors match a fresh recomputation.
-    ARMADA_CHECK_MSG(p.out_neighbors == compute_out_neighbors(id),
-                     "stale out-neighbors at peer " << id);
+    const std::span<const PeerId> out = out_of(id);
+    const std::vector<PeerId> fresh = compute_out_neighbors(id);
+    ARMADA_CHECK_MSG(
+        std::equal(out.begin(), out.end(), fresh.begin(), fresh.end()),
+        "stale out-neighbors at peer " << id);
     // Out-neighbor IDs have the form u2...ub q1...qm.
-    for (PeerId n : p.out_neighbors) {
-      const KautzString& v = peers_[n].peer_id;
-      if (p.peer_id.length() >= 2) {
-        const KautzString shifted = p.peer_id.drop_front();
+    for (PeerId n : out) {
+      const KautzString& v = ids_[n];
+      if (ids_[id].length() >= 2) {
+        const KautzString shifted = ids_[id].drop_front();
         ARMADA_CHECK_MSG(
             shifted.is_prefix_of(v) || v.is_prefix_of(shifted),
-            "edge " << p.peer_id.to_string() << " -> " << v.to_string());
+            "edge " << ids_[id].to_string() << " -> " << v.to_string());
       }
     }
     // Transpose consistency.
-    for (PeerId n : p.out_neighbors) {
-      const auto& in = peers_[n].in_neighbors;
+    for (PeerId n : out) {
+      const std::span<const PeerId> in = in_of(n);
       ARMADA_CHECK(std::find(in.begin(), in.end(), id) != in.end());
     }
-    for (PeerId n : p.in_neighbors) {
-      const auto& out = peers_[n].out_neighbors;
-      ARMADA_CHECK(std::find(out.begin(), out.end(), id) != out.end());
+    for (PeerId n : in_of(id)) {
+      const std::span<const PeerId> from_n = out_of(n);
+      ARMADA_CHECK(std::find(from_n.begin(), from_n.end(), id) !=
+                   from_n.end());
     }
     // Objects are owned by their holder.
-    for (const StoredObject& obj : p.store) {
-      ARMADA_CHECK_MSG(p.peer_id.is_prefix_of(obj.object_id),
+    for (const StoredObject& obj : store_of(id)) {
+      ARMADA_CHECK_MSG(ids_[id].is_prefix_of(obj.object_id),
                        "misplaced object at peer " << id);
     }
   }
@@ -520,9 +574,9 @@ void FissioneNetwork::check_invariants() const {
 std::size_t FissioneNetwork::max_neighbor_length_gap() const {
   std::size_t gap = 0;
   for (PeerId id : alive_) {
-    const std::size_t lu = peers_[id].peer_id.length();
-    for (PeerId n : peers_[id].out_neighbors) {
-      const std::size_t lv = peers_[n].peer_id.length();
+    const std::size_t lu = ids_[id].length();
+    for (PeerId n : out_of(id)) {
+      const std::size_t lv = ids_[n].length();
       gap = std::max(gap, lu > lv ? lu - lv : lv - lu);
     }
   }
@@ -532,7 +586,7 @@ std::size_t FissioneNetwork::max_neighbor_length_gap() const {
 double FissioneNetwork::average_degree() const {
   std::uint64_t total = 0;
   for (PeerId id : alive_) {
-    total += peers_[id].out_neighbors.size() + peers_[id].in_neighbors.size();
+    total += out_of(id).size() + in_of(id).size();
   }
   return static_cast<double>(total) / static_cast<double>(alive_.size());
 }
@@ -540,7 +594,7 @@ double FissioneNetwork::average_degree() const {
 Histogram FissioneNetwork::peer_id_length_histogram() const {
   Histogram h;
   for (PeerId id : alive_) {
-    h.add(static_cast<std::int64_t>(peers_[id].peer_id.length()));
+    h.add(static_cast<std::int64_t>(ids_[id].length()));
   }
   return h;
 }
@@ -548,7 +602,7 @@ Histogram FissioneNetwork::peer_id_length_histogram() const {
 std::size_t FissioneNetwork::total_objects() const {
   std::size_t n = 0;
   for (PeerId id : alive_) {
-    n += peers_[id].store.size();
+    n += store_of(id).size();
   }
   return n;
 }

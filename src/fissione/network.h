@@ -9,12 +9,14 @@
 // average < log2 N, routing delay bounded by the source PeerID length.
 #pragma once
 
+#include <span>
 #include <string_view>
 
 #include "fissione/kautz_tree.h"
 #include "fissione/peer.h"
 #include "fissione/types.h"
 #include "net/routed_overlay.h"
+#include "util/arena.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -23,6 +25,14 @@ namespace armada::fissione {
 /// Simulated FISSIONE overlay. Structural changes (join/leave/crash) keep
 /// the per-peer neighbor tables exactly consistent with the zone partition,
 /// mirroring the paper's self-stabilization at quiescence.
+///
+/// Peer state is stored struct-of-arrays: PeerIDs, liveness flags, neighbor
+/// lists, and object stores each live in their own contiguous array, with
+/// the variable-length lists packed into two shared arenas (ArenaPool).
+/// Routing and the query layers touch only the arrays they need — IDs and
+/// out-edges — so the hot path walks dense memory instead of hopping
+/// between per-peer heap nodes. peer() assembles the classic record view
+/// on demand.
 class FissioneNetwork final : public overlay::RoutedOverlay {
  public:
   struct Config {
@@ -81,6 +91,19 @@ class FissioneNetwork final : public overlay::RoutedOverlay {
                                Config config);
   static FissioneNetwork build(std::size_t n, std::uint64_t seed);
 
+  /// build(), minus the routed placement walk: the join site is located by
+  /// direct tree descent plus the same local-minimum walk, consuming the
+  /// exact RNG draws of build() — the resulting overlay (tree, PeerIDs,
+  /// neighbor tables) is bit-identical to build(n, seed, config) while
+  /// skipping the per-join shift-routing cost. This is what lets bench_scale
+  /// stand up million-peer overlays in seconds.
+  static FissioneNetwork build_snapshot(std::size_t n, std::uint64_t seed,
+                                        Config config);
+
+  /// Grow this network to `n` peers via the snapshot (non-routing) join
+  /// path; equivalent to calling join() until num_peers() == n.
+  void grow_snapshot(std::size_t n);
+
   // --- membership -------------------------------------------------------
   // Structural changes commute instantly (the zero-delay degenerate case);
   // pass a MembershipReport to learn what a timed repair protocol would
@@ -95,9 +118,11 @@ class FissioneNetwork final : public overlay::RoutedOverlay {
   // --- accessors ---------------------------------------------------------
   std::size_t num_peers() const { return alive_.size(); }
   bool is_alive(PeerId id) const {
-    return id < peers_.size() && peers_[id].alive;
+    return id < ids_.size() && alive_flags_[id] != 0;
   }
-  const Peer& peer(PeerId id) const;
+  /// Record view of one peer, assembled from the column arrays. The spans
+  /// inside are valid until the next membership or publish operation.
+  Peer peer(PeerId id) const;
   const std::vector<PeerId>& alive_peers() const { return alive_; }
   PeerId random_peer();
   const KautzTree& tree() const { return tree_; }
@@ -150,6 +175,24 @@ class FissioneNetwork final : public overlay::RoutedOverlay {
   std::size_t total_objects() const;
 
  private:
+  using EdgeRef = util::ArenaPool<PeerId>::Ref;
+  using StoreRef = util::ArenaPool<StoredObject>::Ref;
+
+  // Column accessors (SoA). The spans are invalidated by pool growth — copy
+  // a list out before mutating the same pool while walking it.
+  bool alive(PeerId id) const { return alive_flags_[id] != 0; }
+  std::span<const PeerId> out_of(PeerId id) const {
+    return edges_.view(out_refs_[id]);
+  }
+  std::span<const PeerId> in_of(PeerId id) const {
+    return edges_.view(in_refs_[id]);
+  }
+  std::span<const StoredObject> store_of(PeerId id) const {
+    return stores_.view(store_refs_[id]);
+  }
+  /// Move a peer's store out of the arena (the block is kept for reuse).
+  std::vector<StoredObject> take_store(PeerId id);
+
   PeerId allocate_peer();
   void release_peer(PeerId id);
   std::vector<PeerId> compute_out_neighbors(PeerId id) const;
@@ -178,7 +221,14 @@ class FissioneNetwork final : public overlay::RoutedOverlay {
 
   Config config_;
   Rng rng_;
-  std::vector<Peer> peers_;
+  // Per-peer columns, indexed by PeerId (parallel arrays).
+  std::vector<kautz::KautzString> ids_;
+  std::vector<std::uint8_t> alive_flags_;
+  std::vector<EdgeRef> out_refs_;
+  std::vector<EdgeRef> in_refs_;
+  std::vector<StoreRef> store_refs_;
+  util::ArenaPool<PeerId> edges_;        ///< out- and in-lists, one arena
+  util::ArenaPool<StoredObject> stores_; ///< per-peer object stores
   std::vector<PeerId> free_ids_;
   std::vector<PeerId> alive_;
   std::vector<std::size_t> alive_pos_;  ///< index of peer in alive_

@@ -1,23 +1,31 @@
-// Per-peer state: exactly what a real FISSIONE node would hold locally.
+// Per-peer view: exactly what a real FISSIONE node would hold locally.
 #pragma once
 
-#include <vector>
+#include <span>
 
 #include "fissione/types.h"
 #include "kautz/kautz_string.h"
 
 namespace armada::fissione {
 
-/// A FISSIONE peer. PeerIDs are variable-length base-2 Kautz strings; the
-/// peer owns every ObjectID it prefixes. Out-neighbors have PeerIDs of the
-/// form u2...ub q1...qm (0 <= m <= 2) for U = u1...ub (paper §3) and are
-/// kept sorted by PeerID — the order the forward routing tree relies on
+/// Read-only view of one FISSIONE peer's state. The network stores peers
+/// struct-of-arrays (IDs, liveness, neighbor lists, and object stores each
+/// in their own contiguous array/arena — see FissioneNetwork); this view is
+/// assembled on access so call sites keep the record-like shape.
+///
+/// PeerIDs are variable-length base-2 Kautz strings; the peer owns every
+/// ObjectID it prefixes. Out-neighbors have PeerIDs of the form
+/// u2...ub q1...qm (0 <= m <= 2) for U = u1...ub (paper §3) and are kept
+/// sorted by PeerID — the order the forward routing tree relies on
 /// (paper §4.2, FRT rule 3).
+///
+/// The spans point into the network's arenas: they are valid until the next
+/// membership or publish operation, like iterators into a container.
 struct Peer {
-  kautz::KautzString peer_id{2};
-  std::vector<PeerId> out_neighbors;
-  std::vector<PeerId> in_neighbors;
-  std::vector<StoredObject> store;
+  const kautz::KautzString& peer_id;
+  std::span<const PeerId> out_neighbors;
+  std::span<const PeerId> in_neighbors;
+  std::span<const StoredObject> store;
   bool alive = false;
 };
 

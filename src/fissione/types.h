@@ -2,7 +2,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "kautz/kautz_string.h"
@@ -28,7 +28,79 @@ struct StoredObject {
 /// Per-peer count of query-plane messages served (received), recorded by
 /// the search layers through FissioneNetwork::record_service. Load-balance
 /// benches read it to locate hot peers under skewed query workloads.
-using ServiceLoadMap = std::unordered_map<PeerId, std::uint64_t>;
+///
+/// PeerIds are dense, so this is a plain vector indexed by PeerId — one
+/// predictable store on the query hot path instead of an unordered_map
+/// probe — wrapped in the map-like surface (operator[], find/end iteration
+/// over recorded peers) the benches read. Iteration order is ascending
+/// PeerId, deterministic by construction.
+class ServiceLoadMap {
+ public:
+  using value_type = std::pair<PeerId, std::uint64_t>;
+
+  std::uint64_t& operator[](PeerId p) {
+    if (p >= counts_.size()) {
+      counts_.resize(static_cast<std::size_t>(p) + 1, 0);
+    }
+    return counts_[p];
+  }
+
+  /// Forward iterator over peers with a nonzero count (entries are only
+  /// ever created by incrementing, so zero means "never recorded").
+  class const_iterator {
+   public:
+    const_iterator(const std::vector<std::uint64_t>* counts, std::size_t i)
+        : counts_(counts), i_(i) {
+      skip_zeros();
+    }
+    const value_type& operator*() const {
+      cur_ = {static_cast<PeerId>(i_), (*counts_)[i_]};
+      return cur_;
+    }
+    const value_type* operator->() const { return &operator*(); }
+    const_iterator& operator++() {
+      ++i_;
+      skip_zeros();
+      return *this;
+    }
+    bool operator==(const const_iterator& other) const {
+      return i_ == other.i_;
+    }
+
+   private:
+    void skip_zeros() {
+      while (i_ < counts_->size() && (*counts_)[i_] == 0) {
+        ++i_;
+      }
+    }
+
+    const std::vector<std::uint64_t>* counts_;
+    std::size_t i_;
+    mutable value_type cur_{};
+  };
+
+  const_iterator begin() const { return {&counts_, 0}; }
+  const_iterator end() const { return {&counts_, counts_.size()}; }
+  const_iterator find(PeerId p) const {
+    if (p < counts_.size() && counts_[p] != 0) {
+      return {&counts_, p};
+    }
+    return end();
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (std::uint64_t c : counts_) {
+      n += c != 0 ? 1 : 0;
+    }
+    return n;
+  }
+  bool empty() const { return size() == 0; }
+  void clear() { counts_.clear(); }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
 
 /// Result of routing an exact-match request.
 struct RouteResult {

@@ -1,22 +1,46 @@
+// Cold and bulk KautzString operations; the slicing/alignment/ordering hot
+// path is inline in kautz_string.h.
 #include "kautz/kautz_string.h"
 
-#include <algorithm>
 #include <ostream>
 #include <string_view>
 
-#include "util/check.h"
-#include "util/hash.h"
-
 namespace armada::kautz {
 
-KautzString::KautzString(std::uint8_t base) : base_(base) {
-  ARMADA_CHECK(base_ >= 1);
-}
-
-KautzString::KautzString(std::uint8_t base, std::vector<std::uint8_t> digits)
-    : base_(base), digits_(std::move(digits)) {
-  ARMADA_CHECK(base_ >= 1);
-  check_valid();
+KautzString::KautzString(std::uint8_t base,
+                         const std::vector<std::uint8_t>& digits)
+    : KautzString(Raw{}, base, digits.size()) {
+  // Validate before packing: a digit wider than bits() would be truncated
+  // silently and then pass the packed-representation check. Two passes — the
+  // validation loop vectorizes (byte compares against base and against the
+  // shifted-by-one sequence), the packing loop stores one word per 32/16
+  // digits.
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    ARMADA_CHECK_MSG(digits[i] <= base_, "digit " << int(digits[i])
+                                                  << " exceeds base "
+                                                  << int(base_));
+    if (i > 0) {
+      ARMADA_CHECK_MSG(digits[i] != digits[i - 1],
+                       "repeated symbol at position " << i);
+    }
+  }
+  std::uint64_t* ws = words();
+  std::uint64_t cur = 0;
+  std::size_t w = 0;
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cur |= static_cast<std::uint64_t>(digits[i]) << off;
+    off += bits_;
+    if (off == 64) {
+      ws[w++] = cur;
+      cur = 0;
+      off = 0;
+    }
+  }
+  if (off != 0) {
+    ws[w] = cur;
+  }
 }
 
 KautzString KautzString::parse(std::string_view text, std::uint8_t base) {
@@ -26,134 +50,76 @@ KautzString KautzString::parse(std::string_view text, std::uint8_t base) {
     ARMADA_CHECK_MSG(c >= '0' && c <= '9', "bad digit '" << c << "'");
     digits.push_back(static_cast<std::uint8_t>(c - '0'));
   }
-  return KautzString(base, std::move(digits));
+  return KautzString(base, digits);
 }
 
-std::uint8_t KautzString::digit(std::size_t i) const {
-  ARMADA_CHECK_MSG(i < digits_.size(), "index " << i << " out of range");
-  return digits_[i];
+void KautzString::set_digit(std::size_t i, std::uint8_t symbol) {
+  const std::size_t w = (i << lg()) >> 6u;
+  const std::size_t r = (i << lg()) & 63u;
+  std::uint64_t* ws = words();
+  ws[w] = (ws[w] & ~(low_mask(bits_) << r)) |
+          (static_cast<std::uint64_t>(symbol) << r);
 }
 
-std::uint8_t KautzString::front() const {
-  ARMADA_CHECK(!digits_.empty());
-  return digits_.front();
-}
-
-std::uint8_t KautzString::back() const {
-  ARMADA_CHECK(!digits_.empty());
-  return digits_.back();
+std::vector<std::uint8_t> KautzString::digits() const {
+  std::vector<std::uint8_t> out(len_);
+  for (std::size_t i = 0; i < len_; ++i) {
+    out[i] = static_cast<std::uint8_t>(chunk(i, 1));
+  }
+  return out;
 }
 
 void KautzString::push_back(std::uint8_t symbol) {
   ARMADA_CHECK_MSG(can_append(symbol),
                    "cannot append " << int(symbol) << " to " << to_string());
-  digits_.push_back(symbol);
+  if (spill_.empty() && len_ + 1 > inline_capacity()) {
+    spill_.assign(inline_.begin(), inline_.end());
+  }
+  if (!spill_.empty() && (len_ / dpw()) + 1 > spill_.size()) {
+    spill_.push_back(0);
+  }
+  ++len_;
+  set_digit(len_ - 1, symbol);
 }
 
 void KautzString::pop_back() {
-  ARMADA_CHECK(!digits_.empty());
-  digits_.pop_back();
-}
-
-KautzString KautzString::prefix(std::size_t len) const {
-  ARMADA_CHECK(len <= digits_.size());
-  return KautzString(
-      base_, std::vector<std::uint8_t>(digits_.begin(),
-                                       digits_.begin() + static_cast<long>(len)));
-}
-
-KautzString KautzString::suffix(std::size_t len) const {
-  ARMADA_CHECK(len <= digits_.size());
-  return KautzString(
-      base_,
-      std::vector<std::uint8_t>(digits_.end() - static_cast<long>(len),
-                                digits_.end()));
-}
-
-KautzString KautzString::drop_front() const {
-  ARMADA_CHECK(!digits_.empty());
-  return suffix(digits_.size() - 1);
-}
-
-KautzString KautzString::concat(const KautzString& tail) const {
-  ARMADA_CHECK(base_ == tail.base_);
-  std::vector<std::uint8_t> digits = digits_;
-  digits.insert(digits.end(), tail.digits_.begin(), tail.digits_.end());
-  return KautzString(base_, std::move(digits));
-}
-
-bool KautzString::can_append(std::uint8_t symbol) const {
-  if (symbol > base_) {
-    return false;
-  }
-  return digits_.empty() || digits_.back() != symbol;
-}
-
-bool KautzString::is_prefix_of(const KautzString& other) const {
-  ARMADA_CHECK(base_ == other.base_);
-  if (digits_.size() > other.digits_.size()) {
-    return false;
-  }
-  return std::equal(digits_.begin(), digits_.end(), other.digits_.begin());
-}
-
-bool KautzString::is_suffix_of(const KautzString& other) const {
-  ARMADA_CHECK(base_ == other.base_);
-  if (digits_.size() > other.digits_.size()) {
-    return false;
-  }
-  return std::equal(digits_.rbegin(), digits_.rend(), other.digits_.rbegin());
-}
-
-std::size_t KautzString::longest_suffix_prefix(const KautzString& other) const {
-  ARMADA_CHECK(base_ == other.base_);
-  const std::size_t max_len = std::min(digits_.size(), other.digits_.size());
-  for (std::size_t len = max_len; len > 0; --len) {
-    if (std::equal(digits_.end() - static_cast<long>(len), digits_.end(),
-                   other.digits_.begin())) {
-      return len;
-    }
-  }
-  return 0;
-}
-
-std::strong_ordering KautzString::operator<=>(const KautzString& other) const {
-  ARMADA_CHECK(base_ == other.base_);
-  return std::lexicographical_compare_three_way(
-      digits_.begin(), digits_.end(), other.digits_.begin(),
-      other.digits_.end());
+  ARMADA_CHECK(len_ > 0);
+  set_digit(len_ - 1, 0);  // keep the zero-tail invariant
+  --len_;
 }
 
 std::string KautzString::to_string() const {
-  if (digits_.empty()) {
+  if (len_ == 0) {
     return "<empty>";
   }
   std::string out;
-  out.reserve(digits_.size());
-  for (std::uint8_t d : digits_) {
-    out.push_back(static_cast<char>('0' + d));
+  out.reserve(len_);
+  for (std::size_t i = 0; i < len_; ++i) {
+    out.push_back(static_cast<char>('0' + chunk(i, 1)));
   }
   return out;
 }
 
 void KautzString::check_valid() const {
-  for (std::size_t i = 0; i < digits_.size(); ++i) {
-    ARMADA_CHECK_MSG(digits_[i] <= base_,
-                     "digit " << int(digits_[i]) << " exceeds base "
-                              << int(base_));
+  for (std::size_t i = 0; i < len_; ++i) {
+    const auto d = static_cast<std::uint8_t>(chunk(i, 1));
+    ARMADA_CHECK_MSG(d <= base_,
+                     "digit " << int(d) << " exceeds base " << int(base_));
     if (i > 0) {
-      ARMADA_CHECK_MSG(digits_[i] != digits_[i - 1],
+      ARMADA_CHECK_MSG(d != chunk(i - 1, 1),
                        "repeated symbol at position " << i);
     }
   }
 }
 
 std::size_t KautzStringHash::operator()(const KautzString& s) const {
-  // FNV-1a over the digit bytes (bit-identical to the previous inline
-  // loop), with the base mixed into the top byte.
-  const auto& d = s.digits();
-  const std::size_t h = fnv1a64(
-      std::string_view(reinterpret_cast<const char*>(d.data()), d.size()));
+  // FNV-1a over the digit bytes (bit-identical to hashing the old
+  // digit-vector storage), with the base mixed into the top byte.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < s.length(); ++i) {
+    h ^= s.digit(i);
+    h *= 1099511628211ull;
+  }
   return h ^ (static_cast<std::size_t>(s.base()) << 56);
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
 
@@ -222,6 +223,50 @@ TEST_P(FissioneChurnTest, InvariantsUnderRandomChurn) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FissioneChurnTest,
                          ::testing::Values(1, 2, 3, 4, 5, 17, 42, 1234));
+
+// build_snapshot() must be bit-identical to build(): same tree, same
+// PeerIDs, same neighbor tables, same RNG position afterward — it only
+// skips the routed placement walk (pure measurement). Structure AND the
+// subsequent evolution must match.
+TEST(FissioneSnapshot, MatchesRoutedBuildExactly) {
+  for (std::uint64_t seed : {7u, 99u}) {
+    FissioneNetwork a = FissioneNetwork::build(120, seed);
+    FissioneNetwork b = FissioneNetwork::build_snapshot(
+        120, seed, FissioneNetwork::Config{});
+    auto expect_identical = [](FissioneNetwork& x, FissioneNetwork& y) {
+      ASSERT_EQ(x.num_peers(), y.num_peers());
+      ASSERT_EQ(x.alive_peers(), y.alive_peers());
+      for (PeerId p : x.alive_peers()) {
+        const Peer px = x.peer(p);
+        const Peer py = y.peer(p);
+        ASSERT_EQ(px.peer_id, py.peer_id);
+        ASSERT_TRUE(std::equal(px.out_neighbors.begin(),
+                               px.out_neighbors.end(),
+                               py.out_neighbors.begin(),
+                               py.out_neighbors.end()));
+        ASSERT_TRUE(std::equal(px.in_neighbors.begin(),
+                               px.in_neighbors.end(),
+                               py.in_neighbors.begin(),
+                               py.in_neighbors.end()));
+      }
+      // Same RNG position: the next draws coincide.
+      ASSERT_EQ(x.random_object_id(), y.random_object_id());
+      ASSERT_EQ(x.random_peer(), y.random_peer());
+    };
+    expect_identical(a, b);
+    b.check_invariants();
+    // The trajectories stay aligned through further routed joins and a
+    // snapshot-grown extension.
+    a.join();
+    b.join();
+    expect_identical(a, b);
+    while (a.num_peers() < 160) {
+      a.join();
+    }
+    b.grow_snapshot(160);
+    expect_identical(a, b);
+  }
+}
 
 }  // namespace
 }  // namespace armada::fissione

@@ -2,9 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace armada::kautz {
 namespace {
@@ -97,6 +103,195 @@ TEST(KautzString, CrossBaseComparisonRejected) {
   const auto a = KautzString::parse("01", 2);
   const auto b = KautzString::parse("01", 3);
   EXPECT_THROW((void)(a < b), CheckError);
+}
+
+// --- packed-vs-reference fuzz ---------------------------------------------
+//
+// The packed word representation must be observationally identical to the
+// obvious digit-vector implementation. Every operation is replayed against
+// a naive reference on plain std::vector<uint8_t>; lengths run past the
+// inline capacity so the heap-spill path is exercised too. Seeds follow the
+// repo-wide fuzz contract: fixed CI seeds, or one ARMADA_FUZZ_SEED override
+// to replay a failure exactly.
+
+using Digits = std::vector<std::uint8_t>;
+
+std::vector<std::uint64_t> fuzz_seeds() {
+  if (const char* env = std::getenv("ARMADA_FUZZ_SEED")) {
+    char* end = nullptr;
+    const std::uint64_t seed = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0') {
+      std::fprintf(stderr,
+                   "invalid ARMADA_FUZZ_SEED '%s' (expected an unsigned "
+                   "integer)\n",
+                   env);
+      std::exit(2);
+    }
+    return {seed};
+  }
+  return {21, 22, 23};
+}
+
+Digits random_digits(Rng& rng, std::uint8_t base, std::size_t len) {
+  Digits d;
+  d.reserve(len);
+  int prev = -1;
+  for (std::size_t i = 0; i < len; ++i) {
+    auto s = static_cast<std::uint8_t>(rng.next_index(base + 1u));
+    if (s == prev) {
+      s = static_cast<std::uint8_t>((s + 1u) % (base + 1u));
+    }
+    d.push_back(s);
+    prev = s;
+  }
+  return d;
+}
+
+Digits ref_slice(const Digits& d, std::size_t pos, std::size_t len) {
+  return Digits(d.begin() + static_cast<std::ptrdiff_t>(pos),
+                d.begin() + static_cast<std::ptrdiff_t>(pos + len));
+}
+
+bool ref_is_prefix(const Digits& a, const Digits& b) {
+  return a.size() <= b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+bool ref_is_suffix(const Digits& a, const Digits& b) {
+  return a.size() <= b.size() &&
+         std::equal(a.begin(), a.end(), b.end() - static_cast<std::ptrdiff_t>(a.size()));
+}
+
+std::size_t ref_lsp(const Digits& a, const Digits& b) {
+  const std::size_t max_t = std::min(a.size(), b.size());
+  for (std::size_t t = max_t; t > 0; --t) {
+    if (std::equal(a.end() - static_cast<std::ptrdiff_t>(t), a.end(),
+                   b.begin())) {
+      return t;
+    }
+  }
+  return 0;
+}
+
+int ref_cmp(const Digits& a, const Digits& b) {
+  if (a < b) {
+    return -1;
+  }
+  return a == b ? 0 : 1;
+}
+
+std::string ref_str(const Digits& d) {
+  if (d.empty()) {
+    return "<empty>";
+  }
+  std::string out;
+  for (std::uint8_t x : d) {
+    out += static_cast<char>('0' + x);
+  }
+  return out;
+}
+
+TEST(KautzStringFuzz, PackedMatchesDigitVectorReference) {
+  for (std::uint64_t seed : fuzz_seeds()) {
+    Rng rng(seed);
+    for (int iter = 0; iter < 400; ++iter) {
+      // Base 2/3 exercises 2-bit packing, base 5/9 the 4-bit path; lengths
+      // past 96 (the 2-bit inline capacity) reach the spill vector.
+      const std::uint8_t bases[] = {2, 3, 5, 9};
+      const std::uint8_t base = bases[rng.next_index(4)];
+      const std::size_t len = rng.next_index(140);
+      const Digits ra = random_digits(rng, base, len);
+      const KautzString a(base, ra);
+
+      ASSERT_EQ(a.length(), ra.size());
+      ASSERT_EQ(a.digits(), ra);
+      ASSERT_EQ(a.to_string(), ref_str(ra));
+      for (std::size_t i = 0; i < ra.size(); ++i) {
+        ASSERT_EQ(a.digit(i), ra[i]);
+      }
+      if (!ra.empty()) {
+        ASSERT_EQ(a.front(), ra.front());
+        ASSERT_EQ(a.back(), ra.back());
+      }
+
+      // Slices at random cut points (and the exact inline/spill boundary).
+      const std::size_t cuts[] = {rng.next_index(len + 1), 0, len,
+                                  std::min<std::size_t>(96, len)};
+      for (std::size_t cut : cuts) {
+        ASSERT_EQ(a.prefix(cut).digits(), ref_slice(ra, 0, cut));
+        ASSERT_EQ(a.suffix(cut).digits(),
+                  ref_slice(ra, len - cut, cut));
+      }
+      if (!ra.empty()) {
+        ASSERT_EQ(a.drop_front().digits(), ref_slice(ra, 1, len - 1));
+      }
+
+      // Mutation round-trip.
+      KautzString grown = a;
+      Digits ref_grown = ra;
+      for (int g = 0; g < 3; ++g) {
+        const auto sym = static_cast<std::uint8_t>(rng.next_index(base + 1u));
+        if (grown.can_append(sym)) {
+          grown.push_back(sym);
+          ref_grown.push_back(sym);
+        }
+        ASSERT_EQ(grown.digits(), ref_grown);
+      }
+      if (!ref_grown.empty()) {
+        grown.pop_back();
+        ref_grown.pop_back();
+        ASSERT_EQ(grown.digits(), ref_grown);
+      }
+
+      // Binary relations against an independently drawn second string.
+      const Digits rb = random_digits(rng, base, rng.next_index(140));
+      const KautzString b(base, rb);
+      ASSERT_EQ(a.is_prefix_of(b), ref_is_prefix(ra, rb));
+      ASSERT_EQ(a.is_suffix_of(b), ref_is_suffix(ra, rb));
+      ASSERT_EQ(a.longest_suffix_prefix(b), ref_lsp(ra, rb));
+      const auto ord = a <=> b;
+      ASSERT_EQ(ord < 0 ? -1 : (ord == 0 ? 0 : 1), ref_cmp(ra, rb));
+      ASSERT_EQ(a == b, ra == rb);
+
+      // Shared-prefix pairs stress the word-aligned compare tails.
+      if (len >= 2) {
+        const std::size_t head = 1 + rng.next_index(len - 1);
+        KautzString c = a.prefix(head);
+        Digits rc = ref_slice(ra, 0, head);
+        const auto sym = static_cast<std::uint8_t>(rng.next_index(base + 1u));
+        if (c.can_append(sym)) {
+          c.push_back(sym);
+          rc.push_back(sym);
+        }
+        const auto ord2 = a <=> c;
+        ASSERT_EQ(ord2 < 0 ? -1 : (ord2 == 0 ? 0 : 1), ref_cmp(ra, rc));
+        ASSERT_EQ(a.is_prefix_of(c), ref_is_prefix(ra, rc));
+      }
+
+      // Concat through a junction-respecting bridge.
+      if (!ra.empty() && !rb.empty()) {
+        Digits bridge = rb;
+        if (bridge.front() == ra.back()) {
+          bridge.erase(bridge.begin());
+        }
+        if (!bridge.empty()) {
+          const KautzString joined = a.concat(KautzString(base, bridge));
+          Digits ref_joined = ra;
+          ref_joined.insert(ref_joined.end(), bridge.begin(), bridge.end());
+          ASSERT_EQ(joined.digits(), ref_joined);
+          ASSERT_EQ(joined.length(), ra.size() + bridge.size());
+        }
+      }
+
+      // Equal strings hash equally (storage-independent: build one copy
+      // through a different construction path).
+      KautzString rebuilt(base);
+      for (std::uint8_t x : ra) {
+        rebuilt.push_back(x);
+      }
+      ASSERT_EQ(KautzStringHash{}(a), KautzStringHash{}(rebuilt));
+      ASSERT_TRUE(a == rebuilt);
+    }
+  }
 }
 
 }  // namespace
