@@ -22,6 +22,7 @@
 #include <string>
 
 #include "common.h"
+#include "rebalance/rebalance.h"
 #include "replica/replica_set.h"
 #include "util/check.h"
 
@@ -55,11 +56,28 @@ LoadRow measure(const std::vector<double>& per_peer) {
 
 constexpr std::size_t kQueryBins = 200;
 
+// Which load-shedding subsystems serve the Zipf workload.
+enum class ServeMode {
+  kPlain,          // FRT only (the baseline)
+  kReplicated,     // popularity-aware replication + result caching
+  kRebalanceOnly,  // online key-space rebalancing (src/rebalance/)
+  kRebalanced,     // rebalancing composed with replication
+};
+
+bool uses_replication(ServeMode m) {
+  return m == ServeMode::kReplicated || m == ServeMode::kRebalanced;
+}
+bool uses_rebalancing(ServeMode m) {
+  return m == ServeMode::kRebalanceOnly || m == ServeMode::kRebalanced;
+}
+
 struct ServiceResult {
   LoadRow row{};
   double delay_max = 0.0;
   double coverage_min = 1.0;
   replica::ReplicaStats replica;
+  rebalance::RebalanceStats rebalance;
+  std::size_t active_delegations = 0;
 };
 
 // Replays the same Zipf(1.0) query sequence (seeded identically across
@@ -68,7 +86,7 @@ struct ServiceResult {
 // condition for result-cache hits. Audits, per query: answers equal the
 // global scan, coverage is full, and delay respects the paper bound
 // (hops <= |PeerID(issuer)|).
-ServiceResult run_service(bool replicated, std::size_t n, std::size_t objects,
+ServiceResult run_service(ServeMode mode, std::size_t n, std::size_t objects,
                           int queries, std::uint64_t seed) {
   auto net = fissione::FissioneNetwork::build(n, seed);
   auto index = core::ArmadaIndex::single(net, {kDomainLo, kDomainHi});
@@ -76,7 +94,7 @@ ServiceResult run_service(bool replicated, std::size_t n, std::size_t objects,
   for (std::size_t i = 0; i < objects; ++i) {
     index.publish(obj_rng.next_double(kDomainLo, kDomainHi));
   }
-  if (replicated) {
+  if (uses_replication(mode)) {
     replica::ReplicationConfig cfg;
     cfg.max_replicas = 8;
     cfg.region_prefix_len = 4;
@@ -86,6 +104,15 @@ ServiceResult run_service(bool replicated, std::size_t n, std::size_t objects,
     cfg.cool_threshold = cfg.hot_threshold / 8.0;
     cfg.cache_ttl = 64;
     index.enable_replication(cfg);
+  }
+  if (uses_rebalancing(mode)) {
+    rebalance::RebalanceConfig cfg;
+    cfg.trigger_load = 2.5;
+    cfg.target_load = 1.25;
+    cfg.sweep_interval = 8;
+    cfg.cooldown = 32;
+    cfg.max_inflight = 8;
+    index.enable_rebalancing(cfg);
   }
 
   sim::ZipfValues zipf({kDomainLo, kDomainHi}, kQueryBins, 1.0, Rng(seed + 5));
@@ -134,6 +161,10 @@ ServiceResult run_service(bool replicated, std::size_t n, std::size_t objects,
   out.row = measure(per_peer);
   if (index.replicas() != nullptr) {
     out.replica = index.replicas()->stats();
+  }
+  if (index.rebalancer() != nullptr) {
+    out.rebalance = index.rebalancer()->stats();
+    out.active_delegations = net.delegations().size();
   }
   return out;
 }
@@ -220,46 +251,67 @@ int main() {
   print_tables("Storage load per peer: order-preserving vs uniform naming",
                table);
 
-  // --- query service load: plain vs popularity-aware replication -----------
+  // --- query service load: plain vs replication vs rebalancing -------------
   const int kServiceQueries =
       static_cast<int>(armada::bench::scaled(4000, 256));
   Table service({"Series", "MeanLoad", "MaxLoad", "p99", "Gini", "CacheHits",
-                 "ReplRoutes", "Regions"});
+                 "ReplRoutes", "Regions", "Migr", "ObjMoved"});
   const ServiceResult plain =
-      run_service(false, kN, kObjects, kServiceQueries, kSeed);
-  const ServiceResult repl =
-      run_service(true, kN, kObjects, kServiceQueries, kSeed);
+      run_service(ServeMode::kPlain, kN, kObjects, kServiceQueries, kSeed);
+  const ServiceResult repl = run_service(ServeMode::kReplicated, kN, kObjects,
+                                         kServiceQueries, kSeed);
+  const ServiceResult reb_only = run_service(ServeMode::kRebalanceOnly, kN,
+                                             kObjects, kServiceQueries, kSeed);
+  const ServiceResult reb = run_service(ServeMode::kRebalanced, kN, kObjects,
+                                        kServiceQueries, kSeed);
   for (const auto& [name, r] :
        {std::pair<const char*, const ServiceResult&>{"unreplicated", plain},
-        std::pair<const char*, const ServiceResult&>{"replicated", repl}}) {
-    service.add_row({name, Table::cell(r.row.mean), Table::cell(r.row.max, 0),
-                     Table::cell(r.row.p99, 0), Table::cell(r.row.gini_coeff),
-                     Table::cell(static_cast<double>(r.replica.cache_hits), 0),
-                     Table::cell(static_cast<double>(r.replica.replica_routes),
-                                 0),
-                     Table::cell(
-                         static_cast<double>(r.replica.regions_replicated),
-                         0)});
+        std::pair<const char*, const ServiceResult&>{"replicated", repl},
+        std::pair<const char*, const ServiceResult&>{"rebalance_only",
+                                                     reb_only},
+        std::pair<const char*, const ServiceResult&>{"rebalanced", reb}}) {
+    service.add_row(
+        {name, Table::cell(r.row.mean), Table::cell(r.row.max, 0),
+         Table::cell(r.row.p99, 0), Table::cell(r.row.gini_coeff),
+         Table::cell(static_cast<double>(r.replica.cache_hits), 0),
+         Table::cell(static_cast<double>(r.replica.replica_routes), 0),
+         Table::cell(static_cast<double>(r.replica.regions_replicated), 0),
+         Table::cell(static_cast<double>(r.rebalance.migrations_completed), 0),
+         Table::cell(static_cast<double>(r.rebalance.objects_migrated), 0)});
+    // The two pre-existing series keep their exact metric sets — their
+    // golden JSON rows stay bitwise identical with rebalancing compiled in.
+    std::vector<std::pair<std::string, double>> metrics = {
+        {"mean", r.row.mean},
+        {"max", r.row.max},
+        {"p99", r.row.p99},
+        {"gini", r.row.gini_coeff},
+        {"delay_max", r.delay_max},
+        {"coverage_min", r.coverage_min},
+        {"cache_hits", static_cast<double>(r.replica.cache_hits)},
+        {"replica_routes", static_cast<double>(r.replica.replica_routes)},
+        {"regions_replicated",
+         static_cast<double>(r.replica.regions_replicated)},
+        {"placement_messages",
+         static_cast<double>(r.replica.placement_messages)}};
+    if (r.rebalance.sweeps > 0) {
+      metrics.emplace_back(
+          "migrations_completed",
+          static_cast<double>(r.rebalance.migrations_completed));
+      metrics.emplace_back("objects_migrated",
+                           static_cast<double>(r.rebalance.objects_migrated));
+      metrics.emplace_back("active_delegations",
+                           static_cast<double>(r.active_delegations));
+    }
     JsonSink::instance().record(
         "load_balance", std::string("service/zipf/") + name,
         {{"n", static_cast<double>(kN)},
          {"objects", static_cast<double>(kObjects)},
          {"queries", static_cast<double>(kServiceQueries)}},
-        {{"mean", r.row.mean},
-         {"max", r.row.max},
-         {"p99", r.row.p99},
-         {"gini", r.row.gini_coeff},
-         {"delay_max", r.delay_max},
-         {"coverage_min", r.coverage_min},
-         {"cache_hits", static_cast<double>(r.replica.cache_hits)},
-         {"replica_routes", static_cast<double>(r.replica.replica_routes)},
-         {"regions_replicated",
-          static_cast<double>(r.replica.regions_replicated)},
-         {"placement_messages",
-          static_cast<double>(r.replica.placement_messages)}});
+        metrics);
   }
   print_tables(
-      "Query service load per peer under Zipf(1.0): plain vs replicated",
+      "Query service load per peer under Zipf(1.0): plain vs replicated "
+      "vs rebalanced",
       service);
   return 0;
 }

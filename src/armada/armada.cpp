@@ -160,4 +160,14 @@ replica::ReplicaSet& ArmadaIndex::enable_replication(
   return *replicas_;
 }
 
+rebalance::Rebalancer& ArmadaIndex::enable_rebalancing(
+    rebalance::RebalanceConfig config) {
+  rebalancer_ = std::make_unique<rebalance::Rebalancer>(net_, config);
+  if (pira_.has_value()) {
+    pira_->set_rebalancer(rebalancer_.get());
+  }
+  mira_->set_rebalancer(rebalancer_.get());
+  return *rebalancer_;
+}
+
 }  // namespace armada::core

@@ -28,6 +28,7 @@
 #include "armada/topk.h"
 #include "fissione/network.h"
 #include "kautz/partition_tree.h"
+#include "rebalance/rebalance.h"
 #include "replica/replica_set.h"
 
 namespace armada::core {
@@ -100,6 +101,19 @@ class ArmadaIndex {
   replica::ReplicaSet* replicas() { return replicas_.get(); }
   const replica::ReplicaSet* replicas() const { return replicas_.get(); }
 
+  /// Attach the online key-space rebalancer (src/rebalance/) with the given
+  /// knobs. Queries issued afterwards feed its load/heat observations and
+  /// drive its migration sweeps; a *disabled* config (the default) changes
+  /// nothing — queries stay bitwise identical to the plain engines. Calling
+  /// again replaces the subsystem (flights and load history reset). Wire
+  /// churn through it with the drivers' set_membership_hook, alongside the
+  /// replica hook when both subsystems are enabled.
+  rebalance::Rebalancer& enable_rebalancing(rebalance::RebalanceConfig config);
+
+  /// The attached rebalancer, or nullptr.
+  rebalance::Rebalancer* rebalancer() { return rebalancer_.get(); }
+  const rebalance::Rebalancer* rebalancer() const { return rebalancer_.get(); }
+
  private:
   ArmadaIndex(fissione::FissioneNetwork& net, kautz::PartitionTree tree);
 
@@ -114,6 +128,7 @@ class ArmadaIndex {
   std::optional<Knn> knn_;
   std::optional<Aggregate> aggregate_;
   std::unique_ptr<replica::ReplicaSet> replicas_;  ///< null until enabled
+  std::unique_ptr<rebalance::Rebalancer> rebalancer_;  ///< null until enabled
 };
 
 }  // namespace armada::core

@@ -38,13 +38,15 @@ ChurnHarness::RangeOutcome ChurnHarness::range_query(fissione::PeerId issuer,
   for (fissione::PeerId p : driver_.stale_peers()) {
     bool touches = p == issuer;
     if (!touches) {
-      for (const fissione::StoredObject& obj : net.peer(p).store) {
+      net.for_each_owned(p, [&](const fissione::StoredObject& obj) {
+        if (touches) {
+          return;
+        }
         const double v = index_.attributes(obj.payload)[0];
         if (v >= lo && v <= hi) {
           touches = true;
-          break;
         }
-      }
+      });
     }
     if (!touches) {
       continue;

@@ -35,23 +35,106 @@ struct Search {
   fissione::FissioneNetwork* net;
   sim::Simulator* sim;
   std::vector<FrtSearchClass> classes;
-  std::function<void(PeerId, RangeQueryResult&)> on_destination;
+  FrtSearch::DestinationScan on_destination;
   std::function<void(RangeQueryResult)> done;
   RangeQueryResult result;
   sim::Time start = 0.0;
   std::uint64_t pending = 0;
   std::uint64_t shed_destinations = 0;
 
+  // One same-depth stand-in message for a delegated piece of a destination
+  // zone: `host` serves the contents of `range` restricted to `segment`
+  // (the destination's zone for a covering delegation, the whole range for
+  // a sub-delegation).
+  struct HostMsg {
+    PeerId host;
+    KautzString range;
+    KautzString segment;
+  };
+
+  // How one structural destination is actually served under the live
+  // delegation registry, resolved by the forwarding parent at dispatch.
+  struct ServePlan {
+    bool native = true;            ///< any viable undelegated targets left?
+    std::vector<HostMsg> hosts;    ///< viable delegated pieces
+    std::vector<KautzString> excluded;  ///< ranges the native scan skips
+  };
+
+  // Does `cls` keep viable targets under `p` outside the delegated ranges?
+  // Structural recursion that only descends where a delegated range lies
+  // deeper, so depth is bounded by the deepest delegated range.
+  bool native_viable(const FrtSearchClass& cls, const KautzString& p,
+                     const std::vector<KautzString>& delegated) const {
+    bool deeper = false;
+    for (const KautzString& r : delegated) {
+      if (r == p) {
+        return false;
+      }
+      deeper = deeper || (p.is_prefix_of(r) && r.length() > p.length());
+    }
+    if (!cls.viable(p)) {
+      return false;  // viability is hereditary: nothing below either
+    }
+    if (!deeper) {
+      return true;
+    }
+    for (std::uint8_t s = 0; s <= p.base(); ++s) {
+      if (!p.can_append(s)) {
+        continue;
+      }
+      KautzString child = p;
+      child.push_back(s);
+      if (native_viable(cls, child, delegated)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Serving plan for the destination whose PeerID is `dest_id`. Only
+  // called while the registry is non-empty.
+  ServePlan resolve_plan(const FrtSearchClass& cls,
+                         const KautzString& dest_id) const {
+    ServePlan plan;
+    if (const auto* d = net->delegation_covering(dest_id)) {
+      // The whole zone migrated: full redirect, nothing native remains.
+      plan.native = false;
+      plan.hosts.push_back(HostMsg{d->host, d->range, dest_id});
+      return plan;
+    }
+    std::vector<KautzString> under;  // delegated ranges inside the zone
+    const auto& delegations = net->delegations();
+    for (auto it = delegations.lower_bound(dest_id);
+         it != delegations.end() && dest_id.is_prefix_of(it->first); ++it) {
+      under.push_back(it->first);
+      if (cls.viable(it->first)) {
+        plan.hosts.push_back(
+            HostMsg{it->second.host, it->first, it->first});
+        plan.excluded.push_back(it->first);
+      }
+    }
+    if (!under.empty()) {
+      plan.native = native_viable(cls, dest_id, under);
+    }
+    return plan;
+  }
+
   // Exact destination count of the subtree rooted at (b, aligned_len): a
   // structural recursion over the overlay graph, no messages. Sibling
   // branches partition the target space, so this is precisely what an
-  // admission shed of the branch gives up.
+  // admission shed of the branch gives up. Under active delegations a
+  // destination resolves into its serving plan's message count, matching
+  // what dispatch would send.
   std::uint64_t subtree_destinations(const FrtSearchClass& cls, PeerId b,
                                      std::size_t aligned_len) const {
     const fissione::Peer& peer = net->peer(b);
     const std::size_t len = peer.peer_id.length();
     if (aligned_len == len) {
-      return 1;
+      if (!net->has_delegations()) {
+        return 1;
+      }
+      const ServePlan plan = resolve_plan(cls, peer.peer_id);
+      return (plan.native ? 1u : 0u) + plan.hosts.size();
     }
     std::uint64_t total = 0;
     for (PeerId c : peer.out_neighbors) {
@@ -65,24 +148,108 @@ struct Search {
     return total;
   }
 
+  // Arrival processing at a (native) destination: scan the live owner-side
+  // view — the native store plus the slices of every delegation covering
+  // the zone, minus the ranges this dispatch already routed to hosts. A
+  // cutover landing between dispatch and arrival is thereby served from
+  // its delegation (nothing dropped); pieces with in-flight host messages
+  // are skipped (nothing double-counted).
+  void arrive_destination(PeerId b, std::uint32_t hops,
+                          const std::vector<KautzString>& excluded) {
+    result.destinations.push_back(b);
+    ++result.stats.dest_peers;
+    result.stats.delay =
+        std::max(result.stats.delay, static_cast<double>(hops));
+    result.stats.latency = std::max(result.stats.latency, sim->now() - start);
+    const fissione::Peer peer = net->peer(b);
+    fissione::StoreView view(peer.store);
+    if (net->has_delegations()) {
+      net->visit_delegation_slices(
+          peer.peer_id,
+          [&view, &excluded](const KautzString& range,
+                             std::span<const fissione::StoredObject> slice) {
+            if (slice.empty()) {
+              return;
+            }
+            for (const KautzString& ex : excluded) {
+              if (ex == range) {
+                return;
+              }
+            }
+            view.extra.push_back(slice);
+          });
+    }
+    on_destination(b, view, result);
+  }
+
+  // Arrival at a delegation host: serve whatever the range holds *now*.
+  // The range is captured by value — if the delegation was revoked while
+  // the message flew (host churn races), the scan finds nothing and the
+  // answer degrades to a subset, exactly like other churn races.
+  void arrive_host(PeerId host, const KautzString& range,
+                   const KautzString& segment, std::uint32_t hops) {
+    result.destinations.push_back(host);
+    ++result.stats.dest_peers;
+    result.stats.delay =
+        std::max(result.stats.delay, static_cast<double>(hops));
+    result.stats.latency = std::max(result.stats.latency, sim->now() - start);
+    fissione::StoreView view;
+    if (const auto* d = net->find_delegation(range)) {
+      view.native = fissione::FissioneNetwork::delegation_segment(*d, segment);
+    }
+    on_destination(host, view, result);
+  }
+
+  // Send one query-lane message of the search, honoring the installed
+  // flow-control policy. `lost_if_shed` is the destination count this
+  // branch gives up under admission shedding; `on_arrival` runs at the
+  // receiver. Returns false when the message was shed.
+  template <typename Fn>
+  bool send(const std::shared_ptr<Search>& self, PeerId from, PeerId to,
+            const FrtSearchClass& cls, std::uint64_t lost_if_shed,
+            Fn&& on_arrival) {
+    (void)cls;
+    net::Transport& transport = net->transport();
+    if (transport.should_shed(*sim, to, net::TrafficClass::kQuery)) {
+      transport.record_shed();
+      ++result.stats.shed;
+      shed_destinations += lost_if_shed;
+      return false;
+    }
+    sim::Time not_before = 0.0;
+    const sim::Time backoff = transport.backoff_delay(*sim, to);
+    if (backoff > 0.0) {
+      not_before = sim->now() + backoff;
+    }
+    ++result.stats.messages;
+    result.stats.bytes_on_wire += transport.default_message_bytes();
+    ++pending;
+    transport.deliver(
+        *sim, from, to, transport.default_message_bytes(),
+        [self, to, fn = std::forward<Fn>(on_arrival)](sim::Time qd) {
+          self->net->record_service(to);
+          self->result.stats.queue_delay += qd;
+          fn();
+          self->complete();
+        },
+        not_before, net::TrafficClass::kQuery);
+    return true;
+  }
+
   void step(const std::shared_ptr<Search>& self, std::size_t cls_idx, PeerId b,
             std::size_t aligned_len, std::uint32_t hops) {
     const FrtSearchClass& cls = classes[cls_idx];
     const fissione::Peer& peer = net->peer(b);
     const std::size_t len = peer.peer_id.length();
     if (aligned_len == len) {
-      // The whole PeerID prefixes a viable target leaf: destination.
-      result.destinations.push_back(b);
-      ++result.stats.dest_peers;
-      result.stats.delay =
-          std::max(result.stats.delay, static_cast<double>(hops));
-      result.stats.latency =
-          std::max(result.stats.latency, sim->now() - start);
-      on_destination(b, result);
+      // The whole PeerID prefixes a viable target leaf: destination. (Only
+      // reached without a dispatch-time split: at the issuer, or when no
+      // delegation intersected the zone at dispatch — so nothing is
+      // excluded from the arrival-time view.)
+      arrive_destination(b, hops, {});
       return;
     }
     ARMADA_CHECK(aligned_len < len);
-    net::Transport& transport = net->transport();
     for (PeerId c : peer.out_neighbors) {
       const KautzString& cid = net->peer(c).peer_id;
       // C = u2...ub ++ Y with |Y| = m in {0,1,2} (neighborhood invariant).
@@ -92,31 +259,40 @@ struct Search {
       if (!cls.viable(aligned)) {
         continue;
       }
-      if (transport.should_shed(*sim, c, net::TrafficClass::kQuery)) {
-        // Admission refused: the whole branch degrades into a partial
-        // answer carrying exactly the destinations it would have reached.
-        transport.record_shed();
-        ++result.stats.shed;
-        shed_destinations += subtree_destinations(cls, c, aligned_len + m);
-        continue;
+      const std::size_t al = aligned_len + m;
+      if (al == cid.length() && net->has_delegations()) {
+        // Destination child under an active registry: split the last hop
+        // per the serving plan. Host stand-ins fly at the same depth, so
+        // the delay bound is untouched.
+        ServePlan plan = resolve_plan(cls, cid);
+        if (!plan.native || !plan.hosts.empty()) {
+          if (plan.native) {
+            send(self, b, c, cls, 1,
+                 [self, c, hops, excluded = std::move(plan.excluded)] {
+                   self->arrive_destination(c, hops + 1, excluded);
+                 });
+          }
+          for (HostMsg& msg : plan.hosts) {
+            if (msg.host == b) {
+              // The forwarding peer itself hosts the piece; it already
+              // holds the query, so it serves locally with no stand-in
+              // message.
+              arrive_host(b, msg.range, msg.segment, hops);
+              continue;
+            }
+            send(self, b, msg.host, cls, 1,
+                 [self, host = msg.host, range = std::move(msg.range),
+                  segment = std::move(msg.segment), hops] {
+                   self->arrive_host(host, range, segment, hops + 1);
+                 });
+          }
+          continue;
+        }
       }
-      sim::Time not_before = 0.0;
-      const sim::Time backoff = transport.backoff_delay(*sim, c);
-      if (backoff > 0.0) {
-        not_before = sim->now() + backoff;
-      }
-      ++result.stats.messages;
-      result.stats.bytes_on_wire += transport.default_message_bytes();
-      ++pending;
-      transport.deliver(
-          *sim, b, c, transport.default_message_bytes(),
-          [self, cls_idx, c, al = aligned_len + m, hops](sim::Time qd) {
-            self->net->record_service(c);
-            self->result.stats.queue_delay += qd;
-            self->step(self, cls_idx, c, al, hops + 1);
-            self->complete();
-          },
-          not_before, net::TrafficClass::kQuery);
+      send(self, b, c, cls, subtree_destinations(cls, c, al),
+           [self, cls_idx, c, al, hops] {
+             self->step(self, cls_idx, c, al, hops + 1);
+           });
     }
   }
 
@@ -141,7 +317,7 @@ struct Search {
 
 void FrtSearch::run_async(
     sim::Simulator& sim, PeerId issuer, std::vector<FrtSearchClass> classes,
-    std::function<void(PeerId, RangeQueryResult&)> on_destination,
+    DestinationScan on_destination,
     std::function<void(RangeQueryResult)> done) const {
   for (const FrtSearchClass& cls : classes) {
     ARMADA_CHECK_MSG(!cls.com_t.empty(), "search class without common prefix");
@@ -174,8 +350,7 @@ void FrtSearch::run_async(
 
 RangeQueryResult FrtSearch::run(
     PeerId issuer, const std::vector<FrtSearchClass>& classes,
-    const std::function<void(PeerId, RangeQueryResult&)>& on_destination)
-    const {
+    const DestinationScan& on_destination) const {
   RangeQueryResult result;
   sim::Simulator sim;
   run_async(sim, issuer, classes, on_destination,

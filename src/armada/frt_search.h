@@ -36,17 +36,34 @@ struct FrtSearchClass {
 
 /// Executes FRT search classes for one query on a discrete-event simulator
 /// and accumulates the paper's per-query metrics. `on_destination` runs the
-/// local scan at each destination peer.
+/// local scan at each serving peer over a StoreView: the peer's native
+/// store, plus — when the rebalancer has migrated key ranges — the
+/// delegation slices it must serve.
+///
+/// Migrated ranges never add depth: when a forwarding parent is about to
+/// deliver to a destination child whose zone intersects delegated ranges,
+/// it splits the last hop — one message per viable delegation host (each
+/// serving its slice) and, if undelegated viable targets remain, the
+/// native message with those ranges excluded. Host messages travel at the
+/// same tree depth as the destination they stand in for, so the paper's
+/// bound delay <= |PeerID(issuer)| is preserved. Races resolve at arrival
+/// time against the live registry: a branch dispatched before a cutover
+/// that lands after it scans the owner-side slices (nothing is dropped),
+/// and the dispatch-time exclusion list keeps split serves disjoint
+/// (nothing is double-counted).
 class FrtSearch {
  public:
+  /// Local scan at one serving peer.
+  using DestinationScan = std::function<void(
+      fissione::PeerId, const fissione::StoreView&, RangeQueryResult&)>;
+
   /// The network reference is mutable solely for the transport's queueing
   /// delivery path; the overlay structure is never modified.
   explicit FrtSearch(fissione::FissioneNetwork& net) : net_(net) {}
 
-  RangeQueryResult run(
-      fissione::PeerId issuer, const std::vector<FrtSearchClass>& classes,
-      const std::function<void(fissione::PeerId, RangeQueryResult&)>&
-          on_destination) const;
+  RangeQueryResult run(fissione::PeerId issuer,
+                       const std::vector<FrtSearchClass>& classes,
+                       const DestinationScan& on_destination) const;
 
   /// Event-driven variant on a caller-owned simulator: the search's
   /// messages compete with every other flow on `sim` (concurrent queries,
@@ -62,8 +79,7 @@ class FrtSearch {
   /// sequence of `run` (which is a fresh-simulator wrapper around it).
   void run_async(sim::Simulator& sim, fissione::PeerId issuer,
                  std::vector<FrtSearchClass> classes,
-                 std::function<void(fissione::PeerId, RangeQueryResult&)>
-                     on_destination,
+                 DestinationScan on_destination,
                  std::function<void(RangeQueryResult)> done) const;
 
   /// The paper's ComS: length of the longest suffix of `peer_id` that is a

@@ -49,10 +49,10 @@ KnnResult Knn::query(PeerId issuer, double q, std::size_t k,
     result.stats.latency += route.latency;  // annexations are sequential
     cur = route.owner;
     ++result.stats.dest_peers;
-    for (const fissione::StoredObject& obj : net_.peer(cur).store) {
+    net_.for_each_owned(cur, [&](const fissione::StoredObject& obj) {
       const double v = value_of(obj);
       candidates.emplace_back(std::abs(v - q), obj.payload);
-    }
+    });
     const Interval zone = tree_.interval_for(net_.peer(cur).peer_id);
     explored_lo = std::min(explored_lo, zone.lo);
     explored_hi = std::max(explored_hi, zone.hi);

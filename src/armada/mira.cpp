@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "armada/replicated_query.h"
+#include "rebalance/rebalance.h"
 #include "replica/replica_set.h"
 #include "util/check.h"
 
@@ -46,6 +47,10 @@ void Mira::query_async(sim::Simulator& sim, PeerId issuer, const Box& box,
   if (rs != nullptr && !rs->config().enabled()) {
     rs = nullptr;  // disabled config: keep the combined search bitwise
   }
+  rebalance::Rebalancer* rb = rebalancer_;
+  if (rb != nullptr && !rb->config().enabled()) {
+    rb = nullptr;  // disabled config: keep the query path bitwise
+  }
 
   if (rs != nullptr) {
     // A box's identity is its interval list; %.17g round-trips doubles, so
@@ -57,6 +62,9 @@ void Mira::query_async(sim::Simulator& sim, PeerId issuer, const Box& box,
       base_tag += part;
     }
     std::vector<KautzRegion> subs = region.split_common_prefix();
+    if (rb != nullptr) {
+      rb->on_query(sim, subs);
+    }
     std::vector<ReplicatedClass> classes;
     classes.reserve(subs.size());
     for (KautzRegion& sub : subs) {
@@ -81,19 +89,23 @@ void Mira::query_async(sim::Simulator& sim, PeerId issuer, const Box& box,
         [this, box, matches](const fissione::StoredObject& obj) {
           return tree_.box_intersects(obj.object_id, box) && matches(obj);
         },
-        [this, box, matches](PeerId dest, RangeQueryResult& out) {
-          for (const fissione::StoredObject& obj : net_.peer(dest).store) {
+        [this, box, matches](PeerId, const fissione::StoreView& view,
+                             RangeQueryResult& out) {
+          view.for_each([&](const fissione::StoredObject& obj) {
             if (tree_.box_intersects(obj.object_id, box) && matches(obj)) {
               out.matches.push_back(obj.payload);
               ++out.stats.results;
             }
-          }
+          });
         },
         std::move(done));
     return;
   }
 
   std::vector<KautzRegion> subs = region.split_common_prefix();
+  if (rb != nullptr) {
+    rb->on_query(sim, subs);
+  }
   std::vector<FrtSearchClass> classes;
   classes.reserve(subs.size());
   for (KautzRegion& sub : subs) {
@@ -113,13 +125,14 @@ void Mira::query_async(sim::Simulator& sim, PeerId issuer, const Box& box,
   const FrtSearch search(net_);
   search.run_async(
       sim, issuer, std::move(classes),
-      [this, box, matches](PeerId dest, RangeQueryResult& out) {
-        for (const fissione::StoredObject& obj : net_.peer(dest).store) {
+      [this, box, matches](PeerId, const fissione::StoreView& view,
+                           RangeQueryResult& out) {
+        view.for_each([&](const fissione::StoredObject& obj) {
           if (tree_.box_intersects(obj.object_id, box) && matches(obj)) {
             out.matches.push_back(obj.payload);
             ++out.stats.results;
           }
-        }
+        });
       },
       std::move(done));
 }

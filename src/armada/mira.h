@@ -20,6 +20,10 @@ namespace armada::replica {
 class ReplicaSet;
 }  // namespace armada::replica
 
+namespace armada::rebalance {
+class Rebalancer;
+}  // namespace armada::rebalance
+
 namespace armada::core {
 
 class Mira {
@@ -48,10 +52,15 @@ class Mira {
   /// Attach the replica subsystem (nullptr detaches); see Pira::set_replicas.
   void set_replicas(replica::ReplicaSet* replicas) { replicas_ = replicas; }
 
+  /// Attach the online rebalancer (nullptr detaches); see
+  /// Pira::set_rebalancer.
+  void set_rebalancer(rebalance::Rebalancer* rb) { rebalancer_ = rb; }
+
  private:
   fissione::FissioneNetwork& net_;  ///< mutable only for the queueing transport path
   kautz::PartitionTree tree_;  // by value: small and immutable
   replica::ReplicaSet* replicas_ = nullptr;  ///< optional, not owned
+  rebalance::Rebalancer* rebalancer_ = nullptr;  ///< optional, not owned
 };
 
 }  // namespace armada::core

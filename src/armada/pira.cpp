@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "armada/replicated_query.h"
+#include "rebalance/rebalance.h"
 #include "replica/replica_set.h"
 #include "util/check.h"
 
@@ -76,12 +77,19 @@ void Pira::query_region_async_impl(sim::Simulator& sim, PeerId issuer,
   if (rs != nullptr && !rs->config().enabled()) {
     rs = nullptr;  // disabled config: keep the combined search bitwise
   }
+  rebalance::Rebalancer* rb = rebalancer_;
+  if (rb != nullptr && !rb->config().enabled()) {
+    rb = nullptr;  // disabled config: keep the query path bitwise
+  }
 
   if (rs != nullptr) {
     // Paper §4.2 split, one ReplicatedClass per subregion: the orchestrator
     // serves each from cache/replica where possible and FRT-falls-back
     // per class otherwise.
     std::vector<KautzRegion> subs = region.split_common_prefix();
+    if (rb != nullptr) {
+      rb->on_query(sim, subs);
+    }
     std::vector<ReplicatedClass> classes;
     classes.reserve(subs.size());
     for (KautzRegion& sub : subs) {
@@ -104,13 +112,14 @@ void Pira::query_region_async_impl(sim::Simulator& sim, PeerId issuer,
         [region, matches](const fissione::StoredObject& obj) {
           return region.contains(obj.object_id) && matches(obj);
         },
-        [this, region, matches](PeerId dest, RangeQueryResult& out) {
-          for (const fissione::StoredObject& obj : net_.peer(dest).store) {
+        [region, matches](PeerId, const fissione::StoreView& view,
+                          RangeQueryResult& out) {
+          view.for_each([&](const fissione::StoredObject& obj) {
             if (region.contains(obj.object_id) && matches(obj)) {
               out.matches.push_back(obj.payload);
               ++out.stats.results;
             }
-          }
+          });
         },
         std::move(done));
     return;
@@ -119,6 +128,9 @@ void Pira::query_region_async_impl(sim::Simulator& sim, PeerId issuer,
   // Paper §4.2: divide <LowT, HighT> into subregions with common prefixes.
   // Closures own their subregion copies: the search may outlive this frame.
   std::vector<KautzRegion> subs = region.split_common_prefix();
+  if (rb != nullptr) {
+    rb->on_query(sim, subs);
+  }
   std::vector<FrtSearchClass> classes;
   classes.reserve(subs.size());
   for (KautzRegion& sub : subs) {
@@ -133,13 +145,14 @@ void Pira::query_region_async_impl(sim::Simulator& sim, PeerId issuer,
   const FrtSearch search(net_);
   search.run_async(
       sim, issuer, std::move(classes),
-      [this, region, matches](PeerId dest, RangeQueryResult& out) {
-        for (const fissione::StoredObject& obj : net_.peer(dest).store) {
+      [region, matches](PeerId, const fissione::StoreView& view,
+                        RangeQueryResult& out) {
+        view.for_each([&](const fissione::StoredObject& obj) {
           if (region.contains(obj.object_id) && matches(obj)) {
             out.matches.push_back(obj.payload);
             ++out.stats.results;
           }
-        }
+        });
       },
       std::move(done));
 }

@@ -20,6 +20,10 @@ namespace armada::replica {
 class ReplicaSet;
 }  // namespace armada::replica
 
+namespace armada::rebalance {
+class Rebalancer;
+}  // namespace armada::rebalance
+
 namespace armada::core {
 
 class Pira {
@@ -64,6 +68,12 @@ class Pira {
   /// search runs bitwise. The set must outlive every in-flight query.
   void set_replicas(replica::ReplicaSet* replicas) { replicas_ = replicas; }
 
+  /// Attach the online rebalancer (nullptr detaches). Queries then feed its
+  /// popularity/load observations and drive its migration sweeps; with a
+  /// null or *disabled* rebalancer the query path is bitwise unchanged. The
+  /// rebalancer must outlive every in-flight query.
+  void set_rebalancer(rebalance::Rebalancer* rb) { rebalancer_ = rb; }
+
  private:
   /// Shared implementation: `cache_tag` keys value-level queries in the
   /// result cache; empty for region-level queries (uncacheable — the
@@ -78,6 +88,7 @@ class Pira {
   fissione::FissioneNetwork& net_;  ///< mutable only for the queueing transport path
   kautz::PartitionTree tree_;  // by value: small and immutable
   replica::ReplicaSet* replicas_ = nullptr;  ///< optional, not owned
+  rebalance::Rebalancer* rebalancer_ = nullptr;  ///< optional, not owned
 };
 
 }  // namespace armada::core

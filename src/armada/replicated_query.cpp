@@ -36,7 +36,7 @@ void run_replicated_query(
     fissione::FissioneNetwork& net, PeerId issuer,
     std::vector<ReplicatedClass> classes,
     replica::ReplicaSet::ObjectFilter replica_filter,
-    std::function<void(PeerId, RangeQueryResult&)> on_destination,
+    FrtSearch::DestinationScan on_destination,
     std::function<void(RangeQueryResult)> done) {
   // Popularity/placement first: this query's classes charge the tracker and
   // may push a region over the hot threshold — the placement transfers then

@@ -41,7 +41,7 @@ void run_replicated_query(
     fissione::FissioneNetwork& net, fissione::PeerId issuer,
     std::vector<ReplicatedClass> classes,
     replica::ReplicaSet::ObjectFilter replica_filter,
-    std::function<void(fissione::PeerId, RangeQueryResult&)> on_destination,
+    FrtSearch::DestinationScan on_destination,
     std::function<void(RangeQueryResult)> done);
 
 }  // namespace armada::core

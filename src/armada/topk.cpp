@@ -36,15 +36,15 @@ TopKResult TopK::query(PeerId issuer, double lo, double hi, std::size_t k,
     cur = route.owner;
     ++result.stats.dest_peers;
 
-    for (const fissione::StoredObject& obj : net_.peer(cur).store) {
+    net_.for_each_owned(cur, [&](const fissione::StoredObject& obj) {
       if (!region.contains(obj.object_id)) {
-        continue;
+        return;
       }
       const double v = value_of(obj);
       if (v >= lo && v <= hi) {
         found.emplace_back(v, obj.payload);
       }
-    }
+    });
 
     // Every unvisited zone holds only smaller values than this zone's
     // bottom; stop once k objects are in hand or the range is exhausted.

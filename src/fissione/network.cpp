@@ -20,6 +20,15 @@ std::vector<PeerId> bootstrap_ids(std::uint8_t base) {
   return ids;
 }
 
+// Canonical order of delegation contents: prefix-restricted subsets stay
+// contiguous and content equality is independent of collection order.
+bool canonical_object_less(const StoredObject& a, const StoredObject& b) {
+  if (a.object_id != b.object_id) {
+    return a.object_id < b.object_id;
+  }
+  return a.payload < b.payload;
+}
+
 }  // namespace
 
 FissioneNetwork::FissioneNetwork(Config config, std::uint64_t seed)
@@ -112,6 +121,11 @@ void FissioneNetwork::release_peer(PeerId id) {
   edges_.release(in_refs_[id]);
   stores_.release(store_refs_[id]);
   free_ids_.push_back(id);
+  if (service_load_ != nullptr) {
+    // The id will be recycled: a joiner must not inherit this peer's
+    // service history (it would look instantly hot to the rebalancer).
+    service_load_->reset(id);
+  }
 }
 
 std::vector<StoredObject> FissioneNetwork::take_store(PeerId id) {
@@ -319,6 +333,67 @@ std::size_t FissioneNetwork::remove_peer(PeerId leaving, bool transfer,
       stores_.push_back(store_refs_[to], std::move(obj));
     }
   };
+  // Zone surgery can hand a host (part of) the very range it hosts — a
+  // sibling merge shortens its PeerID, a takeover relocates it. Such a
+  // delegation dissolves back to the structural owners (handoffs record
+  // the transfers; the host's own share moves locally for free), restoring
+  // the host-disjointness invariant. Runs after the tree is final.
+  auto reconcile_hosted = [this, &record_handoff] {
+    for (auto it = delegations_.begin(); it != delegations_.end();) {
+      Delegation& d = it->second;
+      const KautzString& host_id = ids_[d.host];
+      if (!host_id.is_prefix_of(d.range) && !d.range.is_prefix_of(host_id)) {
+        ++it;
+        continue;
+      }
+      std::map<PeerId, std::vector<std::uint64_t>> returned;
+      for (StoredObject& obj : d.objects) {
+        const PeerId owner = owner_of(obj.object_id);
+        if (owner != d.host) {
+          returned[owner].push_back(obj.payload);
+        }
+        stores_.push_back(store_refs_[owner], std::move(obj));
+      }
+      for (auto& [to, payloads] : returned) {
+        record_handoff(d.host, to, std::move(payloads));
+      }
+      it = delegations_.erase(it);
+    }
+  };
+
+  // Delegations hosted by the departing peer, resolved before the tree
+  // surgery (owners are still the pre-departure ones): a graceful leave
+  // hands every hosted object back to its structural owner — recorded as
+  // handoffs so timed drivers price the transfers — while a crash drops
+  // them with the host, exactly like the host's native store. Delegations
+  // the departing peer merely *owns into* need nothing: entries are keyed
+  // by range and owners are re-resolved at every use.
+  if (!delegations_.empty()) {
+    for (auto it = delegations_.begin(); it != delegations_.end();) {
+      Delegation& d = it->second;
+      if (d.host != leaving) {
+        ++it;
+        continue;
+      }
+      if (transfer) {
+        std::map<PeerId, std::vector<std::uint64_t>> returned;
+        for (StoredObject& obj : d.objects) {
+          const PeerId owner = owner_of(obj.object_id);
+          returned[owner].push_back(obj.payload);
+          stores_.push_back(store_refs_[owner], std::move(obj));
+        }
+        for (auto& [to, payloads] : returned) {
+          record_handoff(leaving, to, std::move(payloads));
+        }
+      } else {
+        dropped += d.objects.size();
+      }
+      it = delegations_.erase(it);
+    }
+    if (report != nullptr) {
+      report->objects_dropped = dropped;
+    }
+  }
 
   // A local sibling merge is only safe at maximum depth: merging a pair at
   // depth d produces a peer at d-1, and a neighbor at d+1 would then violate
@@ -342,6 +417,9 @@ std::size_t FissioneNetwork::remove_peer(PeerId leaving, bool transfer,
     ids_[sibling] = tree_.label_of(sibling);
     drop_from_alive(leaving);
     release_peer(leaving);
+    if (!delegations_.empty()) {
+      reconcile_hosted();
+    }
     std::vector<PeerId> rewired = refresh_neighbors(std::move(affected));
     if (report != nullptr) {
       report->origin = sibling;
@@ -378,6 +456,9 @@ std::size_t FissioneNetwork::remove_peer(PeerId leaving, bool transfer,
   detach_out_edges(leaving);
   drop_from_alive(leaving);
   release_peer(leaving);
+  if (!delegations_.empty()) {
+    reconcile_hosted();
+  }
   std::vector<PeerId> rewired = refresh_neighbors(std::move(affected));
   if (report != nullptr) {
     report->origin = a;
@@ -401,8 +482,126 @@ PeerId FissioneNetwork::owner_of(const KautzString& object_id) const {
 void FissioneNetwork::publish(const KautzString& object_id,
                               std::uint64_t payload) {
   ARMADA_CHECK(object_id.length() == config_.object_id_length);
+  if (!delegations_.empty()) {
+    // A publish into a migrated range lands at the host, keeping native
+    // stores empty inside delegated ranges (the registry invariant).
+    const auto it = covering_iter(object_id);
+    if (it != delegations_.end()) {
+      Delegation& d = it->second;
+      StoredObject obj{object_id, payload};
+      const auto pos =
+          std::lower_bound(d.objects.begin(), d.objects.end(), obj,
+                           canonical_object_less);
+      d.objects.insert(pos, std::move(obj));
+      return;
+    }
+  }
   stores_.push_back(store_refs_[owner_of(object_id)],
                     StoredObject{object_id, payload});
+}
+
+FissioneNetwork::DelegationMap::iterator FissioneNetwork::covering_iter(
+    const KautzString& object_id) {
+  // Prefix-free keys: any key strictly between a prefix of `object_id` and
+  // `object_id` itself would have to extend that prefix, which prefix-
+  // freeness forbids. So the only candidate is the greatest key <=
+  // object_id.
+  auto it = delegations_.upper_bound(object_id);
+  if (it == delegations_.begin()) {
+    return delegations_.end();
+  }
+  --it;
+  return it->first.is_prefix_of(object_id) ? it : delegations_.end();
+}
+
+const FissioneNetwork::Delegation* FissioneNetwork::delegation_covering(
+    const KautzString& object_id) const {
+  auto* self = const_cast<FissioneNetwork*>(this);
+  const auto it = self->covering_iter(object_id);
+  return it == delegations_.end() ? nullptr : &it->second;
+}
+
+const FissioneNetwork::Delegation* FissioneNetwork::find_delegation(
+    const KautzString& range) const {
+  const auto it = delegations_.find(range);
+  return it == delegations_.end() ? nullptr : &it->second;
+}
+
+std::span<const StoredObject> FissioneNetwork::delegation_segment(
+    const Delegation& d, const KautzString& prefix) {
+  // Extensions of `prefix` sort after it and before any id diverging above
+  // it, so the matching run is [first id >= prefix, first id not extending).
+  const auto first = std::partition_point(
+      d.objects.begin(), d.objects.end(),
+      [&prefix](const StoredObject& obj) { return obj.object_id < prefix; });
+  const auto last = std::partition_point(
+      first, d.objects.end(), [&prefix](const StoredObject& obj) {
+        return prefix.is_prefix_of(obj.object_id);
+      });
+  return {first, last};
+}
+
+std::vector<StoredObject> FissioneNetwork::detach_range(
+    const KautzString& range) {
+  ARMADA_CHECK(!range.empty() && range.length() < config_.object_id_length);
+  std::vector<StoredObject> out;
+  for (PeerId p : tree_.cover_of_prefix(range)) {
+    // A short range covers whole zones; a deep one carves one zone. Either
+    // way the peer keeps exactly the objects outside the range.
+    std::vector<StoredObject> keep;
+    std::vector<StoredObject> store = take_store(p);
+    for (StoredObject& obj : store) {
+      if (range.is_prefix_of(obj.object_id)) {
+        out.push_back(std::move(obj));
+      } else {
+        keep.push_back(std::move(obj));
+      }
+    }
+    stores_.assign(store_refs_[p], std::move(keep));
+  }
+  std::sort(out.begin(), out.end(), canonical_object_less);
+  return out;
+}
+
+void FissioneNetwork::delegate_range(const KautzString& range, PeerId host,
+                                     std::vector<StoredObject> objects) {
+  ARMADA_CHECK(!range.empty() && range.length() < config_.object_id_length);
+  ARMADA_CHECK_MSG(is_alive(host), "delegation host must be alive");
+  const KautzString& host_id = ids_[host];
+  ARMADA_CHECK_MSG(
+      !host_id.is_prefix_of(range) && !range.is_prefix_of(host_id),
+      "delegation host must not own part of the range");
+  for (const auto& [existing, d] : delegations_) {
+    ARMADA_CHECK_MSG(
+        !existing.is_prefix_of(range) && !range.is_prefix_of(existing),
+        "delegated ranges must stay pairwise prefix-free");
+  }
+  std::sort(objects.begin(), objects.end(), canonical_object_less);
+  for (const StoredObject& obj : objects) {
+    ARMADA_CHECK(range.is_prefix_of(obj.object_id));
+  }
+  delegations_.emplace(range, Delegation{range, host, std::move(objects)});
+}
+
+std::vector<StoredObject> FissioneNetwork::revoke_delegation(
+    const KautzString& range) {
+  const auto it = delegations_.find(range);
+  ARMADA_CHECK_MSG(it != delegations_.end(), "revoking unknown delegation");
+  std::vector<StoredObject> out = std::move(it->second.objects);
+  delegations_.erase(it);
+  return out;
+}
+
+void FissioneNetwork::set_delegation_host(const KautzString& range,
+                                          PeerId host) {
+  const auto it = delegations_.find(range);
+  ARMADA_CHECK_MSG(it != delegations_.end(), "re-hosting unknown delegation");
+  ARMADA_CHECK_MSG(is_alive(host), "delegation host must be alive");
+  const KautzString& host_id = ids_[host];
+  ARMADA_CHECK_MSG(
+      !host_id.is_prefix_of(range) && !range.is_prefix_of(host_id),
+      "delegation host must not own part of the range");
+  it->second.host = host;
 }
 
 PeerId FissioneNetwork::proximity_next_hop(PeerId cur,
@@ -502,6 +701,13 @@ std::vector<std::uint64_t> FissioneNetwork::lookup(
       payloads.push_back(obj.payload);
     }
   }
+  if (const Delegation* d = delegation_covering(object_id)) {
+    // Migrated key: the owner redirects to the host's copy (the routing
+    // cost to the owner is unchanged; the redirect is zone-local).
+    for (const StoredObject& obj : delegation_segment(*d, object_id)) {
+      payloads.push_back(obj.payload);
+    }
+  }
   if (route_out != nullptr) {
     *route_out = r;
   }
@@ -563,10 +769,42 @@ void FissioneNetwork::check_invariants() const {
       ARMADA_CHECK(std::find(from_n.begin(), from_n.end(), id) !=
                    from_n.end());
     }
-    // Objects are owned by their holder.
+    // Objects are owned by their holder — and never inside a migrated
+    // range, whose objects live at the delegation host instead.
     for (const StoredObject& obj : store_of(id)) {
       ARMADA_CHECK_MSG(ids_[id].is_prefix_of(obj.object_id),
                        "misplaced object at peer " << id);
+      if (!delegations_.empty()) {
+        ARMADA_CHECK_MSG(delegation_covering(obj.object_id) == nullptr,
+                         "native object inside a delegated range at peer "
+                             << id);
+      }
+    }
+  }
+  // Delegation registry: ranges pairwise prefix-free (sorted keys make the
+  // adjacent check sufficient), hosts alive and zone-disjoint from their
+  // range, contents sorted and inside the range.
+  const KautzString* prev_range = nullptr;
+  for (const auto& [range, d] : delegations_) {
+    ARMADA_CHECK(range == d.range);
+    ARMADA_CHECK(!range.empty() && range.length() < config_.object_id_length);
+    ARMADA_CHECK_MSG(is_alive(d.host), "dead delegation host");
+    ARMADA_CHECK(!ids_[d.host].is_prefix_of(range) &&
+                 !range.is_prefix_of(ids_[d.host]));
+    if (prev_range != nullptr) {
+      ARMADA_CHECK_MSG(!prev_range->is_prefix_of(range),
+                       "overlapping delegated ranges");
+    }
+    prev_range = &range;
+    for (std::size_t i = 0; i < d.objects.size(); ++i) {
+      ARMADA_CHECK(range.is_prefix_of(d.objects[i].object_id));
+      ARMADA_CHECK(d.objects[i].object_id.length() ==
+                   config_.object_id_length);
+      if (i > 0) {
+        ARMADA_CHECK_MSG(
+            !canonical_object_less(d.objects[i], d.objects[i - 1]),
+            "delegation contents out of canonical order");
+      }
     }
   }
 }
@@ -603,6 +841,9 @@ std::size_t FissioneNetwork::total_objects() const {
   std::size_t n = 0;
   for (PeerId id : alive_) {
     n += store_of(id).size();
+  }
+  for (const auto& [range, d] : delegations_) {
+    n += d.objects.size();
   }
   return n;
 }

@@ -9,8 +9,10 @@
 // average < log2 N, routing delay bounded by the source PeerID length.
 #pragma once
 
+#include <map>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "fissione/kautz_tree.h"
 #include "fissione/peer.h"
@@ -54,6 +56,23 @@ class FissioneNetwork final : public overlay::RoutedOverlay {
     PeerId peer = kNoPeer;
     std::uint32_t placement_hops = 0;  ///< routing cost to find the split site
   };
+
+  /// One migrated key range: ObjectIDs extending `range` are stored at and
+  /// served by `host` instead of the range's structural owner(s) — the
+  /// indirection the online rebalancer (src/rebalance/) cuts over to when a
+  /// transfer lands. Hosted objects live here, outside any Peer::store, so
+  /// the placement invariant (a native store holds only IDs its PeerID
+  /// prefixes) is untouched. The registry is keyed by range, not by peer:
+  /// owner-side churn (splits, merges, relocations) never invalidates an
+  /// entry, because owners are resolved against the live tree at each use.
+  struct Delegation {
+    kautz::KautzString range;
+    PeerId host = kNoPeer;
+    /// Sorted by (object_id, payload): every prefix-restricted subset is a
+    /// contiguous slice (see delegation_segment).
+    std::vector<StoredObject> objects;
+  };
+  using DelegationMap = std::map<kautz::KautzString, Delegation>;
 
   /// What a membership event would put on the wire: the repair plan a timed
   /// churn driver prices through the Transport. Filled (optionally) by
@@ -142,6 +161,76 @@ class FissioneNetwork final : public overlay::RoutedOverlay {
       ++(*service_load_)[receiver];
     }
   }
+  /// The attached recorder (null when none) — the rebalancer reads service
+  /// deltas from it to locate hot peers.
+  const ServiceLoadMap* service_load() const { return service_load_; }
+
+  // --- key-range delegation ----------------------------------------------
+  // The rebalancer's cutover surface. Ranges in the registry are pairwise
+  // prefix-free, hosts are alive peers whose zone is disjoint from the
+  // range, and native stores hold nothing inside a delegated range — all
+  // enforced here and re-checked by check_invariants().
+
+  /// Pull every stored object under `range` out of its owner's native
+  /// store; returns them in canonical (object_id, payload) order. The range
+  /// must not overlap an existing delegation.
+  std::vector<StoredObject> detach_range(const kautz::KautzString& range);
+  /// Register `range` as hosted by `host` with the given (detached)
+  /// contents. CHECKs the registry stays prefix-free, the host is alive and
+  /// not an owner of the range, and every object extends the range.
+  void delegate_range(const kautz::KautzString& range, PeerId host,
+                      std::vector<StoredObject> objects);
+  /// Drop the delegation and return its contents (callers re-publish them
+  /// natively, hand them to a new host, or count them as lost).
+  std::vector<StoredObject> revoke_delegation(const kautz::KautzString& range);
+  /// Move an existing delegation to a new (alive, non-owner) host.
+  void set_delegation_host(const kautz::KautzString& range, PeerId host);
+  const Delegation* find_delegation(const kautz::KautzString& range) const;
+  const DelegationMap& delegations() const { return delegations_; }
+  bool has_delegations() const { return !delegations_.empty(); }
+  /// The delegation whose range prefixes `object_id`, if any (at most one:
+  /// ranges are prefix-free).
+  const Delegation* delegation_covering(
+      const kautz::KautzString& object_id) const;
+
+  /// Contiguous slice of `d.objects` whose ObjectIDs extend `prefix`
+  /// (objects are sorted, so prefix runs are contiguous).
+  static std::span<const StoredObject> delegation_segment(
+      const Delegation& d, const kautz::KautzString& prefix);
+
+  /// Visit the owner-side slices of every delegation intersecting the zone
+  /// `zone_prefix` (a PeerID): fn(range, slice) with slice restricted to
+  /// the intersection. No-op while the registry is empty.
+  template <typename Fn>
+  void visit_delegation_slices(const kautz::KautzString& zone_prefix,
+                               Fn&& fn) const {
+    for (const auto& [range, d] : delegations_) {
+      if (zone_prefix.is_prefix_of(range)) {
+        fn(range, std::span<const StoredObject>(d.objects));
+      } else if (range.is_prefix_of(zone_prefix)) {
+        fn(range, delegation_segment(d, zone_prefix));
+      }
+    }
+  }
+
+  /// Logical owner-side store of `p`: its native store plus the migrated
+  /// objects whose structural owner it is. What walk-based scans (top-k,
+  /// k-NN) and ground truths iterate so answers are delegation-agnostic.
+  template <typename Fn>
+  void for_each_owned(PeerId p, Fn&& fn) const {
+    for (const StoredObject& obj : store_of(p)) {
+      fn(obj);
+    }
+    if (!delegations_.empty()) {
+      visit_delegation_slices(
+          ids_[p], [&fn](const kautz::KautzString&,
+                         std::span<const StoredObject> slice) {
+            for (const StoredObject& obj : slice) {
+              fn(obj);
+            }
+          });
+    }
+  }
 
   // --- data plane --------------------------------------------------------
   /// Ground-truth owner (tree descent, no messages).
@@ -193,6 +282,11 @@ class FissioneNetwork final : public overlay::RoutedOverlay {
   /// Move a peer's store out of the arena (the block is kept for reuse).
   std::vector<StoredObject> take_store(PeerId id);
 
+  /// Iterator to the delegation covering `object_id`, or end(). Ranges are
+  /// prefix-free, so the covering range — if any — is the greatest key not
+  /// above `object_id`: one map probe, no scan.
+  DelegationMap::iterator covering_iter(const kautz::KautzString& object_id);
+
   PeerId allocate_peer();
   void release_peer(PeerId id);
   std::vector<PeerId> compute_out_neighbors(PeerId id) const;
@@ -233,6 +327,7 @@ class FissioneNetwork final : public overlay::RoutedOverlay {
   std::vector<PeerId> alive_;
   std::vector<std::size_t> alive_pos_;  ///< index of peer in alive_
   KautzTree tree_;
+  DelegationMap delegations_;  ///< migrated ranges, pairwise prefix-free
   ServiceLoadMap* service_load_ = nullptr;  ///< not owned; may be null
 };
 

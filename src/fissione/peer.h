@@ -2,6 +2,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "fissione/types.h"
 #include "kautz/kautz_string.h"
@@ -27,6 +28,43 @@ struct Peer {
   std::span<const PeerId> in_neighbors;
   std::span<const StoredObject> store;
   bool alive = false;
+};
+
+/// What a query's destination scan iterates: one or more contiguous runs of
+/// stored objects — a peer's native store plus, when key ranges have been
+/// migrated by the rebalancer, owner-side slices of delegation contents (or
+/// just one hosted slice, at the host). The runs borrow the network's
+/// storage and stay valid until the next membership, publish, or delegation
+/// operation, like the spans in Peer.
+///
+/// Without any active delegations this is exactly one span and never
+/// allocates, so the undelegated query path keeps its cost and behavior.
+struct StoreView {
+  std::span<const StoredObject> native;
+  std::vector<std::span<const StoredObject>> extra;
+
+  StoreView() = default;
+  explicit StoreView(std::span<const StoredObject> run) : native(run) {}
+
+  std::size_t size() const {
+    std::size_t n = native.size();
+    for (const auto& run : extra) {
+      n += run.size();
+    }
+    return n;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const StoredObject& obj : native) {
+      fn(obj);
+    }
+    for (const auto& run : extra) {
+      for (const StoredObject& obj : run) {
+        fn(obj);
+      }
+    }
+  }
 };
 
 }  // namespace armada::fissione

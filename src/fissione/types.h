@@ -88,6 +88,11 @@ class ServiceLoadMap {
     return end();
   }
 
+  /// Cumulative count for one peer (0 when never recorded).
+  std::uint64_t count(PeerId p) const {
+    return p < counts_.size() ? counts_[p] : 0;
+  }
+
   std::size_t size() const {
     std::size_t n = 0;
     for (std::uint64_t c : counts_) {
@@ -97,6 +102,16 @@ class ServiceLoadMap {
   }
   bool empty() const { return size() == 0; }
   void clear() { counts_.clear(); }
+
+  /// Forget one peer's count. PeerIds are recycled after a departure, so
+  /// without this a joiner inheriting a crashed peer's id would also
+  /// inherit its service history — FissioneNetwork calls it whenever an id
+  /// is released while a map is attached.
+  void reset(PeerId p) {
+    if (p < counts_.size()) {
+      counts_[p] = 0;
+    }
+  }
 
  private:
   std::vector<std::uint64_t> counts_;

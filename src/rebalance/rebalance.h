@@ -1,0 +1,153 @@
+// Online key-space rebalancing under skew.
+//
+// FISSIONE balances the *static* partition (zone sizes within a factor
+// kappa), but a skewed query workload still concentrates service on the few
+// peers owning the hot key ranges. The Rebalancer watches per-peer service
+// load (a decayed EWMA over the attached ServiceLoadMap) and transport
+// ingress backlog, and when a peer crosses the trigger threshold it migrates
+// a hot slice of that peer's key space to a lightly loaded overlay neighbor.
+//
+// Migrations are *delegations*, not re-partitions: the Kautz partition tree
+// — and with it the paper's structural guarantees (interval preservation,
+// the FRT delay bound, kappa zone balance) — is never modified. A migrated
+// range lives in the network's delegation registry; the query layer splits
+// the last FRT hop so the host serves its slice at the same tree depth (see
+// FrtSearch), and the network's membership surgery returns or drops hosted
+// objects exactly like native ones, so object conservation holds under
+// churn.
+//
+// The cutover is version-guarded by construction: objects stay in the
+// donor's native store until the (kHandoff-priced) transfer lands; queries
+// racing the transfer are served by the donor, queries after it by the
+// host. Nothing is ever unreachable and nothing is served twice.
+//
+// Hysteresis: a donor must exceed `trigger_load` (or `backlog_trigger`),
+// an acceptor must sit at or below `target_load` *and* be strictly cooler
+// than the donor in the dimension that triggered it, and every migrated
+// range rests for `cooldown` query ticks. Every migration therefore moves
+// a range strictly downhill, at a bounded rate: a stationary hot spot
+// rotates across cool peers (spreading its cumulative load) instead of
+// ping-ponging between two neighbors every sweep.
+//
+// Disabled (the default config), every hook is a no-op and the query layer
+// takes its pre-existing code path bitwise.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "fissione/network.h"
+#include "kautz/kautz_region.h"
+#include "kautz/kautz_string.h"
+#include "replica/popularity.h"
+#include "sim/event_queue.h"
+
+namespace armada::rebalance {
+
+struct RebalanceConfig {
+  /// Donor threshold on the decayed service-load EWMA; 0 disables the load
+  /// trigger. A peer at or above it becomes a migration donor.
+  double trigger_load = 0.0;
+  /// Acceptor ceiling: only neighbors at or below this load accept ranges.
+  double target_load = 0.0;
+  /// Donor threshold on transport ingress backlog (queued arrivals at the
+  /// peer); 0 disables the backlog trigger.
+  std::size_t backlog_trigger = 0;
+  /// Query ticks between rebalance sweeps (and load-EWMA refreshes).
+  std::uint64_t sweep_interval = 16;
+  /// Decay of the per-peer load EWMA per sweep.
+  double load_decay = 0.5;
+  /// Popularity decay and its tick interval (see PopularityTracker).
+  double heat_decay = 0.5;
+  std::uint64_t heat_interval = 16;
+  /// Charged heat prefixes are truncated to this length.
+  std::size_t max_track_len = 8;
+  /// Concurrent migrations across the whole overlay.
+  std::uint32_t max_inflight = 4;
+  /// Query ticks a migrated range rests before it may move again.
+  std::uint64_t cooldown = 64;
+  /// Wire size of one migrated object in the batched transfer.
+  std::uint32_t object_bytes = 64;
+
+  /// Enabled iff some trigger can fire. Query layers null a disabled
+  /// rebalancer out, keeping their pre-existing path bitwise.
+  bool enabled() const { return trigger_load > 0.0 || backlog_trigger > 0; }
+};
+
+struct RebalanceStats {
+  std::uint64_t sweeps = 0;
+  std::uint64_t migrations_started = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t migrations_cancelled = 0;  ///< endpoint died mid-transfer
+  std::uint64_t objects_migrated = 0;
+  std::uint64_t rehosted = 0;  ///< completed migrations of hosted ranges
+  std::uint64_t cutover_messages = 0;
+  std::uint64_t bytes_on_wire = 0;
+};
+
+class Rebalancer {
+ public:
+  Rebalancer(fissione::FissioneNetwork& net, RebalanceConfig config);
+
+  Rebalancer(const Rebalancer&) = delete;
+  Rebalancer& operator=(const Rebalancer&) = delete;
+
+  const RebalanceConfig& config() const { return config_; }
+  const RebalanceStats& stats() const { return stats_; }
+  const replica::PopularityTracker& heat() const { return heat_; }
+
+  /// Decayed service-load EWMA of one peer as of the last sweep.
+  double load_of(fissione::PeerId p) const {
+    return p < load_.size() ? load_[p] : 0.0;
+  }
+  /// Migrations currently in flight (transfer scheduled, cutover pending).
+  std::size_t inflight() const;
+  /// (donor, acceptor) of every active flight — introspection for tests
+  /// (e.g. crashing a donor mid-transfer on purpose).
+  std::vector<std::pair<fissione::PeerId, fissione::PeerId>> flight_endpoints()
+      const;
+
+  /// Per-query entry point (PIRA/MIRA call it once per query with the
+  /// common-prefix subregions of the search classes): advances the query
+  /// tick, charges heat, and every `sweep_interval` ticks runs a rebalance
+  /// sweep whose transfers are priced on `sim` as kHandoff traffic.
+  void on_query(sim::Simulator& sim,
+                const std::vector<kautz::KautzRegion>& class_subregions);
+
+  /// Membership changed (join/leave/crash executed): cancel migrations
+  /// whose donor or acceptor died and forget dead peers' load history —
+  /// PeerIds are recycled, so a joiner must not inherit its predecessor's
+  /// EWMA. Wire this to the churn drivers' set_membership_hook.
+  void on_membership(sim::Simulator& sim);
+
+ private:
+  struct Flight {
+    fissione::PeerId donor = fissione::kNoPeer;
+    fissione::PeerId acceptor = fissione::kNoPeer;
+    kautz::KautzString range;
+    bool rehost = false;  ///< moving an already-delegated range to a new host
+    bool cancelled = false;
+  };
+
+  void refresh_loads();
+  void sweep(sim::Simulator& sim);
+  double heat_gain(const kautz::KautzString& range, bool whole_zone) const;
+  bool range_engaged(const kautz::KautzString& range) const;
+  void start_migration(sim::Simulator& sim, const std::shared_ptr<Flight>& f,
+                       std::uint64_t object_count);
+  void finish_migration(sim::Simulator& sim, const std::shared_ptr<Flight>& f);
+
+  fissione::FissioneNetwork& net_;
+  RebalanceConfig config_;
+  RebalanceStats stats_;
+  replica::PopularityTracker heat_;
+  std::uint64_t tick_ = 0;
+  std::vector<double> load_;          ///< decayed EWMA, indexed by PeerId
+  std::vector<std::uint64_t> prev_;   ///< ServiceLoadMap counts at last sweep
+  std::vector<std::shared_ptr<Flight>> flights_;
+  std::map<kautz::KautzString, std::uint64_t> cooldown_until_;
+};
+
+}  // namespace armada::rebalance

@@ -66,6 +66,15 @@ std::vector<StoredObject> ReplicationManager::collect_objects(
       }
     }
   }
+  // Region objects inside migrated ranges live in the delegation registry,
+  // not in any primary's native store; fold their slices in so snapshots
+  // stay complete while the rebalancer is active.
+  if (net_.has_delegations()) {
+    net_.visit_delegation_slices(
+        prefix, [&out](const KautzString&, std::span<const StoredObject> run) {
+          out.insert(out.end(), run.begin(), run.end());
+        });
+  }
   std::sort(out.begin(), out.end(), canonical_less);
   return out;
 }
@@ -78,26 +87,19 @@ void ReplicationManager::sync_holder(sim::Simulator& sim,
   ++holder.version;
   const std::uint64_t version = holder.version;
   net::Transport& transport = net_.transport();
-  // One batched transfer per primary actually holding region objects; the
-  // version guard keeps arrivals of a superseded sync (re-sync raced by
-  // churn) from marking the newer one complete.
-  for (PeerId p : primaries(prefix)) {
-    std::uint32_t count = 0;
-    for (const StoredObject& obj : net_.peer(p).store) {
-      if (prefix.is_prefix_of(obj.object_id)) {
-        ++count;
-      }
-    }
-    if (count == 0) {
-      continue;
-    }
+  // One batched transfer per peer actually holding region objects — each
+  // primary, plus each delegation host serving a migrated slice of the
+  // region; the version guard keeps arrivals of a superseded sync (re-sync
+  // raced by churn) from marking the newer one complete.
+  const auto send = [this, &sim, &transport, &holder, &prefix,
+                     version](PeerId from, std::uint32_t count) {
     const std::uint32_t bytes =
         transport.default_message_bytes() + config_.object_bytes * count;
     ++holder.pending;
     ++stats_.placement_messages;
     stats_.placement_bytes += bytes;
     transport.deliver(
-        sim, p, holder.peer, bytes,
+        sim, from, holder.peer, bytes,
         [this, prefix, name = holder.name, version](sim::Time) {
           const auto it = regions_.find(prefix);
           if (it == regions_.end()) {
@@ -113,6 +115,28 @@ void ReplicationManager::sync_holder(sim::Simulator& sim,
           }
         },
         0.0, net::TrafficClass::kHandoff);
+  };
+  for (PeerId p : primaries(prefix)) {
+    std::uint32_t count = 0;
+    for (const StoredObject& obj : net_.peer(p).store) {
+      if (prefix.is_prefix_of(obj.object_id)) {
+        ++count;
+      }
+    }
+    if (count > 0) {
+      send(p, count);
+    }
+  }
+  if (net_.has_delegations()) {
+    net_.visit_delegation_slices(
+        prefix, [this, &send](const KautzString& range,
+                              std::span<const StoredObject> run) {
+          if (run.empty()) {
+            return;
+          }
+          const auto* d = net_.find_delegation(range);
+          send(d->host, static_cast<std::uint32_t>(run.size()));
+        });
   }
   if (holder.pending == 0) {
     holder.synced = true;  // empty region: nothing to move

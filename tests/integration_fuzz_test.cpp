@@ -2,11 +2,14 @@
 // publishes, and every query type Armada supports, verifying each answer
 // against ground truth and every structural invariant along the way.
 //
-// Two modes, both honoring ARMADA_FUZZ_SEED:
+// Three modes, all honoring ARMADA_FUZZ_SEED:
 //  * instant churn — membership commutes immediately (the seed behaviour);
 //  * timed churn — a seeded ChurnProcess schedule runs through the
 //    Simulator with transport-priced repair, and queries race the repair
-//    protocol inside stale-route windows.
+//    protocol inside stale-route windows;
+//  * rebalance vs churn — a Zipf-skewed query stream drives the online
+//    key-space rebalancer while membership churns underneath it, including
+//    a forced donor crash in the middle of a migration transfer.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -19,9 +22,14 @@
 #include "armada/churn_harness.h"
 #include "fissione/churn_driver.h"
 #include "fissione/network.h"
+#include "fissione/types.h"
+#include "kautz/kautz_region.h"
 #include "net/latency_model.h"
 #include "sim/churn.h"
+#include "sim/event_queue.h"
+#include "sim/workload.h"
 #include "support/test_networks.h"
+#include "support/test_workloads.h"
 #include "util/rng.h"
 
 namespace armada::core {
@@ -211,6 +219,150 @@ TEST_P(IntegrationFuzz, TimedChurnAnswersStaySubsetOfLiveTruth) {
   // land in quiet gaps; both outcomes must occur.
   EXPECT_GT(stats.stale_queries, 0u);
   EXPECT_GT(exact_answers, 0);
+}
+
+TEST_P(IntegrationFuzz, RebalancingUnderChurnConservesAndStaysExact) {
+  const std::uint64_t seed = GetParam();
+  auto fx = testsupport::make_single_index(110, seed * 69427 + 17);
+  auto& net = fx->net;
+  auto& index = fx->index;
+  net.set_latency_model(std::make_shared<net::TransitStub>(seed + 9));
+
+  fissione::ServiceLoadMap load;
+  net.set_service_load(&load);
+  rebalance::RebalanceConfig cfg;
+  cfg.trigger_load = 3.0;
+  cfg.target_load = 1.5;
+  cfg.sweep_interval = 8;
+  cfg.cooldown = 24;
+  cfg.max_inflight = 3;
+  rebalance::Rebalancer& rb = index.enable_rebalancing(cfg);
+
+  Rng rng(seed * 48973 + 11);
+  std::size_t published = 0;
+  std::size_t dropped = 0;
+  for (int i = 0; i < 240; ++i) {
+    index.publish(rng.next_double(0.0, 1000.0));
+    ++published;
+  }
+
+  // Drop-aware ground truth: what the surviving peers still own — native
+  // stores plus delegated slices — restricted to [lo, hi]. Migrations move
+  // ownership between peers but never change this set.
+  const auto owned_matches = [&](double lo, double hi) {
+    std::vector<std::uint64_t> out;
+    for (auto p : net.alive_peers()) {
+      net.for_each_owned(p, [&](const fissione::StoredObject& obj) {
+        const double v = index.attributes(obj.payload)[0];
+        if (v >= lo && v <= hi) {
+          out.push_back(obj.payload);
+        }
+      });
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  sim::Simulator sim;
+  sim::ZipfValues zipf(testsupport::kPaperDomain, 110, 1.0, Rng(seed + 3));
+
+  // A Zipf-skewed query stream hot enough to trip the load trigger, with
+  // mixed widths so both the full-redirect and the split-serve paths run
+  // while membership churns underneath them.
+  for (int q = 0; q < 120; ++q) {
+    sim.schedule_at(0.1 + 0.45 * q, [&, q] {
+      if (rng.next_bool(0.1)) {
+        index.publish(rng.next_double(0.0, 1000.0));
+        ++published;
+      }
+      const double c = zipf.next();
+      const double w = (q % 3 == 0) ? 20.0 : 4.0;
+      const double lo = std::max(0.0, c - w);
+      const double hi = std::min(1000.0, c + w);
+      const auto issuer = fx->random_issuer(rng);
+      const double bound =
+          static_cast<double>(net.peer(issuer).peer_id.length());
+
+      const auto res = index.range_query(issuer, lo, hi);
+      auto got = res.matches;
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got, owned_matches(lo, hi)) << "query " << q;
+      EXPECT_LE(res.stats.delay, bound);
+      ASSERT_EQ(net.total_objects(), published - dropped) << "query " << q;
+    });
+  }
+
+  // Membership churn racing the queries; every change runs the rebalancer's
+  // membership hook, exactly as the churn drivers do.
+  for (int e = 0; e < 28; ++e) {
+    sim.schedule_at(0.37 + 1.9 * e, [&, e] {
+      const double dice = rng.next_double();
+      if (dice < 0.45) {
+        net.join();
+      } else if (dice < 0.8 && net.num_peers() > 60) {
+        const auto& alive = net.alive_peers();
+        net.leave(alive[rng.next_index(alive.size())]);
+      } else if (net.num_peers() > 60) {
+        const auto& alive = net.alive_peers();
+        dropped += net.crash(alive[rng.next_index(alive.size())]);
+      }
+      rb.on_membership(sim);
+      ASSERT_EQ(net.total_objects(), published - dropped) << "event " << e;
+      if (e % 7 == 6) {
+        net.check_invariants();
+      }
+    });
+  }
+
+  // Force a donor crash mid-transfer. Synchronous queries complete their
+  // migrations inside their own event horizon, so put one transfer on the
+  // *outer* wire — synthesizing a hot donor if no flight is active — then
+  // kill its donor before the delivery event fires.
+  sim.schedule_at(30.05, [&] {
+    if (rb.inflight() == 0) {
+      fissione::PeerId hot = fissione::kNoPeer;
+      std::size_t most = 0;
+      for (auto p : net.alive_peers()) {
+        if (hot == fissione::kNoPeer || net.peer(p).store.size() > most) {
+          hot = p;
+          most = net.peer(p).store.size();
+        }
+      }
+      load[hot] += 12;
+      kautz::KautzString hot_oid = net.peer(hot).peer_id;
+      while (hot_oid.length() < net.config().object_id_length) {
+        for (std::uint8_t s = 0; s <= hot_oid.base(); ++s) {
+          if (hot_oid.can_append(s)) {
+            hot_oid.push_back(s);
+            break;
+          }
+        }
+      }
+      const kautz::KautzRegion hot_region(hot_oid, hot_oid);
+      for (int i = 0; i < 40 && rb.inflight() == 0; ++i) {
+        rb.on_query(sim, {hot_region});
+      }
+    }
+    ASSERT_GT(rb.inflight(), 0u);
+    // One sweep may launch several flights; crashing this donor must cancel
+    // exactly its flights and leave the others to land normally.
+    const auto flights = rb.flight_endpoints();
+    dropped += net.crash(flights.front().first);
+    rb.on_membership(sim);
+    EXPECT_LT(rb.inflight(), flights.size());
+    ASSERT_EQ(net.total_objects(), published - dropped);
+  });
+
+  sim.run();
+
+  net.check_invariants();
+  EXPECT_LE(net.max_neighbor_length_gap(), 1u);
+  EXPECT_EQ(net.total_objects(), published - dropped);
+  EXPECT_GT(rb.stats().migrations_started, 0u);
+  EXPECT_EQ(rb.stats().migrations_started,
+            rb.stats().migrations_completed + rb.stats().migrations_cancelled);
+  EXPECT_GE(rb.stats().migrations_cancelled, 1u);
+  EXPECT_EQ(rb.inflight(), 0u);
 }
 
 // Default seeds are fixed so CI is deterministic. To reproduce a failure or

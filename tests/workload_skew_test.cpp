@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "fissione/types.h"
 #include "sim/workload.h"
+#include "support/test_networks.h"
+#include "support/test_workloads.h"
 #include "util/check.h"
 #include "util/stats.h"
 
@@ -61,6 +66,38 @@ TEST(ClusteredValues, RespectsWeights) {
     }
   }
   EXPECT_NEAR(static_cast<double>(low) / n, 0.75, 0.03);
+}
+
+// The motivation for the online rebalancer (src/rebalance/): with
+// rebalancing off, the peak per-peer service load strictly worsens as the
+// Zipf exponent grows — skew concentrates queries on the peers owning the
+// hot key ranges.
+TEST(WorkloadSkew, PeakServiceLoadWorsensWithZipfExponent) {
+  const auto peak_for = [](double s) {
+    auto fx = testsupport::make_single_index(150, 29);
+    testsupport::publish_uniform_values(fx->index, 500, 61);
+    fissione::ServiceLoadMap load;
+    fx->net.set_service_load(&load);
+
+    ZipfValues zipf(testsupport::kPaperDomain, 150, s, Rng(43));
+    Rng rng(87);
+    for (int q = 0; q < 400; ++q) {
+      const double c = zipf.next();
+      fx->index.range_query(fx->random_issuer(rng), std::max(0.0, c - 10.0),
+                            std::min(1000.0, c + 10.0));
+    }
+    std::uint64_t peak = 0;
+    for (const auto& [p, count] : load) {
+      peak = std::max(peak, count);
+    }
+    return peak;
+  };
+
+  const std::uint64_t p06 = peak_for(0.6);
+  const std::uint64_t p10 = peak_for(1.0);
+  const std::uint64_t p14 = peak_for(1.4);
+  EXPECT_LT(p06, p10);
+  EXPECT_LT(p10, p14);
 }
 
 TEST(Gini, KnownValues) {
