@@ -24,6 +24,8 @@
 #include "chord/churn_driver.h"
 #include "fissione/churn_driver.h"
 #include "net/queueing.h"
+#include "obs/publish.h"
+#include "obs/registry.h"
 #include "sim/churn.h"
 
 namespace {
@@ -155,6 +157,30 @@ void record_round(const std::string& overlay, const std::string& model,
        {"batch_occupancy_mean", r.wire.batch_occupancy_mean()}});
 }
 
+/// The unified-registry view of one finished cell: cumulative churn and
+/// wire stats published through obs::publish (same adapters the traced
+/// bench_congestion time series use), flattened into one feed record. The
+/// per-round "churn" rows above keep their exact shapes; this row is the
+/// cross-currency rollup keyed by instrument name.
+void record_registry(const std::string& overlay, const std::string& model,
+                     double rate, std::size_t n, const sim::ChurnStats& churn,
+                     const net::CongestionStats& wire) {
+  if (!JsonSink::instance().enabled()) {
+    return;
+  }
+  obs::Registry reg;
+  obs::publish(reg, "churn", churn);
+  obs::publish(reg, "net", wire);
+  std::vector<std::pair<std::string, double>> metrics;
+  reg.visit([&metrics](const std::string& name, obs::Registry::Kind,
+                       double scalar, const obs::Registry::Histogram*) {
+    metrics.emplace_back(name, scalar);
+  });
+  JsonSink::instance().record(
+      "churn_registry", overlay + "/" + model + "/" + rate_label(rate),
+      {{"rate", rate}, {"n", static_cast<double>(n)}}, metrics);
+}
+
 void add_row(Table& table, const std::string& overlay,
              const std::string& model, double rate, int round, std::size_t n,
              const RoundDelta& r) {
@@ -278,6 +304,8 @@ void run_fissione(Table& table, std::shared_ptr<const net::LatencyModel> model,
     add_row(table, "fissione", model->name(), rate, round, net.num_peers(), r);
     record_round("fissione", model->name(), rate, round, net.num_peers(), r);
   }
+  record_registry("fissione", model->name(), rate, net.num_peers(),
+                  driver.stats(), net.congestion());
 }
 
 void run_chord(Table& table, std::shared_ptr<const net::LatencyModel> model,
@@ -341,6 +369,8 @@ void run_chord(Table& table, std::shared_ptr<const net::LatencyModel> model,
     add_row(table, "chord", model->name(), rate, round, net.num_nodes(), r);
     record_round("chord", model->name(), rate, round, net.num_nodes(), r);
   }
+  record_registry("chord", model->name(), rate, net.num_nodes(),
+                  driver.stats(), net.congestion());
 }
 
 }  // namespace

@@ -16,10 +16,23 @@
 // factor. Under every latency model p99 must grow strictly across the
 // loaded tiers — the CI benchsmoke leg asserts exactly that from the JSON
 // feed, together with strictly positive queueing delay at the top tier.
+// A traced run (ARMADA_TRACE_DIR=<dir>) additionally exercises the obs
+// layer end to end: the fissione/constant cell's baseline and top tiers
+// plus the top closed-loop goodput tier run with an obs::TraceRecorder
+// attached (deterministic 1-in-4 sampling, delay bound 2*log2 n), the
+// closed-loop tiers sample per-class time series through an obs::Registry
+// + Sampler, and the run exports Chrome-trace JSON, a span stream, the
+// time series, and the delay-bound auditor's slow-query log under the
+// directory. Tracing never perturbs the simulation, so every number in
+// the JSON feed is identical with and without it — the CI benchsmoke leg
+// validates the exports against tools/trace_schema.json.
 #include "common.h"
 
 #include "chord/chord.h"
 #include "net/queueing.h"
+#include "obs/publish.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 
 namespace {
@@ -166,12 +179,23 @@ void record_tier(Table& table, const std::string& overlay,
 
 void run_cell(Table& table, const std::string& overlay_name,
               overlay::RoutedOverlay& overlay, const std::string& model_name,
-              const std::vector<std::vector<net::NodeId>>& walks) {
+              const std::vector<std::vector<net::NodeId>>& walks,
+              const std::shared_ptr<obs::TraceRecorder>& recorder = nullptr) {
   const std::size_t n = overlay.overlay_size();
   double baseline_p99 = 0.0;
   double knee_tier = 0.0;
   for (int tier = 0; tier < kTiers; ++tier) {
+    // Trace the uncongested baseline (clean span trees, no violations)
+    // and the top load tier (where the delay-bound auditor fires).
+    const bool traced =
+        recorder != nullptr && (tier == 0 || tier == kTiers - 1);
+    if (traced) {
+      overlay.transport().attach_trace(recorder);
+    }
     const TierResult r = run_tier(overlay, walks, tier_gap(tier, n), tier > 0);
+    if (traced) {
+      overlay.transport().detach_trace();
+    }
     const double p99 = r.queries.latency_percentiles().p99();
     if (tier == 0) {
       baseline_p99 = p99;
@@ -273,13 +297,43 @@ struct GoodputTier {
 GoodputTier run_goodput_tier(core::ArmadaIndex& index,
                              fissione::FissioneNetwork& net,
                              const GoodputWorkload& w, double gap,
-                             bool closed_loop) {
+                             bool closed_loop,
+                             const std::string& timeseries_name = "",
+                             std::string* timeseries_out = nullptr) {
   net.install_queueing(goodput_config(closed_loop));
   net::Transport& transport = net.transport();
   GoodputTier r{sim::MetricSet(
                     std::log2(static_cast<double>(net.num_peers()))),
                 OnlineStats{}, net::CongestionStats{}, 0.0};
   sim::Simulator sim;
+  // Per-class time-series sampling (traced runs): ticks read cumulative
+  // congestion counters, live backlog probes, and served coverage into a
+  // fresh registry. Ticks stop at the injection end, so they never extend
+  // sim.now() — the goodput numbers stay identical to an unsampled run.
+  obs::Registry registry;
+  obs::Sampler sampler(registry, [&](obs::Registry& reg) {
+    obs::publish(reg, "net", net.congestion());
+    double ingress = 0.0;
+    double egress = 0.0;
+    if (const net::Queueing* q = transport.queueing(); q != nullptr) {
+      for (fissione::PeerId p : net.alive_peers()) {
+        ingress += static_cast<double>(q->ingress_backlog(sim, p));
+        egress += static_cast<double>(q->egress_backlog(sim, p));
+      }
+    }
+    reg.set("net.ingress_backlog", ingress);
+    reg.set("net.egress_backlog", egress);
+    reg.set("query.completed",
+            static_cast<double>(r.queries.coverage().count()));
+    reg.set("query.coverage_mean", r.queries.coverage().mean_or(1.0));
+    reg.set("query.goodput", sim.now() > 0.0
+                                 ? r.queries.coverage().sum() / sim.now()
+                                 : 0.0);
+  });
+  if (timeseries_out != nullptr) {
+    const double horizon = static_cast<double>(w.issuers.size()) * gap;
+    sampler.schedule(sim, 0.0, horizon, std::max(gap, horizon / 32.0));
+  }
   for (std::size_t i = 0; i < w.issuers.size(); ++i) {
     sim.schedule_at(static_cast<double>(i) * gap, [&, i] {
       index.range_query_async(
@@ -298,13 +352,19 @@ GoodputTier run_goodput_tier(core::ArmadaIndex& index,
                     });
   }
   sim.run();
+  if (timeseries_out != nullptr) {
+    *timeseries_out += sampler.jsonl(timeseries_name);
+  }
   r.congestion = net.congestion();
   r.elapsed = sim.now();
   net.uninstall_queueing();
   return r;
 }
 
-void run_goodput_sweep(std::size_t n, int queries, std::uint64_t seed) {
+void run_goodput_sweep(std::size_t n, int queries, std::uint64_t seed,
+                       const std::shared_ptr<obs::TraceRecorder>& recorder =
+                           nullptr,
+                       std::string* timeseries_out = nullptr) {
   ArmadaSetup setup(n, scaled(1024, 64), seed);
   fissione::FissioneNetwork& net = setup.net();
   const GoodputWorkload w = make_goodput_workload(net, queries, seed ^ 0x5afe);
@@ -314,8 +374,21 @@ void run_goodput_sweep(std::size_t n, int queries, std::uint64_t seed) {
     const double gap = goodput_gap(tier, n);
     const GoodputTier open =
         run_goodput_tier(setup.index(), net, w, gap, false);
+    // Traced runs: the top closed-loop tier carries the recorder (real
+    // PIRA queries past saturation — sheds, partial coverage, and
+    // delay-bound violations all fire) and every closed tier contributes
+    // a per-class time series.
+    const bool traced = recorder != nullptr && tier == kGoodputTiers - 1;
+    if (traced) {
+      net.transport().attach_trace(recorder);
+    }
     const GoodputTier closed =
-        run_goodput_tier(setup.index(), net, w, gap, true);
+        run_goodput_tier(setup.index(), net, w, gap, true,
+                         "goodput/load" + std::to_string(tier),
+                         timeseries_out);
+    if (traced) {
+      net.transport().detach_trace();
+    }
     table.add_row(
         {"load" + std::to_string(tier), Table::cell(gap),
          Table::cell(closed.goodput()), Table::cell(open.goodput()),
@@ -373,12 +446,28 @@ int main() {
   // to queue even at smoke scale, or every tier degenerates to the fixed
   // per-message service cost and the knee disappears.
   const int kQueries = static_cast<int>(scaled(600, 96));
+  // Traced run: one shared recorder covers the fissione/constant cell and
+  // the goodput sweep. Delay bound 2*log2(n): uncongested walks (at most
+  // the Kautz diameter ~ log n hops of unit propagation) sit comfortably
+  // inside it, while top-tier queries — whose hops each pay ~4 time units
+  // of service plus queueing — blow through it, so the auditor always
+  // attributes at least one slow query.
+  std::shared_ptr<obs::TraceRecorder> recorder;
+  if (trace_dir() != nullptr) {
+    obs::TraceConfig tc;
+    tc.sample_period = 4;
+    tc.seed = kSeed;
+    tc.delay_bound = 2.0 * std::log2(static_cast<double>(kN));
+    recorder = std::make_shared<obs::TraceRecorder>(tc);
+  }
   for (const auto& model : bench_latency_models(kSeed)) {
     {
       auto net = fissione::FissioneNetwork::build(kN, kSeed);
       net.set_latency_model(model);
       const auto walks = fissione_walks(net, kQueries);
-      run_cell(table, "fissione", net, model->name(), walks);
+      const bool traced_cell = model->name() == std::string("constant");
+      run_cell(table, "fissione", net, model->name(), walks,
+               traced_cell ? recorder : nullptr);
     }
     {
       chord::ChordNetwork net(kN, kSeed);
@@ -394,6 +483,38 @@ int main() {
   // One closed-loop cell (FISSIONE + ConstantHop) is enough for the
   // goodput story: the sender discipline, not the latency model, is what
   // the sweep isolates.
-  run_goodput_sweep(kN, kQueries, kSeed ^ 0x60d);
+  std::string timeseries;
+  run_goodput_sweep(kN, kQueries, kSeed ^ 0x60d, recorder,
+                    recorder != nullptr ? &timeseries : nullptr);
+  if (recorder != nullptr) {
+    const std::string dir = trace_dir();
+    obs::write_text_file(dir + "/congestion_trace.json",
+                         recorder->chrome_trace_json());
+    obs::write_text_file(dir + "/congestion_spans.jsonl",
+                         recorder->spans_jsonl());
+    obs::write_text_file(dir + "/congestion_slow.jsonl",
+                         recorder->slow_queries_jsonl());
+    obs::write_text_file(dir + "/congestion_slow.log",
+                         recorder->slow_query_log());
+    obs::write_text_file(dir + "/congestion_timeseries.jsonl", timeseries);
+    const std::string problem = recorder->validate();
+    if (!problem.empty()) {
+      std::fprintf(stderr, "trace invariant violated: %s\n", problem.c_str());
+    }
+    JsonSink::instance().record(
+        "congestion_trace", "fissione/constant",
+        {{"n", static_cast<double>(kN)},
+         {"sample_period", static_cast<double>(recorder->config().sample_period)},
+         {"delay_bound", recorder->config().delay_bound}},
+        {{"roots_seen", static_cast<double>(recorder->roots_seen())},
+         {"roots_sampled", static_cast<double>(recorder->roots_sampled())},
+         {"spans_recorded", static_cast<double>(recorder->spans_recorded())},
+         {"spans_dropped", static_cast<double>(recorder->spans_dropped())},
+         {"violations", static_cast<double>(recorder->violations())},
+         {"invariant_ok", problem.empty() ? 1.0 : 0.0}});
+    if (!problem.empty()) {
+      return 1;
+    }
+  }
   return 0;
 }

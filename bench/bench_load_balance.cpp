@@ -22,6 +22,8 @@
 #include <string>
 
 #include "common.h"
+#include "obs/publish.h"
+#include "obs/sampler.h"
 #include "rebalance/rebalance.h"
 #include "replica/replica_set.h"
 #include "util/check.h"
@@ -87,7 +89,9 @@ struct ServiceResult {
 // global scan, coverage is full, and delay respects the paper bound
 // (hops <= |PeerID(issuer)|).
 ServiceResult run_service(ServeMode mode, std::size_t n, std::size_t objects,
-                          int queries, std::uint64_t seed) {
+                          int queries, std::uint64_t seed,
+                          const std::string& series = "",
+                          std::string* timeseries_out = nullptr) {
   auto net = fissione::FissioneNetwork::build(n, seed);
   auto index = core::ArmadaIndex::single(net, {kDomainLo, kDomainHi});
   Rng obj_rng(seed + 11);
@@ -124,6 +128,25 @@ ServiceResult run_service(ServeMode mode, std::size_t n, std::size_t objects,
   fissione::ServiceLoadMap load;
   net.set_service_load(&load);
 
+  // Traced runs sample the shedding subsystems over the workload: replica
+  // regions and cache hits, in-flight migrations, and active delegations.
+  // These queries run synchronously (each on its own private simulator),
+  // so the series' time axis is the query ordinal, not sim time.
+  obs::Registry registry;
+  obs::Sampler sampler(registry, [&](obs::Registry& reg) {
+    if (index.replicas() != nullptr) {
+      obs::publish(reg, "replica", index.replicas()->stats());
+    }
+    if (index.rebalancer() != nullptr) {
+      obs::publish(reg, "rebalance", index.rebalancer()->stats());
+      reg.set("rebalance.inflight",
+              static_cast<double>(index.rebalancer()->inflight()));
+      reg.set("rebalance.active_delegations",
+              static_cast<double>(net.delegations().size()));
+    }
+  });
+  const int tick_every = std::max(1, queries / 32);
+
   ServiceResult out;
   for (int q = 0; q < queries; ++q) {
     const double v = zipf.next();
@@ -148,6 +171,12 @@ ServiceResult run_service(ServeMode mode, std::size_t n, std::size_t objects,
     std::sort(got.begin(), got.end());
     ARMADA_CHECK_MSG(got == *truth[bin],
                      "query answer diverged from the global scan");
+    if (timeseries_out != nullptr && (q + 1) % tick_every == 0) {
+      sampler.tick(static_cast<double>(q + 1));
+    }
+  }
+  if (timeseries_out != nullptr) {
+    *timeseries_out += sampler.jsonl(series);
   }
   net.set_service_load(nullptr);
 
@@ -256,14 +285,27 @@ int main() {
       static_cast<int>(armada::bench::scaled(4000, 256));
   Table service({"Series", "MeanLoad", "MaxLoad", "p99", "Gini", "CacheHits",
                  "ReplRoutes", "Regions", "Migr", "ObjMoved"});
+  // When ARMADA_TRACE_DIR is set, the shedding-subsystem time series of
+  // every service mode land in one JSONL stream under the directory.
+  const char* tdir = armada::bench::trace_dir();
+  std::string timeseries;
+  std::string* ts = tdir != nullptr ? &timeseries : nullptr;
   const ServiceResult plain =
-      run_service(ServeMode::kPlain, kN, kObjects, kServiceQueries, kSeed);
+      run_service(ServeMode::kPlain, kN, kObjects, kServiceQueries, kSeed,
+                  "service/unreplicated", ts);
   const ServiceResult repl = run_service(ServeMode::kReplicated, kN, kObjects,
-                                         kServiceQueries, kSeed);
+                                         kServiceQueries, kSeed,
+                                         "service/replicated", ts);
   const ServiceResult reb_only = run_service(ServeMode::kRebalanceOnly, kN,
-                                             kObjects, kServiceQueries, kSeed);
+                                             kObjects, kServiceQueries, kSeed,
+                                             "service/rebalance_only", ts);
   const ServiceResult reb = run_service(ServeMode::kRebalanced, kN, kObjects,
-                                        kServiceQueries, kSeed);
+                                        kServiceQueries, kSeed,
+                                        "service/rebalanced", ts);
+  if (tdir != nullptr) {
+    obs::write_text_file(std::string(tdir) + "/load_balance_timeseries.jsonl",
+                         timeseries);
+  }
   for (const auto& [name, r] :
        {std::pair<const char*, const ServiceResult&>{"unreplicated", plain},
         std::pair<const char*, const ServiceResult&>{"replicated", repl},

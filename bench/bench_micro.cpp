@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common.h"
@@ -15,6 +16,7 @@
 #include "fissione/network.h"
 #include "kautz/kautz_space.h"
 #include "kautz/partition_tree.h"
+#include "obs/trace.h"
 #include "sfc/hilbert.h"
 #include "util/rng.h"
 
@@ -282,10 +284,89 @@ void record_kautz_micro() {
        {"construct_speedup", ref_ctor / packed_ctor}});
 }
 
+// --- tracing overhead on the query hot path ---------------------------------
+//
+// The obs house rule: with tracing disabled the transport hot path pays at
+// most one branch. This measurement prices the whole ladder on full PIRA
+// queries — recorder absent (the branch only), recorder attached but
+// sampling nothing (branch + root-sampling check), and recorder attached
+// tracing every query (span recording proper) — and lands the three
+// timings plus ratios in the JSON feed (bench "micro", series
+// "trace_overhead") so regressions in the disabled path show up in CI
+// diffs like any other perf number.
+void record_trace_overhead() {
+  using armada::bench::JsonSink;
+  using armada::bench::scaled;
+
+  auto net = fissione::FissioneNetwork::build(scaled(2000, 64), 11);
+  auto index = core::ArmadaIndex::single(net, {0.0, 1000.0});
+  Rng rng(13);
+  const auto objects = scaled(4000, 128);
+  for (std::size_t i = 0; i < objects; ++i) {
+    index.publish(rng.next_double(0.0, 1000.0));
+  }
+  // Pre-drawn workload replayed identically by all three loops, so the
+  // ratios isolate the tracing mode and not the query mix.
+  const auto queries = static_cast<std::size_t>(scaled(2000, 200));
+  std::vector<std::pair<fissione::PeerId, double>> work;
+  work.reserve(queries);
+  for (std::size_t i = 0; i < queries; ++i) {
+    work.emplace_back(net.random_peer(), rng.next_double(0.0, 980.0));
+  }
+  const auto run_all = [&] {
+    for (const auto& [issuer, lo] : work) {
+      benchmark::DoNotOptimize(index.range_query(issuer, lo, lo + 20.0));
+    }
+  };
+
+  const double disabled = seconds_of(run_all);
+
+  // Attached but sampling nothing: every root pays the sampling decision,
+  // no span is ever recorded.
+  obs::TraceConfig unsampled_cfg;
+  unsampled_cfg.sample_period = std::numeric_limits<std::uint64_t>::max();
+  unsampled_cfg.seed = 11;
+  auto unsampled = std::make_shared<obs::TraceRecorder>(unsampled_cfg);
+  net.transport().attach_trace(unsampled);
+  const double attached = seconds_of(run_all);
+  net.transport().detach_trace();
+
+  // Every query traced end to end.
+  obs::TraceConfig traced_cfg;
+  traced_cfg.sample_period = 1;
+  traced_cfg.seed = 11;
+  auto recorder = std::make_shared<obs::TraceRecorder>(traced_cfg);
+  net.transport().attach_trace(recorder);
+  const double traced = seconds_of([&] {
+    recorder->clear();  // reps must not compound span storage
+    run_all();
+  });
+  net.transport().detach_trace();
+
+  const double n = static_cast<double>(queries);
+  const auto ns = [n](double secs) { return secs / n * 1e9; };
+  std::printf(
+      "\nTracing overhead per PIRA query (%zu queries):\n"
+      "  disabled            %9.1f ns\n"
+      "  attached, unsampled %9.1f ns  (x%.3f)\n"
+      "  traced              %9.1f ns  (x%.3f)\n",
+      queries, ns(disabled), ns(attached), attached / disabled, ns(traced),
+      traced / disabled);
+
+  JsonSink::instance().record(
+      "micro", "trace_overhead", {{"queries", n}},
+      {{"query_ns_disabled", ns(disabled)},
+       {"query_ns_attached_unsampled", ns(attached)},
+       {"query_ns_traced", ns(traced)},
+       {"attached_vs_disabled", attached / disabled},
+       {"traced_vs_disabled", traced / disabled}});
+}
+
 }  // namespace
 
 // Custom main (instead of BENCHMARK_MAIN): the google-benchmark suite runs
-// as usual, then the packed-vs-reference comparison records its JSON feed.
+// as usual, then the packed-vs-reference comparison and the tracing
+// overhead ladder record their JSON feeds.
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
@@ -294,5 +375,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   record_kautz_micro();
+  record_trace_overhead();
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "can/can_network.h"
 #include "fissione/network.h"
 #include "net/latency_model.h"
+#include "obs/json_writer.h"
 #include "rq/dcf_can.h"
 #include "sim/metrics.h"
 #include "sim/workload.h"
@@ -164,13 +165,14 @@ inline void print_tables(const std::string& title, const Table& table) {
 /// Machine-readable bench results. When ARMADA_BENCH_JSON=<path> is set,
 /// each record() call buffers one measurement and the run is *appended* to
 /// <path> as JSON Lines at process exit — one object per line:
-///   {"bench": ..., "series": ..., "scale": ...,
+///   {"schema": 1, "bench": ..., "series": ..., "scale": ...,
 ///    "params": {...}, "metrics": {...}}
 /// so the perf trajectory (BENCH_*.jsonl) can be diffed across commits.
 /// Append + line-per-record means several bench binaries (e.g. a whole
 /// `ctest -L benchsmoke` run) can share one path without clobbering each
-/// other; delete the file first when a fresh capture is wanted. Names must
-/// be plain identifiers (no JSON escaping is applied).
+/// other; delete the file first when a fresh capture is wanted. Formatting
+/// and escaping go through obs::JsonWriter — the same path the trace and
+/// time-series exports use.
 class JsonSink {
  public:
   static JsonSink& instance() {
@@ -186,11 +188,11 @@ class JsonSink {
     if (!enabled()) {
       return;
     }
-    std::string r = "{\"bench\": \"" + bench + "\", \"series\": \"" + series +
-                    "\", \"scale\": " + number(scale()) + ", \"params\": {" +
-                    fields(params) + "}, \"metrics\": {" + fields(metrics) +
-                    "}}";
-    records_.push_back(std::move(r));
+    obs::JsonWriter w;
+    w.field("schema", obs::kJsonSchemaVersion);
+    w.field("bench", bench).field("series", series).field("scale", scale());
+    w.field_raw("params", fields(params)).field_raw("metrics", fields(metrics));
+    records_.push_back(w.str());
   }
 
   JsonSink(const JsonSink&) = delete;
@@ -227,27 +229,30 @@ class JsonSink {
     std::fclose(f);
   }
 
-  static std::string number(double v) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-  }
-
   static std::string fields(
       const std::vector<std::pair<std::string, double>>& kv) {
-    std::string out;
+    obs::JsonWriter w;
     for (const auto& [key, value] : kv) {
-      if (!out.empty()) {
-        out += ", ";
-      }
-      out += "\"" + key + "\": " + number(value);
+      w.field(key, value);
     }
-    return out;
+    return w.str();
   }
 
   const char* path_;
   std::vector<std::string> records_;
 };
+
+/// Directory for trace/time-series exports from the ARMADA_TRACE_DIR env
+/// var; null when tracing is disabled (the default). Benches that support
+/// traced runs (bench_congestion) write their Chrome trace, span stream,
+/// per-class time series, and slow-query log under this directory.
+inline const char* trace_dir() {
+  static const char* d = [] {
+    const char* env = std::getenv("ARMADA_TRACE_DIR");
+    return env != nullptr && *env != '\0' ? env : nullptr;
+  }();
+  return d;
+}
 
 /// Record the standard metric summary of one MetricSet under the JSON knob:
 /// means of the paper metrics plus delay/latency percentiles.

@@ -41,6 +41,12 @@ struct Search {
   sim::Time start = 0.0;
   std::uint64_t pending = 0;
   std::uint64_t shed_destinations = 0;
+  // Trace context captured at run_async: the class-start events below are
+  // scheduled directly (not through a Transport delivery), so they re-enter
+  // the enclosing query's span themselves. The search never begins traces —
+  // roots belong to PIRA/MIRA/the drivers.
+  obs::TraceRecorder* trace = nullptr;
+  std::uint64_t ctx = 0;
 
   // One same-depth stand-in message for a delegated piece of a destination
   // zone: `host` serves the contents of `range` restricted to `segment`
@@ -161,6 +167,9 @@ struct Search {
     result.stats.delay =
         std::max(result.stats.delay, static_cast<double>(hops));
     result.stats.latency = std::max(result.stats.latency, sim->now() - start);
+    if (trace != nullptr) {
+      trace->annotate(obs::kFlagServe);
+    }
     const fissione::Peer peer = net->peer(b);
     fissione::StoreView view(peer.store);
     if (net->has_delegations()) {
@@ -193,6 +202,9 @@ struct Search {
     result.stats.delay =
         std::max(result.stats.delay, static_cast<double>(hops));
     result.stats.latency = std::max(result.stats.latency, sim->now() - start);
+    if (trace != nullptr) {
+      trace->annotate(obs::kFlagServe);
+    }
     fissione::StoreView view;
     if (const auto* d = net->find_delegation(range)) {
       view.native = fissione::FissioneNetwork::delegation_segment(*d, segment);
@@ -266,6 +278,9 @@ struct Search {
         // the delay bound is untouched.
         ServePlan plan = resolve_plan(cls, cid);
         if (!plan.native || !plan.hosts.empty()) {
+          if (trace != nullptr) {
+            trace->annotate(obs::kFlagDelegationSplit);
+          }
           if (plan.native) {
             send(self, b, c, cls, 1,
                  [self, c, hops, excluded = std::move(plan.excluded)] {
@@ -329,6 +344,8 @@ void FrtSearch::run_async(
   search->on_destination = std::move(on_destination);
   search->done = std::move(done);
   search->start = sim.now();
+  search->trace = net_.transport().trace();
+  search->ctx = search->trace != nullptr ? search->trace->context() : 0;
   if (search->classes.empty()) {
     // Nothing to search; still complete from an event so `done` always
     // runs inside the simulation.
@@ -342,7 +359,13 @@ void FrtSearch::run_async(
         start_alignment(issuer_id, search->classes[i].com_t);
     ++search->pending;
     sim.schedule_at(sim.now(), [search, i, issuer, j0] {
-      search->step(search, i, issuer, j0, 0);
+      if (search->trace != nullptr && search->ctx != 0) {
+        const obs::TraceRecorder::Scope scope =
+            search->trace->enter(search->ctx);
+        search->step(search, i, issuer, j0, 0);
+      } else {
+        search->step(search, i, issuer, j0, 0);
+      }
       search->complete();
     });
   }

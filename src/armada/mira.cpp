@@ -43,6 +43,21 @@ void Mira::query_async(sim::Simulator& sim, PeerId issuer, const Box& box,
   // frame.
   const KautzRegion region = tree_.bounding_region(box);
 
+  // Trace root for the whole query; see Pira::query_region_async_impl.
+  obs::TraceRecorder* rec = net_.transport().trace();
+  std::uint64_t troot = 0;
+  if (rec != nullptr) [[unlikely]] {
+    troot = rec->maybe_begin("mira", issuer, sim.now());
+    if (troot != 0) {
+      done = [rec, troot, inner = std::move(done)](RangeQueryResult r) {
+        rec->end_trace(troot, r.stats);
+        inner(std::move(r));
+      };
+    }
+  }
+  const obs::TraceRecorder::Scope trace_scope =
+      troot != 0 ? rec->enter(troot) : obs::TraceRecorder::Scope();
+
   replica::ReplicaSet* rs = replicas_;
   if (rs != nullptr && !rs->config().enabled()) {
     rs = nullptr;  // disabled config: keep the combined search bitwise

@@ -73,6 +73,24 @@ void Pira::query_region_async_impl(sim::Simulator& sim, PeerId issuer,
     const {
   ARMADA_CHECK(region.length() == net_.config().object_id_length);
 
+  // Trace root for the whole query: the scope below covers the synchronous
+  // dispatch (rebalancer on_query migrations, replica serves, FRT class
+  // starts), so all of their transport traffic attributes to this query;
+  // the wrapped `done` closes the root and runs the delay-bound auditor.
+  obs::TraceRecorder* rec = net_.transport().trace();
+  std::uint64_t troot = 0;
+  if (rec != nullptr) [[unlikely]] {
+    troot = rec->maybe_begin("pira", issuer, sim.now());
+    if (troot != 0) {
+      done = [rec, troot, inner = std::move(done)](RangeQueryResult r) {
+        rec->end_trace(troot, r.stats);
+        inner(std::move(r));
+      };
+    }
+  }
+  const obs::TraceRecorder::Scope trace_scope =
+      troot != 0 ? rec->enter(troot) : obs::TraceRecorder::Scope();
+
   replica::ReplicaSet* rs = replicas_;
   if (rs != nullptr && !rs->config().enabled()) {
     rs = nullptr;  // disabled config: keep the combined search bitwise

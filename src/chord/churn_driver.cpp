@@ -2,9 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace armada::chord {
+namespace {
+
+const char* repair_trace_name(sim::ChurnEventKind kind) {
+  switch (kind) {
+    case sim::ChurnEventKind::kJoin:
+      return "repair/join";
+    case sim::ChurnEventKind::kLeave:
+      return "repair/leave";
+    case sim::ChurnEventKind::kCrash:
+      return "repair/crash";
+  }
+  return "repair";
+}
+
+}  // namespace
 
 ChurnDriver::ChurnDriver(ChordNetwork& net, sim::Simulator& sim, Config config)
     : net_(net), sim_(sim), config_(config) {
@@ -24,6 +40,12 @@ void ChurnDriver::schedule(const std::vector<sim::ChurnEvent>& events) {
 
 void ChurnDriver::execute(sim::ChurnEventKind kind) {
   const sim::Time start = sim_.now();
+  // Root a repair trace around the event (see fissione::ChurnDriver).
+  obs::TraceRecorder* rec = net_.transport().trace();
+  const std::uint64_t troot =
+      rec != nullptr ? rec->maybe_begin(repair_trace_name(kind), 0, start) : 0;
+  const obs::TraceRecorder::Scope trace_scope =
+      troot != 0 ? rec->enter(troot) : obs::TraceRecorder::Scope();
   ChordNetwork::MembershipReport report;
   switch (kind) {
     case sim::ChurnEventKind::kJoin:

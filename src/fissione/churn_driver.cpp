@@ -2,9 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace armada::fissione {
+namespace {
+
+const char* repair_trace_name(sim::ChurnEventKind kind) {
+  switch (kind) {
+    case sim::ChurnEventKind::kJoin:
+      return "repair/join";
+    case sim::ChurnEventKind::kLeave:
+      return "repair/leave";
+    case sim::ChurnEventKind::kCrash:
+      return "repair/crash";
+  }
+  return "repair";
+}
+
+}  // namespace
 
 ChurnDriver::ChurnDriver(FissioneNetwork& net, sim::Simulator& sim,
                          Config config)
@@ -26,6 +42,15 @@ void ChurnDriver::schedule(const std::vector<sim::ChurnEvent>& events) {
 
 void ChurnDriver::execute(sim::ChurnEventKind kind) {
   const sim::Time start = sim_.now();
+  // Root a repair trace around the whole event: every transport delivery
+  // apply_repair makes (neighbor updates, handoffs) becomes a hop span.
+  // Repair traces close via their latest arrival, so no explicit end is
+  // needed; with no recorder attached this is two null checks.
+  obs::TraceRecorder* rec = net_.transport().trace();
+  const std::uint64_t troot =
+      rec != nullptr ? rec->maybe_begin(repair_trace_name(kind), 0, start) : 0;
+  const obs::TraceRecorder::Scope trace_scope =
+      troot != 0 ? rec->enter(troot) : obs::TraceRecorder::Scope();
   FissioneNetwork::MembershipReport report;
   switch (kind) {
     case sim::ChurnEventKind::kJoin:

@@ -32,12 +32,49 @@ void Transport::deliver(sim::Simulator& sim, NodeId from, NodeId to,
   ARMADA_CHECK_MSG(!queueing_active(),
                    "stateless deliver would bypass the installed queueing "
                    "network; use the sized overload");
+  if (trace_ != nullptr) [[unlikely]] {
+    deliver_stateless_traced(sim, from, to, std::move(on_arrival));
+    return;
+  }
   sim.schedule_after(link(from, to), std::move(on_arrival));
+}
+
+void Transport::deliver_stateless_traced(
+    sim::Simulator& sim, NodeId from, NodeId to,
+    std::function<void()> on_arrival) const {
+  const Time now = sim.now();
+  const std::uint64_t span =
+      trace_->span_begin(from, to, 0, TrafficClass::kQuery, now, now);
+  if (span == 0) {
+    sim.schedule_after(link(from, to), std::move(on_arrival));
+    return;
+  }
+  trace_->span_delivered(span, now + link(from, to), 0.0);
+  sim.schedule_after(
+      link(from, to),
+      [rec = trace_.get(), span, cb = std::move(on_arrival)] {
+        const obs::TraceRecorder::Scope scope = rec->enter(span);
+        if (cb) {
+          cb();
+        }
+      });
 }
 
 Time Transport::deliver(sim::Simulator& sim, NodeId from, NodeId to,
                         std::uint32_t bytes, QueuedArrival on_arrival,
                         Time not_before, TrafficClass cls) {
+  // The disabled-path cost of tracing is exactly this one branch.
+  if (trace_ != nullptr) [[unlikely]] {
+    return deliver_traced(sim, from, to, bytes, std::move(on_arrival),
+                          not_before, cls);
+  }
+  return deliver_impl(sim, from, to, bytes, std::move(on_arrival), not_before,
+                      cls);
+}
+
+Time Transport::deliver_impl(sim::Simulator& sim, NodeId from, NodeId to,
+                             std::uint32_t bytes, QueuedArrival on_arrival,
+                             Time not_before, TrafficClass cls) {
   if (queueing_ != nullptr) {
     return queueing_->send(sim, from, to, bytes, link(from, to),
                            std::move(on_arrival), not_before, cls);
@@ -50,6 +87,36 @@ Time Transport::deliver(sim::Simulator& sim, NodeId from, NodeId to,
       cb(0.0);
     }
   });
+  return at;
+}
+
+Time Transport::deliver_traced(sim::Simulator& sim, NodeId from, NodeId to,
+                               std::uint32_t bytes, QueuedArrival on_arrival,
+                               Time not_before, TrafficClass cls) {
+  obs::TraceRecorder& rec = *trace_;
+  const Time send_at = sim.now();
+  const Time enqueue_at = std::max(send_at, not_before);
+  const std::uint64_t span =
+      rec.span_begin(from, to, bytes, cls, send_at, enqueue_at);
+  if (span == 0) {
+    // No active trace context (or span cap hit): identical to untraced.
+    return deliver_impl(sim, from, to, bytes, std::move(on_arrival),
+                        not_before, cls);
+  }
+  // Re-enter the span's context inside the arrival so work done on
+  // delivery (FRT recursion, walk continuation) attributes to this hop.
+  QueuedArrival wrapped = [r = &rec, span,
+                           cb = std::move(on_arrival)](Time queue_delay) {
+    const obs::TraceRecorder::Scope scope = r->enter(span);
+    if (cb) {
+      cb(queue_delay);
+    }
+  };
+  const Time at = deliver_impl(sim, from, to, bytes, std::move(wrapped),
+                               not_before, cls);
+  // The reservation discipline makes the delivery instant known now, so
+  // the span closes synchronously — tracing schedules nothing.
+  rec.span_delivered(span, at, at - enqueue_at - link(from, to));
   return at;
 }
 
@@ -70,10 +137,18 @@ void Transport::deliver_walk(sim::Simulator& sim, std::vector<NodeId> path,
     std::function<void(const sim::QueryStats&)> done;
     sim::Time start = 0.0;
     sim::QueryStats stats;
+    std::uint64_t trace = 0;  ///< root span when this walk samples a trace
+
+    void finish() {
+      if (trace != 0 && transport->trace_ != nullptr) {
+        transport->trace_->end_trace(trace, stats);
+      }
+      done(stats);
+    }
 
     void hop(std::shared_ptr<Walk> self, std::size_t i) {
       if (i + 1 >= path.size()) {
-        done(stats);
+        finish();
         return;
       }
       const NodeId u = path[i];
@@ -86,7 +161,7 @@ void Transport::deliver_walk(sim::Simulator& sim, std::vector<NodeId> path,
         transport->record_shed();
         ++stats.shed;
         stats.coverage = 0.0;
-        done(stats);
+        finish();
         return;
       }
       Time not_before = 0.0;
@@ -121,6 +196,9 @@ void Transport::deliver_walk(sim::Simulator& sim, std::vector<NodeId> path,
         if (primary_delay > queueing->config().flow.hedge_threshold) {
           // Hedge in the kHedge lane: under priority scheduling the
           // duplicate jumps the query backlog and can land first.
+          if (transport->trace_ != nullptr) {
+            transport->trace_->annotate(obs::kFlagHedge);
+          }
           ++stats.messages;
           ++stats.hedges;
           stats.bytes_on_wire += options.bytes;
@@ -136,6 +214,19 @@ void Transport::deliver_walk(sim::Simulator& sim, std::vector<NodeId> path,
   auto walk = std::make_shared<Walk>(Walk{this, &sim, std::move(path), options,
                                           std::move(done), sim.now(),
                                           sim::QueryStats{}});
+  if (trace_ != nullptr) [[unlikely]] {
+    // Root a new trace unless the walk runs under an enclosing one (e.g.
+    // a replica serve inside a PIRA query), in which case its hops join
+    // that trace instead.
+    walk->trace = trace_->maybe_begin(
+        "walk", walk->path.empty() ? NodeId(0) : walk->path.front(),
+        sim.now());
+    if (walk->trace != 0) {
+      const obs::TraceRecorder::Scope scope = trace_->enter(walk->trace);
+      walk->hop(walk, 0);
+      return;
+    }
+  }
   walk->hop(walk, 0);
 }
 

@@ -36,6 +36,7 @@
 
 #include "net/latency_model.h"
 #include "net/queueing.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
 
@@ -151,6 +152,9 @@ class Transport {
     if (queueing_ != nullptr) {
       queueing_->record_shed();
     }
+    if (trace_ != nullptr) {
+      trace_->annotate(obs::kFlagShed);
+    }
   }
   /// Account a replica reroute / cache hit by the replica subsystem in the
   /// same currency (no-ops without queueing, like record_shed).
@@ -158,16 +162,49 @@ class Transport {
     if (queueing_ != nullptr) {
       queueing_->record_replica_route();
     }
+    if (trace_ != nullptr) {
+      trace_->annotate(obs::kFlagReplicaRoute);
+    }
   }
   void record_cache_hit() {
     if (queueing_ != nullptr) {
       queueing_->record_cache_hit();
     }
+    if (trace_ != nullptr) {
+      trace_->annotate(obs::kFlagCacheHit);
+    }
   }
 
+  // --- tracing seam ----------------------------------------------------------
+  /// Attach a span recorder: every subsequent delivery made under an
+  /// active trace context becomes a hop span (see obs/trace.h). Copies of
+  /// this transport share the recorder, mirroring install_queueing. With
+  /// no recorder attached the delivery paths pay exactly one branch and
+  /// produce bitwise identical schedules; with one attached, recording is
+  /// purely passive (no events, no randomness), so results still match.
+  void attach_trace(std::shared_ptr<obs::TraceRecorder> recorder) {
+    trace_ = std::move(recorder);
+  }
+  void detach_trace() { trace_.reset(); }
+  /// The attached recorder; null when tracing is disabled.
+  obs::TraceRecorder* trace() const { return trace_.get(); }
+
  private:
+  /// The untraced sized delivery (the former deliver body).
+  Time deliver_impl(sim::Simulator& sim, NodeId from, NodeId to,
+                    std::uint32_t bytes, QueuedArrival on_arrival,
+                    Time not_before, TrafficClass cls);
+  /// Out-of-line traced twins: record the hop span, wrap the arrival in
+  /// the span's context, then run the common path.
+  Time deliver_traced(sim::Simulator& sim, NodeId from, NodeId to,
+                      std::uint32_t bytes, QueuedArrival on_arrival,
+                      Time not_before, TrafficClass cls);
+  void deliver_stateless_traced(sim::Simulator& sim, NodeId from, NodeId to,
+                                std::function<void()> on_arrival) const;
+
   std::shared_ptr<const LatencyModel> model_;
   std::shared_ptr<Queueing> queueing_;
+  std::shared_ptr<obs::TraceRecorder> trace_;
 };
 
 }  // namespace armada::net

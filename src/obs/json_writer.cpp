@@ -1,0 +1,131 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+namespace armada::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  // Integral values print without a fraction or exponent so counters stay
+  // readable; everything else gets round-trip precision.
+  if (v == std::floor(v) && std::fabs(v) < 9007199254740992.0 /* 2^53 */) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (!body_.empty()) {
+    body_ += ',';
+  }
+  body_ += '"';
+  body_ += json_escape(k);
+  body_ += "\":";
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::string_view value) {
+  key(k);
+  body_ += '"';
+  body_ += json_escape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, double value) {
+  key(k);
+  body_ += json_number(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, long long value) {
+  key(k);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", value);
+  body_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, unsigned long long value) {
+  key(k);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", value);
+  body_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, bool value) {
+  key(k);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::field_raw(std::string_view k, std::string_view json) {
+  key(k);
+  body_ += json;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  std::string out;
+  out.reserve(body_.size() + 2);
+  out += '{';
+  out += body_;
+  out += '}';
+  return out;
+}
+
+bool write_text_file(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok && written != content.size()) {
+    std::fclose(f);
+  }
+  return ok;
+}
+
+}  // namespace armada::obs

@@ -1,0 +1,71 @@
+// Shared JSON formatting for every machine-readable feed the repo emits:
+// bench records (ARMADA_BENCH_JSON), trace exports, time-series samples,
+// and slow-query dumps all go through this one escaping/number path.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace armada::obs {
+
+/// Version stamped into every record; bump when a feed's shape changes so
+/// downstream validators (tools/check_trace.py, the CI bench validator)
+/// can reject mixed streams.
+inline constexpr int kJsonSchemaVersion = 1;
+
+/// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes): `"` and `\` are backslash-escaped, control characters become
+/// \uXXXX.
+std::string json_escape(std::string_view s);
+
+/// Formats `v` with enough digits to round-trip a double exactly; emits
+/// plain integers without an exponent and maps non-finite values to null
+/// (JSON has no inf/nan).
+std::string json_number(double v);
+
+/// Builder for one JSON object. Fields appear in insertion order, which
+/// keeps feeds diffable; `str()` wraps the accumulated fields in braces.
+///
+///   obs::JsonWriter w;
+///   w.field("bench", "congestion").field("scale", 1.0);
+///   line = w.str();   // {"bench":"congestion","scale":1}
+class JsonWriter {
+ public:
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonWriter& field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, int value) {
+    return field(key, static_cast<long long>(value));
+  }
+  JsonWriter& field(std::string_view key, unsigned value) {
+    return field(key, static_cast<unsigned long long>(value));
+  }
+  JsonWriter& field(std::string_view key, long value) {
+    return field(key, static_cast<long long>(value));
+  }
+  JsonWriter& field(std::string_view key, unsigned long value) {
+    return field(key, static_cast<unsigned long long>(value));
+  }
+  JsonWriter& field(std::string_view key, long long value);
+  JsonWriter& field(std::string_view key, unsigned long long value);
+  JsonWriter& field(std::string_view key, bool value);
+  /// Splices `json` in verbatim — for nested objects/arrays built
+  /// separately.
+  JsonWriter& field_raw(std::string_view key, std::string_view json);
+
+  bool empty() const { return body_.empty(); }
+  /// The complete object, `{...}`.
+  std::string str() const;
+
+ private:
+  void key(std::string_view k);
+  std::string body_;
+};
+
+/// Writes `content` to `path`, truncating; returns false on I/O error.
+/// Lives here so bench/trace exporters share one (checked) write path.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace armada::obs

@@ -307,6 +307,11 @@ void Rebalancer::start_migration(sim::Simulator& sim,
   cooldown_until_[flight->range] = tick_ + config_.cooldown;
   ++stats_.migrations_started;
   net::Transport& transport = net_.transport();
+  if (obs::TraceRecorder* rec = transport.trace(); rec != nullptr) {
+    // When on_query tripped this migration, tag the triggering query's
+    // trace so slow-query dumps show the query raced a migration.
+    rec->annotate(obs::kFlagMigration);
+  }
   const std::uint32_t bytes =
       transport.default_message_bytes() +
       config_.object_bytes * static_cast<std::uint32_t>(object_count);

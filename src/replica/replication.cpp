@@ -87,6 +87,11 @@ void ReplicationManager::sync_holder(sim::Simulator& sim,
   ++holder.version;
   const std::uint64_t version = holder.version;
   net::Transport& transport = net_.transport();
+  if (obs::TraceRecorder* rec = transport.trace(); rec != nullptr) {
+    // When a query's popularity tick tripped this placement, tag its
+    // trace: the kHandoff spans below are replication, not query fan-out.
+    rec->annotate(obs::kFlagReplication);
+  }
   // One batched transfer per peer actually holding region objects — each
   // primary, plus each delegation host serving a migrated slice of the
   // region; the version guard keeps arrivals of a superseded sync (re-sync

@@ -24,8 +24,12 @@
 #include "armada/churn_harness.h"
 #include "chord/churn_driver.h"
 #include "fissione/churn_driver.h"
+#include "fissione/types.h"
 #include "net/latency_model.h"
+#include "obs/trace.h"
+#include "rebalance/rebalance.h"
 #include "sim/churn.h"
+#include "sim/workload.h"
 #include "support/test_networks.h"
 #include "support/test_workloads.h"
 #include "util/rng.h"
@@ -605,6 +609,93 @@ TEST(ChurnDeterminism, ChordStatsAgreeAcrossRuns) {
   EXPECT_TRUE(a.first == b.first);
   EXPECT_EQ(a.second, b.second);
   EXPECT_GT(a.first.events(), 0u);
+}
+
+// --- span-tree well-formedness under churn ----------------------------------
+
+TEST(TimedChurnTracing, SpanTreesStayWellFormedAcrossDetourAndMigration) {
+  auto fx = make_single_index(80, 9951);
+  testsupport::publish_uniform_values(fx->index, 400, 9952);
+
+  // Trace everything: the structural invariants must hold on every trace,
+  // not just a lucky sample.
+  obs::TraceConfig tc;
+  tc.sample_period = 1;
+  auto recorder = std::make_shared<obs::TraceRecorder>(tc);
+  fx->net.transport().attach_trace(recorder);
+
+  // Rebalancing on, so traced queries race in-flight migrations and
+  // delegation cutovers too.  The load map is the rebalancer's signal
+  // source; without it no sweep ever finds a hot peer.
+  fissione::ServiceLoadMap load;
+  fx->net.set_service_load(&load);
+  rebalance::RebalanceConfig rcfg;
+  rcfg.trigger_load = 2.5;
+  rcfg.target_load = 1.25;
+  rcfg.sweep_interval = 8;
+  rcfg.cooldown = 32;
+  rcfg.max_inflight = 4;
+  const rebalance::Rebalancer& rb = fx->index.enable_rebalancing(rcfg);
+
+  sim::Simulator sim;
+  fissione::ChurnDriver driver(fx->net, sim);
+  core::ChurnHarness harness(fx->index, driver);
+
+  // Crash-heavy schedule, probed inside each stale window: the traced
+  // queries take crash detours while the repair wave records its own
+  // "repair/*" traces around them.
+  sim::ZipfValues zipf(testsupport::kPaperDomain, 80, 1.0, Rng(9953));
+  for (int i = 0; i < 8; ++i) {
+    const ChurnEvent e{1.0 + i, i % 2 == 0 ? ChurnEventKind::kCrash
+                                           : ChurnEventKind::kLeave};
+    driver.schedule(e);
+    sim.schedule_at(e.at, [&] {
+      const auto stale = driver.stale_peers();
+      ASSERT_FALSE(stale.empty());
+      const double c = zipf.next();
+      const double lo = std::max(0.0, c - 12.5);
+      harness.range_query(stale.front(), lo, std::min(1000.0, lo + 25.0));
+    });
+  }
+  sim.run();
+
+  // Skewed queries at quiescence trip migrations; querying continues while
+  // transfers are in flight, so traced queries cross mid-migration state.
+  Rng rng(9954);
+  for (int q = 0; q < 300; ++q) {
+    const double c = zipf.next();
+    const double w = (q % 4 == 0) ? 25.0 : 2.5;
+    harness.range_query(fx->random_issuer(rng), std::max(0.0, c - w),
+                        std::min(1000.0, c + w));
+  }
+  fx->net.transport().detach_trace();
+  EXPECT_GT(rb.stats().migrations_started, 0u);
+
+  // Structural invariants over everything recorded: no orphan spans, no
+  // cross-trace parents, monotone instants, children starting no earlier
+  // than their roots — and conservation: every begun span was delivered.
+  EXPECT_EQ(recorder->validate(), "");
+  EXPECT_EQ(recorder->spans_recorded(), recorder->spans_delivered());
+  EXPECT_EQ(recorder->roots_seen(), recorder->roots_sampled());
+  EXPECT_EQ(recorder->spans_dropped(), 0u);
+
+  // Both root families are present, and a traced query observed a
+  // migration launch.
+  bool repair_root = false;
+  bool query_root = false;
+  bool migration_flagged = false;
+  for (const obs::Span& s : recorder->spans()) {
+    if (s.parent == 0 && s.name != nullptr) {
+      const std::string_view name(s.name);
+      repair_root = repair_root || name.substr(0, 7) == "repair/";
+      query_root = query_root || name == "pira" || name == "walk";
+      migration_flagged =
+          migration_flagged || (s.flags & obs::kFlagMigration) != 0;
+    }
+  }
+  EXPECT_TRUE(repair_root);
+  EXPECT_TRUE(query_root);
+  EXPECT_TRUE(migration_flagged);
 }
 
 }  // namespace

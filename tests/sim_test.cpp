@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/routed_overlay.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
 #include "sim/workload.h"
@@ -234,6 +235,90 @@ TEST(MetricSet, AggregatesAndSkipsDegenerateRatios) {
   EXPECT_EQ(m.mesg_ratio().count(), 2u);   // dest_peers >= 1 only
   EXPECT_EQ(m.incre_ratio().count(), 1u);  // dest_peers > 1 only
   EXPECT_DOUBLE_EQ(m.incre_ratio().mean(), 10.0 / 9.0);
+}
+
+// --- walk-cost algebra (overlay::step / chain / fan_in) ---------------------
+
+TEST(WalkAlgebra, StepChargesOneMessageOneHopAndTheLink) {
+  net::Transport transport;  // default ConstantHop(1.0)
+  QueryStats walk;
+  overlay::step(walk, transport, 3, 4);
+  overlay::step(walk, transport, 4, 9);
+  EXPECT_EQ(walk.messages, 2u);
+  EXPECT_DOUBLE_EQ(walk.delay, 2.0);
+  EXPECT_DOUBLE_EQ(walk.latency, 2.0);
+  EXPECT_DOUBLE_EQ(walk.coverage, 1.0);  // cost fragments never touch it
+  EXPECT_EQ(walk.dest_peers, 0u);
+}
+
+TEST(WalkAlgebra, ChainSumsCostsAndMultipliesCoverage) {
+  QueryStats head{.messages = 3, .delay = 2.0, .latency = 2.5,
+                  .queue_delay = 0.5, .coverage = 0.5, .shed = 1};
+  const QueryStats tail{.messages = 2, .delay = 1.0, .latency = 1.25,
+                        .queue_delay = 0.25, .coverage = 0.5, .shed = 2};
+  overlay::chain(head, tail);
+  EXPECT_EQ(head.messages, 5u);
+  EXPECT_DOUBLE_EQ(head.delay, 3.0);
+  EXPECT_DOUBLE_EQ(head.latency, 3.75);
+  EXPECT_DOUBLE_EQ(head.queue_delay, 0.75);
+  EXPECT_DOUBLE_EQ(head.coverage, 0.25);  // sequential stages multiply
+  EXPECT_EQ(head.shed, 3u);
+  EXPECT_EQ(head.dest_peers, 0u);  // data-plane counters stay untouched
+}
+
+TEST(WalkAlgebra, FanInSumsMessagesMaxesArrivalAndMinsCoverage) {
+  QueryStats fan{.messages = 1, .delay = 4.0, .latency = 4.0,
+                 .coverage = 1.0};
+  overlay::fan_in(fan, QueryStats{.messages = 2, .delay = 6.0,
+                                  .latency = 7.0, .coverage = 0.5});
+  overlay::fan_in(fan, QueryStats{.messages = 3, .delay = 5.0,
+                                  .latency = 5.0, .coverage = 0.75});
+  EXPECT_EQ(fan.messages, 6u);
+  EXPECT_DOUBLE_EQ(fan.delay, 6.0);    // latest branch arrival
+  EXPECT_DOUBLE_EQ(fan.latency, 7.0);
+  EXPECT_DOUBLE_EQ(fan.coverage, 0.5);  // conservative minimum
+}
+
+TEST(WalkAlgebra, ChainOfFanInsWithZeroDestinationSubtrees) {
+  // A two-stage FRT-shaped tree: stage one fans three subtrees, one of
+  // which covers zero destinations (an empty region slice — its fragment
+  // stays at the coverage-neutral default 1.0 and must not drag the fan's
+  // minimum); stage two chains a partially shed continuation.
+  QueryStats fan;  // dispatch point: zero cost until branches fold in
+  const QueryStats empty_subtree{.messages = 1, .delay = 1.0,
+                                 .latency = 1.0};  // zero destinations
+  const QueryStats full_subtree{.messages = 4, .delay = 3.0, .latency = 3.0,
+                                .coverage = 1.0};
+  const QueryStats degraded_subtree{.messages = 2, .delay = 2.0,
+                                    .latency = 2.0, .coverage = 0.5,
+                                    .shed = 1};
+  overlay::fan_in(fan, empty_subtree);
+  overlay::fan_in(fan, full_subtree);
+  overlay::fan_in(fan, degraded_subtree);
+  EXPECT_EQ(fan.messages, 7u);
+  EXPECT_DOUBLE_EQ(fan.delay, 3.0);
+  EXPECT_DOUBLE_EQ(fan.coverage, 0.5);  // the empty subtree stayed neutral
+
+  QueryStats query{.messages = 2, .delay = 2.0, .latency = 2.0,
+                   .coverage = 0.5};  // approach walk, already degraded
+  overlay::chain(query, fan);
+  EXPECT_EQ(query.messages, 9u);
+  EXPECT_DOUBLE_EQ(query.delay, 5.0);      // walk, then the slowest branch
+  EXPECT_DOUBLE_EQ(query.latency, 5.0);
+  EXPECT_DOUBLE_EQ(query.coverage, 0.25);  // 0.5 (walk) * 0.5 (fan min)
+  EXPECT_EQ(query.shed, 1u);
+  EXPECT_EQ(query.dest_peers, 0u);
+
+  // Aggregating a zero-destination query is well-defined: no ratio sample,
+  // but delay/coverage aggregate exactly.
+  MetricSet m(4.0);
+  m.add(query);
+  EXPECT_EQ(m.delay().count(), 1u);
+  EXPECT_DOUBLE_EQ(m.coverage().mean(), 0.25);
+  EXPECT_EQ(m.mesg_ratio().count(), 0u);   // dest_peers == 0: skipped
+  EXPECT_EQ(m.incre_ratio().count(), 0u);
+  EXPECT_EQ(m.dest_peers().count(), 1u);
+  EXPECT_DOUBLE_EQ(m.dest_peers().mean(), 0.0);
 }
 
 TEST(MetricSet, TracksLatencyAndPercentiles) {

@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Validate a bench trace export directory against tools/trace_schema.json.
+
+Usage: check_trace.py <trace_dir>
+
+The directory is what the benches write when ARMADA_TRACE_DIR is set:
+  congestion_trace.json        Chrome trace-event export (chrome://tracing)
+  congestion_spans.jsonl       compact per-span records, one JSON per line
+  congestion_slow.jsonl        delay-bound auditor verdicts
+  congestion_slow.log          human-readable span-tree dumps
+  congestion_timeseries.jsonl  per-class Registry samples per load tier
+  load_balance_timeseries.jsonl  (optional) service-load Registry samples
+
+Checks are structural (field presence, types, class vocabulary) plus the
+invariants any well-formed export must satisfy: unique span ids, parents
+recorded before children within a trace, monotone instants on every span,
+Chrome events sorted by ts, per-series monotone sample times, and at least
+one attributed delay-bound violation from the auditor.  Exits nonzero with
+one line per problem on any failure.  Stdlib only.
+"""
+
+import json
+import numbers
+import os
+import sys
+
+
+class Checker:
+    def __init__(self):
+        self.errors = []
+
+    def error(self, where, msg):
+        self.errors.append(f"{where}: {msg}")
+
+    def require(self, cond, where, msg):
+        if not cond:
+            self.error(where, msg)
+        return cond
+
+
+def load_jsonl(path, check, where):
+    records = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                check.error(f"{where}:{lineno}", f"bad JSON: {e}")
+    return records
+
+
+def require_fields(check, record, fields, where):
+    ok = True
+    for field in fields:
+        if field not in record:
+            check.error(where, f"missing field {field!r}")
+            ok = False
+    return ok
+
+
+def check_chrome_trace(check, path, schema):
+    spec = schema["chrome_trace"]
+    try:
+        trace = json.load(open(path, encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        check.error(path, f"unreadable: {e}")
+        return
+    where = os.path.basename(path)
+    for key in spec["required_top_level"]:
+        check.require(key in trace, where, f"missing top-level {key!r}")
+    if trace.get("schema") != schema["schema_version"]:
+        check.error(where, f"schema {trace.get('schema')!r} != "
+                           f"{schema['schema_version']}")
+    events = trace.get("traceEvents", [])
+    check.require(isinstance(events, list) and events, where,
+                  "traceEvents missing or empty")
+    last_ts = float("-inf")
+    seen_spans = set()
+    for i, ev in enumerate(events):
+        ew = f"{where}#traceEvents[{i}]"
+        if not require_fields(check, ev, spec["event_required"], ew):
+            continue
+        if ev["ph"] != spec["event_phase"]:
+            check.error(ew, f"ph {ev['ph']!r} != {spec['event_phase']!r}")
+        if ev["cat"] not in spec["event_categories"]:
+            check.error(ew, f"unknown category {ev['cat']!r}")
+        if not isinstance(ev["ts"], numbers.Real) or ev["ts"] < last_ts:
+            check.error(ew, f"ts {ev['ts']!r} not sorted (prev {last_ts})")
+        last_ts = max(last_ts, ev["ts"])
+        if not isinstance(ev["dur"], numbers.Real) or ev["dur"] < 0:
+            check.error(ew, f"negative dur {ev['dur']!r}")
+        args = ev["args"]
+        if not require_fields(check, args, spec["args_required"], ew):
+            continue
+        span = args["span"]
+        if span in seen_spans:
+            check.error(ew, f"duplicate span id {span}")
+        if args["parent"] != 0 and args["parent"] not in seen_spans:
+            check.error(ew, f"span {span} parent {args['parent']} "
+                            "not recorded before it")
+        seen_spans.add(span)
+
+
+def check_spans(check, path, schema):
+    spec = schema["spans_jsonl"]
+    classes = schema["traffic_classes"]
+    where = os.path.basename(path)
+    records = load_jsonl(path, check, where)
+    check.require(records, where, "no span records")
+    span_trace = {}  # id -> trace, insertion-ordered
+    roots = 0
+    for lineno, r in enumerate(records, 1):
+        rw = f"{where}:{lineno}"
+        if not require_fields(check, r, spec["required"], rw):
+            continue
+        if r["schema"] != schema["schema_version"]:
+            check.error(rw, f"schema {r['schema']!r}")
+        if r["kind"] not in spec["kinds"]:
+            check.error(rw, f"unknown kind {r['kind']!r}")
+        if r["cls"] not in classes:
+            check.error(rw, f"unknown class {r['cls']!r}")
+        if not r["send_at"] <= r["enqueue_at"] <= r["deliver_at"]:
+            check.error(rw, f"non-monotone instants {r['send_at']} / "
+                            f"{r['enqueue_at']} / {r['deliver_at']}")
+        if r["queue_delay"] < 0:
+            check.error(rw, f"negative queue_delay {r['queue_delay']}")
+        if r["id"] in span_trace:
+            check.error(rw, f"duplicate span id {r['id']}")
+        if r["kind"] == "trace":
+            roots += 1
+            require_fields(check, r, spec["root_extra_required"], rw)
+            if r["parent"] != 0:
+                check.error(rw, f"root span {r['id']} has parent "
+                                f"{r['parent']}")
+        elif r["parent"] not in span_trace:
+            check.error(rw, f"span {r['id']} parent {r['parent']} "
+                            "not recorded before it")
+        elif span_trace[r["parent"]] != r["trace"]:
+            check.error(rw, f"span {r['id']} crosses traces "
+                            f"({span_trace[r['parent']]} vs {r['trace']})")
+        span_trace[r["id"]] = r["trace"]
+    check.require(roots > 0, where, "no trace roots recorded")
+    return span_trace
+
+
+def check_slow_queries(check, jsonl_path, log_path, schema, span_trace):
+    spec = schema["slow_queries_jsonl"]
+    where = os.path.basename(jsonl_path)
+    records = load_jsonl(jsonl_path, check, where)
+    check.require(records, where,
+                  "auditor recorded no delay-bound violations "
+                  "(top load tier must produce at least one)")
+    for lineno, r in enumerate(records, 1):
+        rw = f"{where}:{lineno}"
+        if not require_fields(check, r, spec["required"], rw):
+            continue
+        if r["kind"] != spec["kind"]:
+            check.error(rw, f"unknown kind {r['kind']!r}")
+        if not r["latency"] > r["bound"]:
+            check.error(rw, f"latency {r['latency']} does not exceed "
+                            f"bound {r['bound']}")
+        if r["violating_cls"] not in schema["traffic_classes"]:
+            check.error(rw, f"unknown class {r['violating_cls']!r}")
+        if span_trace and r["violating_span"] not in span_trace:
+            check.error(rw, f"violating_span {r['violating_span']} "
+                            "not in the span export")
+    log_where = os.path.basename(log_path)
+    try:
+        log = open(log_path, encoding="utf-8").read()
+    except OSError as e:
+        check.error(log_where, f"unreadable: {e}")
+        return
+    check.require("VIOLATES BOUND" in log, log_where,
+                  "no attributed violation in the span-tree dump")
+    check.require(log.count("slow query:") == len(records), log_where,
+                  f"{log.count('slow query:')} dumps for "
+                  f"{len(records)} auditor records")
+
+
+def check_timeseries(check, path, schema, required_values):
+    spec = schema["timeseries_jsonl"]
+    where = os.path.basename(path)
+    records = load_jsonl(path, check, where)
+    check.require(records, where, "no samples")
+    last_t = {}
+    series_values = {}
+    for lineno, r in enumerate(records, 1):
+        rw = f"{where}:{lineno}"
+        if not require_fields(check, r, spec["required"], rw):
+            continue
+        if r["kind"] != spec["kind"]:
+            check.error(rw, f"unknown kind {r['kind']!r}")
+        s = r["series"]
+        if not isinstance(s, str) or not s:
+            check.error(rw, f"bad series {s!r}")
+            continue
+        if r["t"] < last_t.get(s, float("-inf")):
+            check.error(rw, f"series {s!r} time {r['t']} not monotone")
+        last_t[s] = r["t"]
+        values = r["values"]
+        if not isinstance(values, dict):
+            check.error(rw, f"values is {type(values).__name__}, not object")
+            continue
+        for name, v in values.items():
+            if not isinstance(v, numbers.Real):
+                check.error(rw, f"non-numeric sample {name!r}={v!r}")
+        series_values.setdefault(s, set()).update(values)
+    for s, names in series_values.items():
+        missing = set(required_values) - names
+        if missing:
+            check.error(where, f"series {s!r} missing {sorted(missing)}")
+    return sorted(series_values)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    trace_dir = argv[1]
+    schema_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "trace_schema.json")
+    schema = json.load(open(schema_path, encoding="utf-8"))
+    check = Checker()
+
+    required = ["congestion_trace.json", "congestion_spans.jsonl",
+                "congestion_slow.jsonl", "congestion_slow.log",
+                "congestion_timeseries.jsonl"]
+    for name in required:
+        if not os.path.exists(os.path.join(trace_dir, name)):
+            check.error(name, "missing from trace dir")
+    if check.errors:
+        for e in check.errors:
+            print(f"FAIL {e}", file=sys.stderr)
+        return 1
+
+    p = lambda name: os.path.join(trace_dir, name)
+    check_chrome_trace(check, p("congestion_trace.json"), schema)
+    span_trace = check_spans(check, p("congestion_spans.jsonl"), schema)
+    check_slow_queries(check, p("congestion_slow.jsonl"),
+                       p("congestion_slow.log"), schema, span_trace)
+    series = check_timeseries(
+        check, p("congestion_timeseries.jsonl"), schema,
+        schema["timeseries_jsonl"]["congestion_required_values"])
+    lb = p("load_balance_timeseries.jsonl")
+    lb_series = []
+    if os.path.exists(lb):
+        lb_series = check_timeseries(check, lb, schema, [])
+
+    if check.errors:
+        for e in check.errors:
+            print(f"FAIL {e}", file=sys.stderr)
+        return 1
+    print(f"trace export OK: {len(span_trace)} spans, "
+          f"{len(series)} congestion series, "
+          f"{len(lb_series)} load-balance series")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
